@@ -1,0 +1,321 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (one benchmark per artifact; see EXPERIMENTS.md for the
+// recorded outputs and paper-vs-measured comparison), plus micro and
+// ablation benchmarks on the framework's moving parts.
+//
+// Figure benchmarks use the trimmed bandwidth sweeps; run
+// `go run ./cmd/experiments -out results` for the full tables.
+package libra_test
+
+import (
+	"testing"
+
+	"libra"
+	"libra/internal/collective"
+	"libra/internal/experiments"
+	"libra/internal/opt"
+	"libra/internal/sim"
+	"libra/internal/themis"
+	"libra/internal/timemodel"
+	"libra/internal/topology"
+	"libra/internal/workload"
+)
+
+func runExperiment(b *testing.B, f func() (*experiments.Table, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		tbl, err := f()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tbl.Rows) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// ---- One benchmark per paper artifact ----
+
+func BenchmarkFig01CommSizes(b *testing.B) { runExperiment(b, experiments.Fig01CommSizes) }
+func BenchmarkFig09PipelineUtilization(b *testing.B) {
+	runExperiment(b, experiments.Fig09Pipeline)
+}
+func BenchmarkFig10UtilizationFrontier(b *testing.B) {
+	runExperiment(b, experiments.Fig10Utilization)
+}
+func BenchmarkFig11TopologyNotation(b *testing.B) { runExperiment(b, experiments.Fig11Notation) }
+func BenchmarkTable1CostModel(b *testing.B)       { runExperiment(b, experiments.Table1CostModel) }
+func BenchmarkFig12CostExample(b *testing.B)      { runExperiment(b, experiments.Fig12CostExample) }
+func BenchmarkFig13SpeedupSweep(b *testing.B) {
+	runExperiment(b, func() (*experiments.Table, error) { return experiments.Fig13Fig14SpeedupSweep(true) })
+}
+func BenchmarkFig14PerfPerCostSweep(b *testing.B) {
+	// Figs. 13 and 14 are two views of one sweep; both regenerate it.
+	runExperiment(b, func() (*experiments.Table, error) { return experiments.Fig13Fig14SpeedupSweep(true) })
+}
+func BenchmarkFig15NonTransformer(b *testing.B) {
+	runExperiment(b, func() (*experiments.Table, error) { return experiments.Fig15NonTransformer(true) })
+}
+func BenchmarkFig16TopologyExploration(b *testing.B) {
+	runExperiment(b, func() (*experiments.Table, error) { return experiments.Fig16TopologyExploration(true) })
+}
+func BenchmarkFig17GroupOptimization(b *testing.B) {
+	runExperiment(b, experiments.Fig17aGroupLLM)
+}
+func BenchmarkFig17bGroupMixture(b *testing.B) {
+	runExperiment(b, experiments.Fig17bGroupMixture)
+}
+func BenchmarkFig18CostSensitivity(b *testing.B) {
+	runExperiment(b, experiments.Fig18CostSensitivity)
+}
+func BenchmarkFig19Themis(b *testing.B) { runExperiment(b, experiments.Fig19Themis) }
+func BenchmarkFig20Tacos(b *testing.B)  { runExperiment(b, experiments.Fig20Tacos) }
+func BenchmarkFig21ParallelizationCoopt(b *testing.B) {
+	runExperiment(b, experiments.Fig21ParallelizationCoopt)
+}
+
+// ---- Micro benchmarks ----
+
+func BenchmarkAnalyticalCollectiveTime(b *testing.B) {
+	net := topology.FourD4K()
+	bw := topology.EqualBW(400, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		libra.CollectiveTime(libra.AllReduce, 1e9, net, bw)
+	}
+}
+
+func BenchmarkIterationEstimate(b *testing.B) {
+	net := topology.FourD4K()
+	w, err := workload.MSFT1T(net.NPUs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	est := &timemodel.Estimator{Net: net, Compute: libra.A100(), Loop: timemodel.NoOverlap}
+	bw := topology.EqualBW(400, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Iteration(w, bw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerfOptSolve(b *testing.B) {
+	net := topology.FourD4K()
+	w, err := workload.MSFT1T(net.NPUs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		p := libra.NewProblem(net, 500, w)
+		if _, err := p.Optimize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerfPerCostSolve(b *testing.B) {
+	net := topology.FourD4K()
+	w, err := workload.MSFT1T(net.NPUs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		p := libra.NewProblem(net, 500, w)
+		p.Objective = libra.PerfPerCostOpt
+		if _, err := p.Optimize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPolyhedronProjection(b *testing.B) {
+	c := opt.NewConstraints(4).SumEquals(500).SetAllLower(0.1)
+	c.VarAtMost(3, 50).Ordered(0, 1)
+	x := []float64{900, -20, 70, 300}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		opt.Project(c, x)
+	}
+}
+
+func BenchmarkPipelineSim64Chunks(b *testing.B) {
+	net := topology.FourD4K()
+	mp := collective.FullMapping(net)
+	bw := topology.EqualBW(400, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.SimulateCollective(collective.AllReduce, 1e9, mp, bw, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNPULevelSim(b *testing.B) {
+	net := topology.MustParse("RI(4)_FC(4)_SW(4)")
+	mp := collective.FullMapping(net)
+	bw := topology.EqualBW(300, 3)
+	for i := 0; i < b.N; i++ {
+		if _, err := sim.SimulateCollectiveNPULevel(net, collective.AllReduce, 1e8, mp, bw, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkThemisSchedule(b *testing.B) {
+	net := topology.ThreeDTorus()
+	mp := collective.FullMapping(net)
+	bw := topology.EqualBW(300, 3)
+	for i := 0; i < b.N; i++ {
+		if _, err := themis.Schedule(collective.AllReduce, 1e9, mp, bw, 64); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTacosSynthesis(b *testing.B) {
+	net := topology.ThreeDTorus()
+	bw := topology.EqualBW(999, 3)
+	for i := 0; i < b.N; i++ {
+		if _, err := libra.TacosAllGather(net, bw, 1e9, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablation benchmarks (design choices called out in DESIGN.md) ----
+
+// Chunk-count sensitivity: how far the pipelined makespan sits above the
+// analytical bound as the paper's 64-chunk choice varies.
+func BenchmarkAblationChunkCount(b *testing.B) {
+	net := topology.FourD4K()
+	mp := collective.FullMapping(net)
+	bw := topology.EqualBW(400, 4)
+	bound := collective.Time(collective.AllReduce, 1e9, mp, bw)
+	for _, chunks := range []int{1, 8, 64, 256} {
+		b.Run(benchName("chunks", chunks), func(b *testing.B) {
+			var gap float64
+			for i := 0; i < b.N; i++ {
+				r, err := sim.SimulateCollective(collective.AllReduce, 1e9, mp, bw, chunks)
+				if err != nil {
+					b.Fatal(err)
+				}
+				gap = r.Makespan/bound - 1
+			}
+			b.ReportMetric(gap*100, "pct-above-bound")
+		})
+	}
+}
+
+// Optimizer-policy ablation: the paper-style IdealFullDims optimizer vs
+// the exact Actual mapping, evaluated on the true (Actual) model.
+func BenchmarkAblationMappingPolicy(b *testing.B) {
+	net := topology.FourD4K()
+	w, err := workload.GPT3(net.NPUs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, policy := range []timemodel.MappingPolicy{timemodel.Actual, timemodel.IdealFullDims} {
+		name := "actual"
+		if policy == timemodel.IdealFullDims {
+			name = "ideal-full-dims"
+		}
+		b.Run(name, func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				p := libra.NewProblem(net, 500, w)
+				p.OptPolicy = policy
+				eq, err := p.EqualBW()
+				if err != nil {
+					b.Fatal(err)
+				}
+				r, err := p.Optimize()
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = eq.WeightedTime / r.WeightedTime
+			}
+			b.ReportMetric(speedup, "speedup-x")
+		})
+	}
+}
+
+// In-network collective offload ablation (§IV-C's switch-offload model).
+// Offload applies to All-Reduce, so the workload synchronizes gradients
+// with classic data-parallel All-Reduce (not ZeRO-2's RS+AG) over the
+// switch dimension.
+func BenchmarkAblationInNetworkOffload(b *testing.B) {
+	net := topology.ThreeD4K()
+	w := &workload.Workload{
+		Name: "dp-allreduce", Params: 1e9,
+		Strategy: workload.Strategy{TP: 128, DP: 32}, Minibatch: 32,
+		Layers: []workload.Layer{{
+			Name: "block", Count: 32,
+			FwdFLOPs: 1e12, TPFLOPs: 2e12,
+			DPComm: []workload.Comm{{Op: collective.AllReduce, Bytes: 2e8, Scope: workload.DPScope}},
+		}},
+	}
+	for _, offload := range []bool{false, true} {
+		name := "off"
+		if offload {
+			name = "switch-offload"
+		}
+		b.Run(name, func(b *testing.B) {
+			est := &timemodel.Estimator{Net: net, Compute: libra.A100(), Loop: timemodel.NoOverlap}
+			if offload {
+				est.InNetwork = []bool{false, false, true} // SW(32) offloads
+			}
+			var t float64
+			for i := 0; i < b.N; i++ {
+				r, err := est.Iteration(w, topology.EqualBW(300, 3))
+				if err != nil {
+					b.Fatal(err)
+				}
+				t = r.Total
+			}
+			b.ReportMetric(t, "iter-s")
+		})
+	}
+}
+
+// Training-loop ablation: NoOverlap vs TP-DP overlap (Fig. 5b vs 5c).
+func BenchmarkAblationTrainingLoop(b *testing.B) {
+	net := topology.FourD4K()
+	w, err := workload.MSFT1T(net.NPUs())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, loop := range []timemodel.Loop{timemodel.NoOverlap, timemodel.TPDPOverlap} {
+		b.Run(loop.String(), func(b *testing.B) {
+			est := &timemodel.Estimator{Net: net, Compute: libra.A100(), Loop: loop}
+			var t float64
+			for i := 0; i < b.N; i++ {
+				r, err := est.Iteration(w, topology.EqualBW(400, 4))
+				if err != nil {
+					b.Fatal(err)
+				}
+				t = r.Total
+			}
+			b.ReportMetric(t, "iter-s")
+		})
+	}
+}
+
+func benchName(prefix string, v int) string {
+	return prefix + "-" + itoa(v)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,47 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation, writing CSV and text renderings under -out.
+//
+//	experiments -out results          # full sweeps
+//	experiments -out results -quick   # trimmed sweeps
+//	experiments -only fig13_fig14     # one experiment to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"libra/internal/experiments"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "results", "output directory for CSV/text tables")
+		quick = flag.Bool("quick", false, "trim bandwidth sweeps for a fast run")
+		only  = flag.String("only", "", "run a single experiment by id (e.g. fig13_fig14)")
+	)
+	flag.Parse()
+
+	if *only != "" {
+		for _, e := range experiments.All(*quick) {
+			if e.ID == *only {
+				tbl, err := e.Run()
+				fatalIf(err)
+				fmt.Println(tbl.String())
+				if *out != "" {
+					fatalIf(tbl.Save(*out))
+				}
+				return
+			}
+		}
+		fatalIf(fmt.Errorf("unknown experiment %q", *only))
+	}
+	fatalIf(experiments.RunAll(*out, *quick, os.Stdout))
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

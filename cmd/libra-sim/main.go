@@ -1,0 +1,117 @@
+// Command libra-sim simulates chunked collectives on multi-dimensional
+// networks with the chunk-pipeline simulator, optionally under the Themis
+// scheduler or the TACOS synthesizer.
+//
+// Examples:
+//
+//	libra-sim -topology "RI(4)_RI(4)_RI(4)" -bw 100,100,100 -op allreduce -bytes 1e9 -chunks 64
+//	libra-sim -preset 3D-Torus -bw 333,333,334 -op allreduce -bytes 1e9 -scheduler themis
+//	libra-sim -preset 3D-Torus -bw 333,333,334 -bytes 1e9 -scheduler tacos -chunks 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"libra"
+)
+
+func main() {
+	var (
+		topo      = flag.String("topology", "", "network in block notation")
+		preset    = flag.String("preset", "3D-Torus", "named Table III topology")
+		bwFlag    = flag.String("bw", "", "per-dimension GB/s, comma-separated (default: EqualBW 300)")
+		opFlag    = flag.String("op", "allreduce", "collective: allreduce, reducescatter, allgather, alltoall")
+		bytesFlag = flag.Float64("bytes", 1e9, "collective payload in bytes")
+		chunks    = flag.Int("chunks", 64, "chunk count")
+		scheduler = flag.String("scheduler", "baseline", "baseline, themis, or tacos")
+	)
+	flag.Parse()
+
+	var net *libra.Network
+	var err error
+	if *topo != "" {
+		net, err = libra.ParseTopology(*topo)
+	} else {
+		net, err = libra.PresetTopology(*preset)
+	}
+	fatalIf(err)
+
+	bw := libra.EqualBW(300, net.NumDims())
+	if *bwFlag != "" {
+		parts := strings.Split(*bwFlag, ",")
+		if len(parts) != net.NumDims() {
+			fatalIf(fmt.Errorf("%d bandwidths for a %dD network", len(parts), net.NumDims()))
+		}
+		bw = make(libra.BWConfig, len(parts))
+		for i, p := range parts {
+			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+			fatalIf(err)
+			bw[i] = v
+		}
+	}
+
+	var op libra.CollectiveOp
+	switch strings.ToLower(*opFlag) {
+	case "allreduce", "ar":
+		op = libra.AllReduce
+	case "reducescatter", "rs":
+		op = libra.ReduceScatter
+	case "allgather", "ag":
+		op = libra.AllGather
+	case "alltoall", "a2a":
+		op = libra.AllToAll
+	default:
+		fatalIf(fmt.Errorf("unknown op %q", *opFlag))
+	}
+
+	fmt.Printf("network:  %s (%d NPUs)\n", net.Name(), net.NPUs())
+	fmt.Printf("bw:       %s\n", bw.String())
+	fmt.Printf("op:       %v, %.3g bytes, %d chunks, scheduler %s\n\n", op, *bytesFlag, *chunks, *scheduler)
+
+	analytic := libra.CollectiveTime(op, *bytesFlag, net, bw)
+	fmt.Printf("analytical bound:   %.6f s\n", analytic)
+
+	switch strings.ToLower(*scheduler) {
+	case "baseline":
+		r, err := libra.SimulateCollective(op, *bytesFlag, net, bw, *chunks)
+		fatalIf(err)
+		fmt.Printf("simulated makespan: %.6f s\n", r.Makespan)
+		fmt.Printf("avg utilization:    %.1f%%\n", 100*r.AvgUtilization())
+		for d := 0; d < net.NumDims(); d++ {
+			fmt.Printf("  dim %d utilization: %.1f%%\n", d+1, 100*r.DimUtilization(d))
+		}
+	case "themis":
+		r, err := libra.ThemisSchedule(op, *bytesFlag, net, bw, *chunks)
+		fatalIf(err)
+		fmt.Printf("themis makespan:    %.6f s\n", r.Makespan)
+		fmt.Printf("avg utilization:    %.1f%%\n", 100*r.AvgUtilization())
+	case "tacos":
+		if op != libra.AllReduce && op != libra.AllGather {
+			fatalIf(fmt.Errorf("tacos synthesizes allgather/allreduce only"))
+		}
+		if op == libra.AllGather {
+			s, err := libra.TacosAllGather(net, bw, *bytesFlag, *chunks)
+			fatalIf(err)
+			fmt.Printf("tacos makespan:     %.6f s (%d sends, %.1f%% link util)\n",
+				s.Makespan, s.Sends, 100*s.AvgLinkUtilization)
+		} else {
+			t, s, err := libra.TacosAllReduceTime(net, bw, *bytesFlag, *chunks)
+			fatalIf(err)
+			fmt.Printf("tacos makespan:     %.6f s (AG phase: %d sends, %.1f%% link util)\n",
+				t, s.Sends, 100*s.AvgLinkUtilization)
+		}
+	default:
+		fatalIf(fmt.Errorf("unknown scheduler %q", *scheduler))
+	}
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "libra-sim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,157 @@
+// Command libra optimizes the per-dimension bandwidth of a
+// multi-dimensional training network for a set of target workloads.
+//
+// Examples:
+//
+//	libra -topology "RI(4)_FC(8)_RI(4)_SW(32)" -workloads GPT-3 -budget 500
+//	libra -preset 4D-4K -workloads MSFT-1T,GPT-3,Turing-NLG -budget 1000 -objective ppc
+//	libra -preset 3D-4K -workloads MSFT-1T -budget 300 -cap 3=50 -loop overlap
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"libra"
+	"libra/internal/opt"
+	"libra/internal/timemodel"
+)
+
+func main() {
+	var (
+		topo      = flag.String("topology", "", "network in block notation, e.g. RI(4)_FC(8)_RI(4)_SW(32)")
+		preset    = flag.String("preset", "", "named Table III topology (4D-4K, 3D-4K, 3D-512, 3D-1K, 4D-2K, 3D-Torus)")
+		workloads = flag.String("workloads", "GPT-3", "comma-separated Table II workloads (Turing-NLG, GPT-3, MSFT-1T, DLRM, ResNet-50)")
+		weights   = flag.String("weights", "", "comma-separated workload weights (default: equal)")
+		budget    = flag.Float64("budget", 500, "per-NPU bandwidth budget in GB/s")
+		objective = flag.String("objective", "perf", "optimization objective: perf or ppc")
+		loop      = flag.String("loop", "nooverlap", "training loop: nooverlap or overlap")
+		caps      = flag.String("cap", "", "per-dimension caps dim=GBps, comma-separated (1-based dims), e.g. 4=50")
+		floors    = flag.String("floor", "", "per-dimension floors dim=GBps, comma-separated (1-based dims)")
+	)
+	flag.Parse()
+
+	net, err := resolveNet(*topo, *preset)
+	fatalIf(err)
+
+	names := splitList(*workloads)
+	ws := make([]*libra.Workload, len(names))
+	for i, n := range names {
+		w, err := libra.WorkloadPreset(n, net.NPUs())
+		fatalIf(err)
+		ws[i] = w
+	}
+
+	p := libra.NewProblem(net, *budget, ws...)
+	if *weights != "" {
+		vals := splitList(*weights)
+		if len(vals) != len(ws) {
+			fatalIf(fmt.Errorf("%d weights for %d workloads", len(vals), len(ws)))
+		}
+		for i, v := range vals {
+			f, err := strconv.ParseFloat(v, 64)
+			fatalIf(err)
+			p.Targets[i].Weight = f
+		}
+	}
+	switch *objective {
+	case "perf":
+		p.Objective = libra.PerfOpt
+	case "ppc":
+		p.Objective = libra.PerfPerCostOpt
+	default:
+		fatalIf(fmt.Errorf("unknown objective %q (want perf or ppc)", *objective))
+	}
+	switch *loop {
+	case "nooverlap":
+		p.Loop = timemodel.NoOverlap
+	case "overlap":
+		p.Loop = timemodel.TPDPOverlap
+	default:
+		fatalIf(fmt.Errorf("unknown loop %q (want nooverlap or overlap)", *loop))
+	}
+	capPairs, err := parsePairs(*caps)
+	fatalIf(err)
+	floorPairs, err := parsePairs(*floors)
+	fatalIf(err)
+	if len(capPairs)+len(floorPairs) > 0 {
+		p.Extra = func(c *opt.Constraints) {
+			for d, v := range capPairs {
+				c.VarAtMost(d-1, v)
+			}
+			for d, v := range floorPairs {
+				c.VarAtLeast(d-1, v)
+			}
+		}
+	}
+
+	eq, err := p.EqualBW()
+	fatalIf(err)
+	r, err := p.Optimize()
+	fatalIf(err)
+
+	fmt.Printf("network:    %s (%d NPUs, %dD)\n", net.Name(), net.NPUs(), net.NumDims())
+	fmt.Printf("objective:  %s @ %.0f GB/s per NPU\n", p.Objective, *budget)
+	fmt.Printf("workloads:  %s\n\n", strings.Join(names, ", "))
+	fmt.Printf("%-16s %-34s %12s %14s\n", "config", "BW per dim (GB/s)", "cost ($M)", "iter time (s)")
+	fmt.Printf("%-16s %-34s %12.2f %14.6f\n", "EqualBW", eq.BW.String(), eq.Cost/1e6, eq.WeightedTime)
+	fmt.Printf("%-16s %-34s %12.2f %14.6f\n", "LIBRA", r.BW.String(), r.Cost/1e6, r.WeightedTime)
+	fmt.Printf("\nspeedup over EqualBW:        %.2fx\n", eq.WeightedTime/r.WeightedTime)
+	fmt.Printf("perf-per-cost over EqualBW:  %.2fx\n", r.PerfPerCost()/eq.PerfPerCost())
+	for i, w := range ws {
+		fmt.Printf("  %-12s  %.6fs -> %.6fs (%.2fx)\n", w.Name, eq.Times[i], r.Times[i], eq.Times[i]/r.Times[i])
+	}
+}
+
+func resolveNet(topo, preset string) (*libra.Network, error) {
+	switch {
+	case topo != "" && preset != "":
+		return nil, fmt.Errorf("use -topology or -preset, not both")
+	case topo != "":
+		return libra.ParseTopology(topo)
+	case preset != "":
+		return libra.PresetTopology(preset)
+	default:
+		return libra.PresetTopology("4D-4K")
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parsePairs(s string) (map[int]float64, error) {
+	out := map[int]float64{}
+	for _, p := range splitList(s) {
+		eq := strings.IndexByte(p, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("malformed pair %q (want dim=GBps)", p)
+		}
+		d, err := strconv.Atoi(p[:eq])
+		if err != nil {
+			return nil, err
+		}
+		v, err := strconv.ParseFloat(p[eq+1:], 64)
+		if err != nil {
+			return nil, err
+		}
+		out[d] = v
+	}
+	return out, nil
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "libra:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,293 @@
+// Package collective provides the closed-form, bandwidth-parameterized
+// model of multi-rail collective communication that LIBRA optimizes over
+// (paper §IV-C).
+//
+// A collective of m bytes runs over an ordered list of phases, one per
+// participating network dimension (innermost first). With group sizes
+// g_1..g_k and per-NPU dimension bandwidths B_1..B_k, the multi-rail
+// algorithm makes each dimension carry:
+//
+//	Reduce-Scatter / All-Gather:  m·(g_i−1) / Π_{j≤i} g_j        bytes
+//	All-Reduce:                  2m·(g_i−1) / Π_{j≤i} g_j        bytes
+//	All-to-All:                   m·(g_i−1) / g_i                bytes
+//
+// and the collective completes when the slowest dimension finishes:
+// time = max_i traffic_i / B_i (Fig. 9's bottleneck behaviour).
+//
+// In-network (switch-offload) execution reduces dimension i's traffic to
+// m / Π_{j<i} g_j (the switch performs the reduction, so each NPU only
+// injects its shard once).
+package collective
+
+import (
+	"fmt"
+
+	"libra/internal/topology"
+)
+
+// Op is a collective communication pattern (Fig. 6).
+type Op int
+
+const (
+	// ReduceScatter leaves each NPU with one reduced shard.
+	ReduceScatter Op = iota
+	// AllGather replicates every NPU's shard to all NPUs.
+	AllGather
+	// AllReduce is ReduceScatter followed by AllGather.
+	AllReduce
+	// AllToAll transposes shards across NPUs (DLRM embeddings).
+	AllToAll
+	// PointToPoint is a direct NPU-to-NPU message (pipeline-parallel
+	// activation/gradient transfers, §IV-C): m bytes cross the mapping's
+	// innermost dimension, no reduction, no fan-out.
+	PointToPoint
+)
+
+// String names the op.
+func (o Op) String() string {
+	switch o {
+	case ReduceScatter:
+		return "Reduce-Scatter"
+	case AllGather:
+		return "All-Gather"
+	case AllReduce:
+		return "All-Reduce"
+	case AllToAll:
+		return "All-to-All"
+	case PointToPoint:
+		return "Point-to-Point"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Phase is one stage of a multi-rail collective: a (network dimension,
+// group size) pair. Group may be smaller than the dimension's full size
+// when a parallelization group only spans part of a dimension (e.g.
+// GPT-3's TP-16 on 4D-4K covers RI(4) and half of FC(8)).
+type Phase struct {
+	Dim   int // 0-based network dimension
+	Group int // participating NPUs along that dimension (≥ 1)
+}
+
+// Mapping is the ordered list of phases (innermost dimension first) a
+// collective executes over. A valid mapping has strictly increasing Dim
+// and every Group ≥ 1; phases with Group == 1 contribute no traffic.
+type Mapping struct {
+	Phases []Phase
+}
+
+// Validate checks mapping sanity against an N-dimensional network.
+func (m Mapping) Validate(ndims int) error {
+	last := -1
+	for _, p := range m.Phases {
+		if p.Dim <= last {
+			return fmt.Errorf("collective: mapping dims must be strictly increasing (dim %d after %d)", p.Dim, last)
+		}
+		if p.Dim >= ndims {
+			return fmt.Errorf("collective: mapping dim %d out of range for %dD network", p.Dim, ndims)
+		}
+		if p.Group < 1 {
+			return fmt.Errorf("collective: mapping group %d on dim %d must be ≥ 1", p.Group, p.Dim)
+		}
+		last = p.Dim
+	}
+	return nil
+}
+
+// Size returns the total number of NPUs participating in the collective:
+// the product of all phase group sizes.
+func (m Mapping) Size() int {
+	n := 1
+	for _, p := range m.Phases {
+		n *= p.Group
+	}
+	return n
+}
+
+// FullMapping maps a collective across every dimension of the network at
+// full size (e.g. an All-to-All "across all NPUs").
+func FullMapping(net *topology.Network) Mapping {
+	ph := make([]Phase, net.NumDims())
+	for i, d := range net.Dims() {
+		ph[i] = Phase{Dim: i, Group: d.Size}
+	}
+	return Mapping{Phases: ph}
+}
+
+// Traffic returns the bytes each dimension of an N-dimensional network
+// transfers per NPU for an m-byte collective with the given mapping.
+// Dimensions outside the mapping carry zero. Phases with Group == 1 carry
+// zero traffic but still advance the reduction product for later phases
+// (a singleton group is a no-op stage).
+func Traffic(op Op, m float64, mapping Mapping, ndims int) []float64 {
+	out := make([]float64, ndims)
+	if op == PointToPoint {
+		// The message crosses the innermost active dimension once.
+		for _, p := range mapping.Phases {
+			if p.Group > 1 {
+				out[p.Dim] = m
+				break
+			}
+		}
+		return out
+	}
+	cum := 1.0 // Π_{j≤i} g_j, running product including current phase
+	for _, p := range mapping.Phases {
+		g := float64(p.Group)
+		cum *= g
+		if p.Group == 1 {
+			continue
+		}
+		switch op {
+		case ReduceScatter, AllGather:
+			out[p.Dim] = m * (g - 1) / cum
+		case AllReduce:
+			out[p.Dim] = 2 * m * (g - 1) / cum
+		case AllToAll:
+			out[p.Dim] = m * (g - 1) / g
+		}
+	}
+	return out
+}
+
+// InNetworkTraffic returns per-dimension bytes when dimension i's switch
+// offloads the reduction (All-Reduce only): m / Π_{j<i} g_j. Dimensions
+// whose offload flag is false use the regular multi-rail volume.
+func InNetworkTraffic(op Op, m float64, mapping Mapping, ndims int, offload []bool) []float64 {
+	out := Traffic(op, m, mapping, ndims)
+	if op != AllReduce {
+		return out
+	}
+	cumBefore := 1.0
+	for _, p := range mapping.Phases {
+		if p.Dim < len(offload) && offload[p.Dim] && p.Group > 1 {
+			out[p.Dim] = m / cumBefore
+		}
+		cumBefore *= float64(p.Group)
+	}
+	return out
+}
+
+// Time returns the bandwidth-bound completion time in seconds of an m-byte
+// collective: max over dimensions of traffic_i / B_i. bw is GB/s per NPU
+// per dimension; m is bytes.
+func Time(op Op, m float64, mapping Mapping, bw topology.BWConfig) float64 {
+	return timeOf(Traffic(op, m, mapping, len(bw)), bw)
+}
+
+// TimeInNetwork is Time with per-dimension switch offload flags.
+func TimeInNetwork(op Op, m float64, mapping Mapping, bw topology.BWConfig, offload []bool) float64 {
+	return timeOf(InNetworkTraffic(op, m, mapping, len(bw), offload), bw)
+}
+
+// BottleneckDim returns the 0-based dimension that determines the
+// collective's completion time (the arg-max of traffic_i/B_i), or -1 for a
+// zero-byte collective.
+func BottleneckDim(op Op, m float64, mapping Mapping, bw topology.BWConfig) int {
+	tr := Traffic(op, m, mapping, len(bw))
+	best, bestT := -1, 0.0
+	for i, v := range tr {
+		if v == 0 {
+			continue
+		}
+		t := v / (bw[i] * 1e9)
+		if t > bestT {
+			best, bestT = i, t
+		}
+	}
+	return best
+}
+
+func timeOf(traffic []float64, bw topology.BWConfig) float64 {
+	worst := 0.0
+	for i, v := range traffic {
+		if v == 0 {
+			continue
+		}
+		t := v / (bw[i] * 1e9)
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}
+
+// Stages returns the ordered per-dimension stage sequence the multi-rail
+// algorithm executes for the op, as (phase index into mapping, stage op)
+// pairs. All-Reduce runs Reduce-Scatter ascending then All-Gather
+// descending (2N stages); Reduce-Scatter and All-Gather run their N stages
+// ascending and descending respectively; All-to-All runs ascending.
+// Singleton phases are skipped. The chunk-level simulator executes these.
+func Stages(op Op, mapping Mapping) []Stage {
+	var asc []Stage
+	for i, p := range mapping.Phases {
+		if p.Group <= 1 {
+			continue
+		}
+		asc = append(asc, Stage{PhaseIndex: i, Dim: p.Dim})
+	}
+	switch op {
+	case ReduceScatter, AllToAll:
+		return withOps(asc, op)
+	case AllGather:
+		return withOps(reverse(asc), AllGather)
+	case AllReduce:
+		out := withOps(asc, ReduceScatter)
+		return append(out, withOps(reverse(asc), AllGather)...)
+	case PointToPoint:
+		if len(asc) == 0 {
+			return nil
+		}
+		return withOps(asc[:1], PointToPoint)
+	default:
+		return nil
+	}
+}
+
+// Stage is one step of the multi-rail schedule.
+type Stage struct {
+	PhaseIndex int // index into Mapping.Phases
+	Dim        int // network dimension the stage runs on
+	Op         Op  // ReduceScatter, AllGather, or AllToAll
+}
+
+func withOps(ss []Stage, op Op) []Stage {
+	out := make([]Stage, len(ss))
+	for i, s := range ss {
+		s.Op = op
+		out[i] = s
+	}
+	return out
+}
+
+func reverse(ss []Stage) []Stage {
+	out := make([]Stage, len(ss))
+	for i, s := range ss {
+		out[len(ss)-1-i] = s
+	}
+	return out
+}
+
+// StageTraffic returns the bytes stage s of the multi-rail schedule for an
+// m-byte collective transfers on its dimension, assuming the full message
+// (divide by the chunk count for chunked execution). The reduction product
+// counts every phase before s's phase, matching Traffic.
+func StageTraffic(op Op, m float64, mapping Mapping, s Stage) float64 {
+	cum := 1.0
+	for i, p := range mapping.Phases {
+		if i == s.PhaseIndex {
+			g := float64(p.Group)
+			switch s.Op {
+			case ReduceScatter, AllGather:
+				return m * (g - 1) / (cum * g)
+			case AllToAll:
+				return m * (g - 1) / g
+			case PointToPoint:
+				return m
+			}
+		}
+		cum *= float64(p.Group)
+	}
+	return 0
+}

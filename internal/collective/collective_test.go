@@ -1,0 +1,286 @@
+package collective
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"libra/internal/topology"
+)
+
+func approx(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func twoDim(n1, n2 int) Mapping {
+	return Mapping{Phases: []Phase{{Dim: 0, Group: n1}, {Dim: 1, Group: n2}}}
+}
+
+// Paper §IV-C: on a 2D (n1×n2) network an m-byte All-Reduce moves
+// 2m(n1−1)/n1 on dim 1 and 2m(n2−1)/(n1·n2) on dim 2.
+func TestAllReduceTrafficMatchesPaperFormula(t *testing.T) {
+	m := 1024.0 * 1024
+	n1, n2 := 8, 4
+	tr := Traffic(AllReduce, m, twoDim(n1, n2), 2)
+	want1 := 2 * m * float64(n1-1) / float64(n1)
+	want2 := 2 * m * float64(n2-1) / float64(n1*n2)
+	if !approx(tr[0], want1, 1e-12) || !approx(tr[1], want2, 1e-12) {
+		t.Errorf("AllReduce traffic = %v, want [%v %v]", tr, want1, want2)
+	}
+}
+
+func TestReduceScatterAllGatherHalveAllReduce(t *testing.T) {
+	m := 3e6
+	mp := twoDim(6, 7)
+	ar := Traffic(AllReduce, m, mp, 2)
+	rs := Traffic(ReduceScatter, m, mp, 2)
+	ag := Traffic(AllGather, m, mp, 2)
+	for i := range ar {
+		if !approx(rs[i]*2, ar[i], 1e-12) || !approx(ag[i]*2, ar[i], 1e-12) {
+			t.Errorf("dim %d: RS %v AG %v AR %v", i, rs[i], ag[i], ar[i])
+		}
+	}
+}
+
+// All-to-All has no reduction, so dim 2 divides by n2, not n1·n2.
+func TestAllToAllTrafficNoReduction(t *testing.T) {
+	m := 1e6
+	n1, n2 := 8, 4
+	tr := Traffic(AllToAll, m, twoDim(n1, n2), 2)
+	want1 := m * float64(n1-1) / float64(n1)
+	want2 := m * float64(n2-1) / float64(n2)
+	if !approx(tr[0], want1, 1e-12) || !approx(tr[1], want2, 1e-12) {
+		t.Errorf("AllToAll traffic = %v, want [%v %v]", tr, want1, want2)
+	}
+}
+
+func TestTimeIsBottleneckMax(t *testing.T) {
+	m := 1e9 // 1 GB
+	mp := twoDim(4, 4)
+	bw := topology.BWConfig{100, 25} // dim2 underprovisioned relative to its 1/4 need? compute directly
+	tr := Traffic(AllReduce, m, mp, 2)
+	want := math.Max(tr[0]/(bw[0]*1e9), tr[1]/(bw[1]*1e9))
+	if got := Time(AllReduce, m, mp, bw); !approx(got, want, 1e-12) {
+		t.Errorf("Time = %v, want %v", got, want)
+	}
+}
+
+// Fig. 8 intuition: with dims (n1, n2) the BW requirement of dim 2 is 1/n1
+// of dim 1's (for large groups); balanced allocation equalizes per-dim time.
+func TestBalancedBWEqualizesDimTimes(t *testing.T) {
+	m := 1e9
+	mp := twoDim(4, 2)
+	tr := Traffic(AllReduce, m, mp, 2)
+	// Allocate BW proportional to traffic: both dims finish simultaneously.
+	bw := topology.BWConfig{tr[0] / 1e9, tr[1] / 1e9} // 1 second each
+	t1 := tr[0] / (bw[0] * 1e9)
+	t2 := tr[1] / (bw[1] * 1e9)
+	if !approx(t1, t2, 1e-12) || !approx(Time(AllReduce, m, mp, bw), 1.0, 1e-12) {
+		t.Errorf("t1=%v t2=%v total=%v", t1, t2, Time(AllReduce, m, mp, bw))
+	}
+}
+
+func TestBottleneckDim(t *testing.T) {
+	m := 1e9
+	mp := twoDim(4, 4)
+	if got := BottleneckDim(AllReduce, m, mp, topology.BWConfig{1000, 1}); got != 1 {
+		t.Errorf("bottleneck = %d, want 1", got)
+	}
+	if got := BottleneckDim(AllReduce, m, mp, topology.BWConfig{1, 1000}); got != 0 {
+		t.Errorf("bottleneck = %d, want 0", got)
+	}
+	if got := BottleneckDim(AllReduce, 0, mp, topology.BWConfig{1, 1}); got != -1 {
+		t.Errorf("zero-byte bottleneck = %d, want -1", got)
+	}
+}
+
+func TestSingletonPhaseCarriesNoTraffic(t *testing.T) {
+	mp := Mapping{Phases: []Phase{{Dim: 0, Group: 1}, {Dim: 1, Group: 4}}}
+	tr := Traffic(AllReduce, 1e6, mp, 2)
+	if tr[0] != 0 {
+		t.Errorf("singleton phase traffic = %v", tr[0])
+	}
+	// The singleton still counts in the cumulative product: dim 1 of size 4
+	// with a preceding singleton behaves like a 1×4 hierarchy.
+	want := 2 * 1e6 * 3 / 4.0
+	if !approx(tr[1], want, 1e-12) {
+		t.Errorf("dim2 traffic = %v, want %v", tr[1], want)
+	}
+}
+
+// Partial groups: GPT-3's TP-16 on 4D-4K occupies RI(4) fully and FC(8)
+// half. The second phase's group of 4 must divide by 4·4, not 4·8.
+func TestPartialGroupTraffic(t *testing.T) {
+	m := 1e6
+	mp := Mapping{Phases: []Phase{{Dim: 0, Group: 4}, {Dim: 1, Group: 4}}}
+	tr := Traffic(AllReduce, m, mp, 4)
+	if !approx(tr[1], 2*m*3/16.0, 1e-12) {
+		t.Errorf("partial-group dim2 traffic = %v, want %v", tr[1], 2*m*3/16.0)
+	}
+	if tr[2] != 0 || tr[3] != 0 {
+		t.Errorf("unmapped dims carry traffic: %v", tr)
+	}
+}
+
+func TestInNetworkTrafficReducesLoad(t *testing.T) {
+	m := 1e6
+	mp := twoDim(8, 4)
+	plain := Traffic(AllReduce, m, mp, 2)
+	off := InNetworkTraffic(AllReduce, m, mp, 2, []bool{false, true})
+	if off[0] != plain[0] {
+		t.Errorf("non-offloaded dim changed: %v vs %v", off[0], plain[0])
+	}
+	want := m / 8.0 // m / Π_{j<2} g_j
+	if !approx(off[1], want, 1e-12) {
+		t.Errorf("offloaded dim2 traffic = %v, want %v", off[1], want)
+	}
+	if off[1] >= plain[1] {
+		t.Errorf("offload did not reduce traffic: %v vs %v", off[1], plain[1])
+	}
+	// Offload is modeled for All-Reduce only.
+	rs := InNetworkTraffic(ReduceScatter, m, mp, 2, []bool{true, true})
+	plainRS := Traffic(ReduceScatter, m, mp, 2)
+	for i := range rs {
+		if rs[i] != plainRS[i] {
+			t.Errorf("RS offload should be identity: %v vs %v", rs, plainRS)
+		}
+	}
+}
+
+func TestMappingValidate(t *testing.T) {
+	if err := (Mapping{Phases: []Phase{{0, 4}, {1, 2}}}).Validate(2); err != nil {
+		t.Errorf("valid mapping rejected: %v", err)
+	}
+	bad := []Mapping{
+		{Phases: []Phase{{1, 4}, {0, 2}}}, // decreasing dims
+		{Phases: []Phase{{0, 4}, {0, 2}}}, // repeated dim
+		{Phases: []Phase{{0, 4}, {5, 2}}}, // out of range
+		{Phases: []Phase{{0, 0}}},         // group < 1
+	}
+	for i, m := range bad {
+		if err := m.Validate(2); err == nil {
+			t.Errorf("bad mapping %d accepted", i)
+		}
+	}
+}
+
+func TestMappingSize(t *testing.T) {
+	if got := (Mapping{Phases: []Phase{{0, 4}, {1, 8}, {2, 4}}}).Size(); got != 128 {
+		t.Errorf("Size = %d", got)
+	}
+	if got := (Mapping{}).Size(); got != 1 {
+		t.Errorf("empty Size = %d", got)
+	}
+}
+
+func TestFullMapping(t *testing.T) {
+	net := topology.MustParse("RI(4)_FC(8)_SW(32)")
+	m := FullMapping(net)
+	if m.Size() != net.NPUs() {
+		t.Errorf("FullMapping size = %d, want %d", m.Size(), net.NPUs())
+	}
+	if err := m.Validate(net.NumDims()); err != nil {
+		t.Errorf("FullMapping invalid: %v", err)
+	}
+}
+
+func TestStagesAllReduce(t *testing.T) {
+	mp := Mapping{Phases: []Phase{{0, 4}, {1, 8}, {2, 4}}}
+	ss := Stages(AllReduce, mp)
+	if len(ss) != 6 {
+		t.Fatalf("AllReduce stages = %d, want 2N = 6", len(ss))
+	}
+	wantDims := []int{0, 1, 2, 2, 1, 0}
+	wantOps := []Op{ReduceScatter, ReduceScatter, ReduceScatter, AllGather, AllGather, AllGather}
+	for i, s := range ss {
+		if s.Dim != wantDims[i] || s.Op != wantOps[i] {
+			t.Errorf("stage %d = {dim %d, %v}, want {dim %d, %v}", i, s.Dim, s.Op, wantDims[i], wantOps[i])
+		}
+	}
+}
+
+func TestStagesSkipSingletons(t *testing.T) {
+	mp := Mapping{Phases: []Phase{{0, 1}, {1, 8}}}
+	ss := Stages(AllReduce, mp)
+	if len(ss) != 2 {
+		t.Fatalf("stages = %d, want 2", len(ss))
+	}
+	if ss[0].Dim != 1 || ss[1].Dim != 1 {
+		t.Errorf("stages = %+v", ss)
+	}
+}
+
+func TestStagesOtherOps(t *testing.T) {
+	mp := Mapping{Phases: []Phase{{0, 4}, {1, 8}}}
+	rs := Stages(ReduceScatter, mp)
+	if len(rs) != 2 || rs[0].Dim != 0 || rs[1].Dim != 1 {
+		t.Errorf("RS stages = %+v", rs)
+	}
+	ag := Stages(AllGather, mp)
+	if len(ag) != 2 || ag[0].Dim != 1 || ag[1].Dim != 0 {
+		t.Errorf("AG stages (descending) = %+v", ag)
+	}
+	a2a := Stages(AllToAll, mp)
+	if len(a2a) != 2 || a2a[0].Op != AllToAll {
+		t.Errorf("A2A stages = %+v", a2a)
+	}
+}
+
+// Summing StageTraffic over the schedule must reproduce Traffic.
+func TestStageTrafficSumsToTraffic(t *testing.T) {
+	for _, op := range []Op{ReduceScatter, AllGather, AllReduce, AllToAll} {
+		m := 7e6
+		mp := Mapping{Phases: []Phase{{0, 4}, {1, 8}, {2, 4}}}
+		want := Traffic(op, m, mp, 3)
+		got := make([]float64, 3)
+		for _, s := range Stages(op, mp) {
+			got[s.Dim] += StageTraffic(op, m, mp, s)
+		}
+		for i := range want {
+			if !approx(got[i], want[i], 1e-12) {
+				t.Errorf("%v dim %d: stage sum %v, Traffic %v", op, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// Property: traffic decreases monotonically across dimensions for RS/AG/AR
+// (the load-reducing property motivating cheap-outer-dim designs, §III-B).
+func TestQuickTrafficMonotoneDecreasing(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		g1, g2, g3 := int(a%7)+2, int(b%7)+2, int(c%7)+2
+		mp := Mapping{Phases: []Phase{{0, g1}, {1, g2}, {2, g3}}}
+		for _, op := range []Op{ReduceScatter, AllGather, AllReduce} {
+			tr := Traffic(op, 1e6, mp, 3)
+			if !(tr[0] > tr[1] && tr[1] > tr[2]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Time scales inversely with uniform BW scaling and linearly
+// with message size.
+func TestQuickTimeScaling(t *testing.T) {
+	f := func(a uint8, k uint8) bool {
+		g := int(a%6) + 2
+		scale := float64(k%9) + 2
+		mp := twoDim(g, g)
+		bw := topology.BWConfig{40, 10}
+		t1 := Time(AllReduce, 1e8, mp, bw)
+		bws := topology.BWConfig{bw[0] * scale, bw[1] * scale}
+		t2 := Time(AllReduce, 1e8, mp, bws)
+		t3 := Time(AllReduce, 1e8*scale, mp, bw)
+		return approx(t1/scale, t2, 1e-9) && approx(t1*scale, t3, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

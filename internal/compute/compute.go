@@ -1,0 +1,59 @@
+// Package compute models NPU compute time for the training-time estimator.
+//
+// The paper's evaluation uses a single measured constant: the NVIDIA A100's
+// average efficacy of 75% of its 312 TFLOPS peak, i.e. 234 TFLOPS effective
+// (§V-B). Optimizer (DP-Compute) steps are small element-wise updates and
+// are typically memory-bandwidth bound, so the model also carries an
+// effective memory bandwidth for byte-bound work.
+package compute
+
+import "fmt"
+
+// Model converts FLOP and byte counts into seconds of NPU time.
+type Model struct {
+	// Name identifies the NPU (informational).
+	Name string
+	// EffectiveTFLOPS is the sustained matmul throughput in TFLOPS.
+	EffectiveTFLOPS float64
+	// MemoryBWGBps is the sustained HBM bandwidth in GB/s used for
+	// byte-bound work such as optimizer steps.
+	MemoryBWGBps float64
+}
+
+// A100 returns the paper's compute model: 75% efficacy of a 312-TFLOPS
+// A100 = 234 TFLOPS effective, with 1,555 GB/s HBM2 bandwidth.
+func A100() Model {
+	return Model{Name: "A100-75pct", EffectiveTFLOPS: 234, MemoryBWGBps: 1555}
+}
+
+// Validate rejects non-positive rates.
+func (m Model) Validate() error {
+	if !(m.EffectiveTFLOPS > 0) {
+		return fmt.Errorf("compute: effective TFLOPS must be positive, got %v", m.EffectiveTFLOPS)
+	}
+	if !(m.MemoryBWGBps > 0) {
+		return fmt.Errorf("compute: memory bandwidth must be positive, got %v", m.MemoryBWGBps)
+	}
+	return nil
+}
+
+// FLOPTime returns seconds to execute the given floating-point operations.
+func (m Model) FLOPTime(flops float64) float64 {
+	return flops / (m.EffectiveTFLOPS * 1e12)
+}
+
+// ByteTime returns seconds to stream the given bytes through memory.
+func (m Model) ByteTime(bytes float64) float64 {
+	return bytes / (m.MemoryBWGBps * 1e9)
+}
+
+// Time returns the execution time of a kernel that performs flops
+// floating-point operations over bytes of memory traffic: the roofline
+// maximum of the compute-bound and memory-bound times.
+func (m Model) Time(flops, bytes float64) float64 {
+	ft, bt := m.FLOPTime(flops), m.ByteTime(bytes)
+	if ft > bt {
+		return ft
+	}
+	return bt
+}

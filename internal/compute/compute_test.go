@@ -1,0 +1,59 @@
+package compute
+
+import (
+	"math"
+	"testing"
+)
+
+func TestA100Constants(t *testing.T) {
+	m := A100()
+	if m.EffectiveTFLOPS != 234 {
+		t.Errorf("A100 effective TFLOPS = %v, want 234 (75%% of 312)", m.EffectiveTFLOPS)
+	}
+	if err := m.Validate(); err != nil {
+		t.Errorf("A100 invalid: %v", err)
+	}
+}
+
+func TestFLOPTime(t *testing.T) {
+	m := Model{EffectiveTFLOPS: 100, MemoryBWGBps: 1000}
+	if got := m.FLOPTime(1e14); got != 1.0 {
+		t.Errorf("FLOPTime(1e14) = %v, want 1s at 100 TFLOPS", got)
+	}
+	if got := m.FLOPTime(0); got != 0 {
+		t.Errorf("FLOPTime(0) = %v", got)
+	}
+}
+
+func TestByteTime(t *testing.T) {
+	m := Model{EffectiveTFLOPS: 100, MemoryBWGBps: 1000}
+	if got := m.ByteTime(1e12); got != 1.0 {
+		t.Errorf("ByteTime(1e12) = %v, want 1s at 1000 GB/s", got)
+	}
+}
+
+func TestRooflineTime(t *testing.T) {
+	m := Model{EffectiveTFLOPS: 100, MemoryBWGBps: 1000}
+	// Compute bound: 1e14 FLOPs (1s) over 1e9 bytes (1ms).
+	if got := m.Time(1e14, 1e9); got != 1.0 {
+		t.Errorf("compute-bound Time = %v", got)
+	}
+	// Memory bound: 1e9 FLOPs over 1e12 bytes (1s).
+	if got := m.Time(1e9, 1e12); got != 1.0 {
+		t.Errorf("memory-bound Time = %v", got)
+	}
+}
+
+func TestValidateRejectsBadRates(t *testing.T) {
+	bad := []Model{
+		{EffectiveTFLOPS: 0, MemoryBWGBps: 1},
+		{EffectiveTFLOPS: 1, MemoryBWGBps: 0},
+		{EffectiveTFLOPS: -5, MemoryBWGBps: 1},
+		{EffectiveTFLOPS: math.NaN(), MemoryBWGBps: 1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("model %d unexpectedly valid", i)
+		}
+	}
+}

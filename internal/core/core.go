@@ -1,0 +1,347 @@
+// Package core implements the LIBRA framework (paper §IV): workload-aware,
+// design-time optimization of per-dimension network bandwidth for
+// multi-dimensional training fabrics.
+//
+// A Problem bundles the target network, one or more weighted target
+// workloads, the compute and cost models, the training loop, and the
+// design constraints. Optimize searches the bandwidth space for the
+// configuration that maximizes the chosen objective:
+//
+//   - PerfOpt minimizes (weighted) end-to-end training time;
+//   - PerfPerCostOpt minimizes time × dollar cost (the reciprocal of
+//     performance-per-cost).
+//
+// The EqualBW baseline — the paper's workload-agnostic straw person —
+// splits the bandwidth budget evenly across dimensions.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"libra/internal/compute"
+	"libra/internal/cost"
+	"libra/internal/opt"
+	"libra/internal/timemodel"
+	"libra/internal/topology"
+	"libra/internal/workload"
+)
+
+// Objective selects the optimization scheme (paper §IV-F).
+type Objective int
+
+const (
+	// PerfOpt maximizes training performance (PerfOptBW).
+	PerfOpt Objective = iota
+	// PerfPerCostOpt maximizes performance-per-cost (PerfPerCostOptBW).
+	PerfPerCostOpt
+)
+
+// String names the objective as the paper does.
+func (o Objective) String() string {
+	switch o {
+	case PerfOpt:
+		return "PerfOptBW"
+	case PerfPerCostOpt:
+		return "PerfPerCostOptBW"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Target is one workload in a (possibly multi-workload) optimization, with
+// its relative importance weight.
+type Target struct {
+	Workload *workload.Workload
+	Weight   float64 // defaults to 1 when zero
+}
+
+// Problem is a LIBRA optimization instance.
+type Problem struct {
+	Net     *topology.Network
+	Targets []Target
+
+	Compute compute.Model
+	Loop    timemodel.Loop
+	Cost    cost.Table
+
+	Objective Objective
+
+	// BWBudget is the per-NPU total bandwidth in GB/s; both objectives
+	// pin ΣB = budget (the paper's iso-resource design points). With a
+	// purely bandwidth-bound time model and linear cost, relaxing the
+	// equality would let PerfPerCostOpt collapse to arbitrarily small
+	// networks, since time×cost is monotone in the overall scale;
+	// PerfPerCostOpt instead reallocates the fixed budget toward cheaper
+	// tiers. Use SkipBudget + Extra for dollar-budget (iso-cost) designs.
+	BWBudget float64
+
+	// MinDimBW lower-bounds every dimension (default 0.1 GB/s) so the
+	// analytical 1/B terms stay finite.
+	MinDimBW float64
+
+	// Extra holds additional user constraints (dimension caps, ordering,
+	// pair sums, dollar budgets...). May be nil.
+	Extra func(c *opt.Constraints)
+
+	// SkipBudget drops the ΣB budget row entirely, leaving only MinDimBW
+	// and Extra. Used for iso-cost designs where the binding constraint
+	// is a dollar budget instead of a bandwidth budget.
+	SkipBudget bool
+
+	// OptPolicy is the mapping policy the *optimizer* models with.
+	// Evaluation always uses the Actual policy. The paper's optimizer
+	// behaves like IdealFullDims (see the GPT-3 + 4D-4K anomaly, §VI-A).
+	OptPolicy timemodel.MappingPolicy
+
+	// InNetwork marks switch-offloaded dimensions (may be nil).
+	InNetwork []bool
+
+	// Solver tunes the optimizer (zero = defaults).
+	Solver opt.Options
+}
+
+// NewProblem builds a Problem with the paper's defaults: A100 compute,
+// Table I costs, the no-overlap training loop, PerfOpt objective, and the
+// Actual mapping policy.
+func NewProblem(net *topology.Network, budget float64, targets ...*workload.Workload) *Problem {
+	p := &Problem{
+		Net:      net,
+		Compute:  compute.A100(),
+		Loop:     timemodel.NoOverlap,
+		Cost:     cost.Default(),
+		BWBudget: budget,
+		MinDimBW: 0.1,
+	}
+	for _, w := range targets {
+		p.Targets = append(p.Targets, Target{Workload: w, Weight: 1})
+	}
+	return p
+}
+
+// Result is an evaluated bandwidth design point.
+type Result struct {
+	BW topology.BWConfig
+	// Times holds per-target iteration times (seconds), evaluated under
+	// the Actual mapping policy.
+	Times []float64
+	// WeightedTime is the weight-averaged iteration time.
+	WeightedTime float64
+	// Cost is the network dollar cost.
+	Cost float64
+	// Utilization is the average network BW utilization of the first
+	// target (Fig. 10's metric).
+	Utilization float64
+}
+
+// PerfPerCost returns the performance-per-cost figure 1/(T·C).
+func (r Result) PerfPerCost() float64 {
+	if r.WeightedTime <= 0 || r.Cost <= 0 {
+		return 0
+	}
+	return 1 / (r.WeightedTime * r.Cost)
+}
+
+func (p *Problem) validate() error {
+	if p.Net == nil {
+		return fmt.Errorf("core: problem has no network")
+	}
+	if len(p.Targets) == 0 {
+		return fmt.Errorf("core: problem has no target workloads")
+	}
+	if err := p.Compute.Validate(); err != nil {
+		return err
+	}
+	if err := p.Cost.Validate(); err != nil {
+		return err
+	}
+	if !p.SkipBudget && !(p.BWBudget > 0) {
+		return fmt.Errorf("core: bandwidth budget must be positive, got %v", p.BWBudget)
+	}
+	minBW := p.minDimBW()
+	if !p.SkipBudget && minBW*float64(p.Net.NumDims()) > p.BWBudget {
+		return fmt.Errorf("core: budget %v GB/s cannot cover %d dims at the %v GB/s floor",
+			p.BWBudget, p.Net.NumDims(), minBW)
+	}
+	for _, t := range p.Targets {
+		if t.Workload == nil {
+			return fmt.Errorf("core: nil target workload")
+		}
+		if err := t.Workload.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (p *Problem) minDimBW() float64 {
+	if p.MinDimBW > 0 {
+		return p.MinDimBW
+	}
+	return 0.1
+}
+
+func (p *Problem) weight(i int) float64 {
+	if w := p.Targets[i].Weight; w > 0 {
+		return w
+	}
+	return 1
+}
+
+func (p *Problem) estimator(policy timemodel.MappingPolicy) *timemodel.Estimator {
+	return &timemodel.Estimator{
+		Net:       p.Net,
+		Compute:   p.Compute,
+		Loop:      p.Loop,
+		Policy:    policy,
+		InNetwork: p.InNetwork,
+	}
+}
+
+// timeFuncs builds the per-target iteration-time closures under a policy.
+func (p *Problem) timeFuncs(policy timemodel.MappingPolicy) ([]func(topology.BWConfig) float64, error) {
+	est := p.estimator(policy)
+	fns := make([]func(topology.BWConfig) float64, len(p.Targets))
+	for i, t := range p.Targets {
+		f, err := est.TimeFunc(t.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("core: target %s: %w", t.Workload.Name, err)
+		}
+		fns[i] = f
+	}
+	return fns, nil
+}
+
+// Evaluate prices an explicit bandwidth configuration (Actual policy).
+func (p *Problem) Evaluate(bw topology.BWConfig) (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	if err := bw.Validate(p.Net); err != nil {
+		return Result{}, err
+	}
+	est := p.estimator(timemodel.Actual)
+	res := Result{BW: bw.Clone(), Times: make([]float64, len(p.Targets))}
+	var wsum float64
+	for i, t := range p.Targets {
+		b, err := est.Iteration(t.Workload, bw)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: target %s: %w", t.Workload.Name, err)
+		}
+		res.Times[i] = b.Total
+		res.WeightedTime += p.weight(i) * b.Total
+		wsum += p.weight(i)
+		if i == 0 {
+			res.Utilization = b.AvgUtilization()
+		}
+	}
+	res.WeightedTime /= wsum
+	c, err := cost.Network(p.Cost, p.Net, bw)
+	if err != nil {
+		return Result{}, err
+	}
+	res.Cost = c
+	return res, nil
+}
+
+// EqualBW evaluates the workload-agnostic baseline: BWBudget split evenly.
+func (p *Problem) EqualBW() (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	return p.Evaluate(topology.EqualBW(p.BWBudget, p.Net.NumDims()))
+}
+
+// constraints assembles the solver constraint set.
+func (p *Problem) constraints() *opt.Constraints {
+	n := p.Net.NumDims()
+	c := opt.NewConstraints(n).SetAllLower(p.minDimBW())
+	if !p.SkipBudget {
+		c.SumEquals(p.BWBudget)
+	}
+	if p.Extra != nil {
+		p.Extra(c)
+	}
+	return c
+}
+
+// Optimize searches for the bandwidth configuration maximizing the
+// problem's objective and returns it evaluated under the Actual policy.
+func (p *Problem) Optimize() (Result, error) {
+	if err := p.validate(); err != nil {
+		return Result{}, err
+	}
+	fns, err := p.timeFuncs(p.OptPolicy)
+	if err != nil {
+		return Result{}, err
+	}
+	costRates, err := cost.Rates(p.Cost, p.Net)
+	if err != nil {
+		return Result{}, err
+	}
+	n := p.Net.NumDims()
+	var wsum float64
+	for i := range p.Targets {
+		wsum += p.weight(i)
+	}
+	weightedTime := func(x []float64) float64 {
+		bw := topology.BWConfig(x)
+		total := 0.0
+		for i, f := range fns {
+			t := f(bw)
+			if math.IsInf(t, 1) || t >= 1e300 {
+				return math.Inf(1)
+			}
+			total += p.weight(i) * t
+		}
+		return total / wsum
+	}
+	objective := weightedTime
+	convex := true
+	if p.Objective == PerfPerCostOpt {
+		convex = false
+		objective = func(x []float64) float64 {
+			t := weightedTime(x)
+			if math.IsInf(t, 1) {
+				return t
+			}
+			dollars := 0.0
+			for d, r := range costRates {
+				dollars += r * x[d]
+			}
+			return t * dollars
+		}
+	}
+
+	solverOpts := p.Solver
+	solverOpts.Convex = convex
+	prob := opt.Problem{N: n, Objective: objective, Cons: p.constraints()}
+	sol, err := opt.Minimize(prob, solverOpts)
+	if err != nil {
+		return Result{}, fmt.Errorf("core: %s solve failed: %w", p.Objective, err)
+	}
+	return p.Evaluate(topology.BWConfig(sol.X))
+}
+
+// EqualBWForCost returns the EqualBW bandwidth per dimension that exactly
+// spends a dollar budget on the network (every dimension equal): the
+// iso-cost baseline of the Themis case study (§VI-D).
+func EqualBWForCost(table cost.Table, net *topology.Network, dollars float64) (topology.BWConfig, error) {
+	rates, err := cost.Rates(table, net)
+	if err != nil {
+		return nil, err
+	}
+	sum := 0.0
+	for _, r := range rates {
+		sum += r
+	}
+	if sum <= 0 {
+		return nil, fmt.Errorf("core: zero-cost network; cannot derive iso-cost EqualBW")
+	}
+	per := dollars / sum
+	bw := make(topology.BWConfig, net.NumDims())
+	for i := range bw {
+		bw[i] = per
+	}
+	return bw, nil
+}

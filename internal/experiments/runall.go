@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+)
+
+// Named is one runnable experiment.
+type Named struct {
+	ID  string
+	Run func() (*Table, error)
+}
+
+// All lists every experiment in paper order. quick trims bandwidth sweeps
+// for fast runs (tests, CI).
+func All(quick bool) []Named {
+	return []Named{
+		{"fig01", Fig01CommSizes},
+		{"fig09", Fig09Pipeline},
+		{"fig10", Fig10Utilization},
+		{"fig11", Fig11Notation},
+		{"table1", Table1CostModel},
+		{"fig12", Fig12CostExample},
+		{"fig13_fig14", func() (*Table, error) { return Fig13Fig14SpeedupSweep(quick) }},
+		{"fig15", func() (*Table, error) { return Fig15NonTransformer(quick) }},
+		{"fig16", func() (*Table, error) { return Fig16TopologyExploration(quick) }},
+		{"fig17a", Fig17aGroupLLM},
+		{"fig17b", Fig17bGroupMixture},
+		{"fig18", Fig18CostSensitivity},
+		{"fig19", Fig19Themis},
+		{"fig20", Fig20Tacos},
+		{"fig21", Fig21ParallelizationCoopt},
+	}
+}
+
+// RunAll executes every experiment, writes <id>.csv and <id>.txt under
+// dir, and streams the text rendering to w (nil to silence).
+func RunAll(dir string, quick bool, w io.Writer) error {
+	for _, e := range All(quick) {
+		tbl, err := e.Run()
+		if err != nil {
+			return fmt.Errorf("experiment %s: %w", e.ID, err)
+		}
+		if dir != "" {
+			if err := tbl.Save(dir); err != nil {
+				return fmt.Errorf("saving %s: %w", e.ID, err)
+			}
+		}
+		if w != nil {
+			fmt.Fprintln(w, tbl.String())
+		}
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+// Package opt is LIBRA's constrained-optimization substrate, standing in
+// for the commercial QP solver the paper uses (Gurobi [59]).
+//
+// The package solves the two LIBRA objectives over the per-dimension
+// bandwidth vector subject to linear constraints:
+//
+//   - PerfOptBW minimizes training time, which the analytical model makes
+//     convex in B (sums of max_d(v_d/B_d) terms over B_d > 0). Projected
+//     gradient descent with exact polyhedron projection converges to the
+//     global optimum.
+//   - PerfPerCostOptBW minimizes time × cost, smooth but nonconvex;
+//     deterministic multistart (projected gradient + penalized
+//     Nelder-Mead) recovers the global optimum at LIBRA's dimensionality
+//     (N ≤ 8).
+//
+// Projections onto the constraint polyhedron use a primal active-set
+// convex QP solver with a Dykstra alternating-projection fallback.
+package opt
+
+import (
+	"fmt"
+	"math"
+)
+
+// dot returns aᵀb.
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// norm2 returns ‖a‖₂.
+func norm2(a []float64) float64 {
+	return math.Sqrt(dot(a, a))
+}
+
+// axpy computes y += alpha·x in place.
+func axpy(alpha float64, x, y []float64) {
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// scale returns alpha·x as a new slice.
+func scale(alpha float64, x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i := range x {
+		out[i] = alpha * x[i]
+	}
+	return out
+}
+
+// sub returns a−b as a new slice.
+func sub(a, b []float64) []float64 {
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// clone copies a vector.
+func clone(a []float64) []float64 {
+	out := make([]float64, len(a))
+	copy(out, a)
+	return out
+}
+
+// solveDense solves the n×n linear system Ax = b by Gaussian elimination
+// with partial pivoting. A and b are not modified. Returns an error for
+// (numerically) singular systems.
+func solveDense(A [][]float64, b []float64) ([]float64, error) {
+	n := len(A)
+	if n == 0 || len(b) != n {
+		return nil, fmt.Errorf("opt: bad system dimensions (%d×?, rhs %d)", n, len(b))
+	}
+	// Augmented working copy.
+	m := make([][]float64, n)
+	for i := range m {
+		if len(A[i]) != n {
+			return nil, fmt.Errorf("opt: row %d has %d columns, want %d", i, len(A[i]), n)
+		}
+		m[i] = make([]float64, n+1)
+		copy(m[i], A[i])
+		m[i][n] = b[i]
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return nil, fmt.Errorf("opt: singular system (pivot %g at column %d)", m[piv][col], col)
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for c := i + 1; c < n; c++ {
+			s -= m[i][c] * x[c]
+		}
+		x[i] = s / m[i][i]
+	}
+	return x, nil
+}

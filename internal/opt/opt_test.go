@@ -1,0 +1,337 @@
+package opt
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestSolveDense(t *testing.T) {
+	A := [][]float64{{2, 1}, {1, 3}}
+	b := []float64{5, 10}
+	x, err := solveDense(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 1, 1e-9) || !approx(x[1], 3, 1e-9) {
+		t.Errorf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestSolveDensePivoting(t *testing.T) {
+	// Zero on the diagonal forces pivoting.
+	A := [][]float64{{0, 1}, {1, 0}}
+	b := []float64{2, 3}
+	x, err := solveDense(A, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(x[0], 3, 1e-9) || !approx(x[1], 2, 1e-9) {
+		t.Errorf("x = %v", x)
+	}
+}
+
+func TestSolveDenseSingular(t *testing.T) {
+	A := [][]float64{{1, 2}, {2, 4}}
+	if _, err := solveDense(A, []float64{1, 2}); err == nil {
+		t.Error("singular system should error")
+	}
+}
+
+func TestConstraintsViolationAndFeasible(t *testing.T) {
+	c := NewConstraints(2).SumEquals(10).SetAllLower(0)
+	if !c.Feasible([]float64{4, 6}, 1e-9) {
+		t.Error("[4 6] should be feasible")
+	}
+	if c.Feasible([]float64{4, 5}, 1e-9) {
+		t.Error("[4 5] violates the budget")
+	}
+	if c.Feasible([]float64{-1, 11}, 1e-9) {
+		t.Error("[-1 11] violates the bound")
+	}
+	if v := c.Violation([]float64{-1, 11}); !approx(v, 1, 1e-9) {
+		t.Errorf("violation = %v, want 1 (bound breach)", v)
+	}
+}
+
+func TestConstraintBuilders(t *testing.T) {
+	c := NewConstraints(3).
+		SumAtMost(100).
+		VarAtMost(2, 20).
+		VarAtLeast(0, 5).
+		Ordered(0, 1).
+		PairSumEquals(0, 1, 60).
+		WeightedSumAtMost([]float64{1, 2, 3}, 500)
+	ok := []float64{40, 20, 20}
+	if !c.Feasible(ok, 1e-9) {
+		t.Errorf("%v should be feasible (violation %v)", ok, c.Violation(ok))
+	}
+	bad := [][]float64{
+		{10, 50, 20}, // violates Ordered(0,1)
+		{40, 20, 45}, // violates SumAtMost and VarAtMost
+		{2, 58, 20},  // violates VarAtLeast(0,5)
+		{30, 20, 10}, // violates PairSumEquals
+	}
+	for _, x := range bad {
+		if c.Feasible(x, 1e-9) {
+			t.Errorf("%v should be infeasible", x)
+		}
+	}
+}
+
+func TestProjectOntoSimplex(t *testing.T) {
+	// Project (10, 0) onto {x ≥ 0, x1+x2 = 10}: closest point is (10, 0).
+	c := NewConstraints(2).SumEquals(10).SetAllLower(0)
+	x := Project(c, []float64{10, 0})
+	if !approx(x[0], 10, 1e-6) || math.Abs(x[1]) > 1e-6 {
+		t.Errorf("projection = %v, want [10 0]", x)
+	}
+	// Project (8, 8): symmetric excess → (4+2, 4+2) = (6, 6)? No:
+	// projection onto the hyperplane x1+x2=10 from (8,8) is (5,5).
+	x = Project(c, []float64{8, 8})
+	if !approx(x[0], 5, 1e-6) || !approx(x[1], 5, 1e-6) {
+		t.Errorf("projection = %v, want [5 5]", x)
+	}
+	// Strongly negative coordinate activates the bound.
+	x = Project(c, []float64{14, -4})
+	if !approx(x[0], 10, 1e-6) || math.Abs(x[1]) > 1e-6 {
+		t.Errorf("projection = %v, want [10 0]", x)
+	}
+}
+
+func TestProjectRespectsUpperBounds(t *testing.T) {
+	c := NewConstraints(2).SumEquals(10).SetAllLower(0)
+	c.VarAtMost(0, 6)
+	x := Project(c, []float64{100, 0})
+	if !approx(x[0], 6, 1e-6) || !approx(x[1], 4, 1e-6) {
+		t.Errorf("projection = %v, want [6 4]", x)
+	}
+}
+
+func TestProjectFeasiblePointIsIdentity(t *testing.T) {
+	c := NewConstraints(3).SumAtMost(100).SetAllLower(0)
+	in := []float64{10, 20, 30}
+	x := Project(c, in)
+	for i := range in {
+		if !approx(x[i], in[i], 1e-9) {
+			t.Errorf("projection moved a feasible point: %v", x)
+		}
+	}
+}
+
+// Dykstra and the active-set QP must agree on the projection.
+func TestQuickProjectionMethodsAgree(t *testing.T) {
+	c := NewConstraints(3).SumEquals(90).SetAllLower(0.5)
+	c.VarAtMost(2, 40).Ordered(0, 1)
+	f := func(a, b, d uint8) bool {
+		x0 := []float64{float64(a), float64(b), float64(d)}
+		as, ok := projectActiveSet(c, x0)
+		if !ok {
+			return true // fallback path; nothing to compare
+		}
+		dy := projectDykstra(c, x0, 6000, 1e-13)
+		if !c.Feasible(as, 1e-6) || !c.Feasible(dy, 1e-6) {
+			return false
+		}
+		return normDiff(as, dy) < 1e-3*(1+norm2(dy))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: projections are idempotent and feasible.
+func TestQuickProjectIdempotent(t *testing.T) {
+	c := NewConstraints(3).SumEquals(60).SetAllLower(0)
+	f := func(a, b, d int8) bool {
+		x0 := []float64{float64(a), float64(b), float64(d)}
+		p1 := Project(c, x0)
+		if !c.Feasible(p1, 1e-6) {
+			return false
+		}
+		p2 := Project(c, p1)
+		return normDiff(p1, p2) < 1e-6*(1+norm2(p1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimizeQuadratic(t *testing.T) {
+	// min (x0−3)² + (x1−4)² s.t. x0+x1 = 5, x ≥ 0 → optimum (2, 3).
+	p := Problem{
+		N: 2,
+		Objective: func(x []float64) float64 {
+			return (x[0]-3)*(x[0]-3) + (x[1]-4)*(x[1]-4)
+		},
+		Cons: NewConstraints(2).SumEquals(5).SetAllLower(0),
+	}
+	res, err := Minimize(p, Options{Convex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.X[0], 2, 1e-3) || !approx(res.X[1], 3, 1e-3) {
+		t.Errorf("optimum = %v, want [2 3]", res.X)
+	}
+}
+
+// The LIBRA PerfOpt archetype: min max(v1/x1, v2/x2) s.t. x1+x2 = B.
+// Optimum equalizes the two terms: x_i ∝ v_i.
+func TestMinimizeBottleneckObjective(t *testing.T) {
+	v1, v2, B := 30.0, 10.0, 100.0
+	p := Problem{
+		N: 2,
+		Objective: func(x []float64) float64 {
+			if x[0] <= 0 || x[1] <= 0 {
+				return math.Inf(1)
+			}
+			return math.Max(v1/x[0], v2/x[1])
+		},
+		Cons: NewConstraints(2).SumEquals(B).SetAllLower(0.01),
+	}
+	res, err := Minimize(p, Options{Convex: true, MaxIters: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantX := []float64{B * v1 / (v1 + v2), B * v2 / (v1 + v2)}
+	wantF := (v1 + v2) / B
+	if !approx(res.F, wantF, 1e-3) {
+		t.Errorf("objective = %v, want %v (x = %v, want %v)", res.F, wantF, res.X, wantX)
+	}
+}
+
+// Sum of bottleneck terms across several "collectives" (the real PerfOpt
+// shape) against a fine brute-force grid.
+func TestMinimizeSumOfMaxesMatchesBruteForce(t *testing.T) {
+	v := [][]float64{{40, 4}, {10, 20}, {5, 1}}
+	B := 60.0
+	obj := func(x []float64) float64 {
+		if x[0] <= 0 || x[1] <= 0 {
+			return math.Inf(1)
+		}
+		s := 0.0
+		for _, vk := range v {
+			s += math.Max(vk[0]/x[0], vk[1]/x[1])
+		}
+		return s
+	}
+	p := Problem{N: 2, Objective: obj, Cons: NewConstraints(2).SumEquals(B).SetAllLower(0.01)}
+	res, err := Minimize(p, Options{Convex: true, MaxIters: 3000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestF := math.Inf(1)
+	for i := 1; i < 6000; i++ {
+		x := []float64{B * float64(i) / 6000, B * (1 - float64(i)/6000)}
+		if f := obj(x); f < bestF {
+			bestF = f
+		}
+	}
+	if res.F > bestF*(1+2e-3) {
+		t.Errorf("solver %v worse than grid %v", res.F, bestF)
+	}
+}
+
+// Nonconvex perf-per-cost archetype: (Σ v/x) × (c·x). Multistart must find
+// the global optimum found by brute force.
+func TestMinimizePerfPerCostMatchesBruteForce(t *testing.T) {
+	v := []float64{40, 5}
+	c := []float64{1, 10}
+	obj := func(x []float64) float64 {
+		if x[0] <= 0.01 || x[1] <= 0.01 {
+			return math.Inf(1)
+		}
+		time := math.Max(v[0]/x[0], v[1]/x[1])
+		cost := c[0]*x[0] + c[1]*x[1]
+		return time * cost
+	}
+	cons := NewConstraints(2).SumAtMost(100).SetAllLower(0.05)
+	p := Problem{N: 2, Objective: obj, Cons: cons}
+	res, err := Minimize(p, Options{MaxIters: 2000, Starts: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bestF := math.Inf(1)
+	for i := 1; i < 1200; i++ {
+		for j := 1; j < 1200; j++ {
+			x := []float64{float64(i) * 100 / 1200, float64(j) * 100 / 1200}
+			if x[0]+x[1] > 100 {
+				continue
+			}
+			if f := obj(x); f < bestF {
+				bestF = f
+			}
+		}
+	}
+	if res.F > bestF*(1+5e-3) {
+		t.Errorf("solver %v worse than grid %v (x = %v)", res.F, bestF, res.X)
+	}
+}
+
+func TestMinimizeWithOrderingConstraint(t *testing.T) {
+	// min (x0−1)² + (x1−9)² s.t. x0 ≥ x1, x0+x1 = 10 → optimum (5, 5).
+	p := Problem{
+		N: 2,
+		Objective: func(x []float64) float64 {
+			return (x[0]-1)*(x[0]-1) + (x[1]-9)*(x[1]-9)
+		},
+		Cons: NewConstraints(2).SumEquals(10).SetAllLower(0).Ordered(0, 1),
+	}
+	res, err := Minimize(p, Options{Convex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(res.X[0], 5, 1e-2) || !approx(res.X[1], 5, 1e-2) {
+		t.Errorf("optimum = %v, want [5 5]", res.X)
+	}
+}
+
+func TestMinimizeInputValidation(t *testing.T) {
+	if _, err := Minimize(Problem{}, Options{}); err == nil {
+		t.Error("empty problem should error")
+	}
+	p := Problem{N: 2, Objective: func(x []float64) float64 { return 0 }, Cons: NewConstraints(3)}
+	if _, err := Minimize(p, Options{}); err == nil {
+		t.Error("dimension mismatch should error")
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	p := Problem{
+		N: 3,
+		Objective: func(x []float64) float64 {
+			return math.Max(9/x[0], math.Max(3/x[1], 1/x[2])) * (x[0] + 2*x[1] + 4*x[2])
+		},
+		Cons: NewConstraints(3).SumAtMost(30).SetAllLower(0.1),
+	}
+	r1, err := Minimize(p, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Minimize(p, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.F != r2.F || normDiff(r1.X, r2.X) != 0 {
+		t.Errorf("same seed gave different answers: %v vs %v", r1, r2)
+	}
+}
+
+func TestNumGradMatchesAnalytic(t *testing.T) {
+	f := func(x []float64) float64 { return 3*x[0]*x[0] + 2*x[0]*x[1] + x[1]*x[1] }
+	x := []float64{1.5, -2}
+	g := numGrad(f, x)
+	want := []float64{6*x[0] + 2*x[1], 2*x[0] + 2*x[1]}
+	for i := range g {
+		if !approx(g[i], want[i], 1e-4) {
+			t.Errorf("grad[%d] = %v, want %v", i, g[i], want[i])
+		}
+	}
+}

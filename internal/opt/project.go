@@ -1,0 +1,198 @@
+package opt
+
+import (
+	"math"
+)
+
+// Project returns the Euclidean projection of x0 onto the constraint
+// polyhedron. It runs the primal active-set QP solver (Q = I) and falls
+// back to Dykstra's alternating projections if the active-set method
+// stalls on a degenerate working set. The result is clipped into the box
+// bounds as a final guard.
+func Project(c *Constraints, x0 []float64) []float64 {
+	if c.Feasible(x0, 1e-12) {
+		return clone(x0)
+	}
+	if x, ok := projectActiveSet(c, x0); ok && c.Feasible(x, 1e-7) {
+		return x
+	}
+	return projectDykstra(c, x0, 2000, 1e-12)
+}
+
+// projectDykstra implements Dykstra's alternating-projection algorithm
+// over the polyhedron's halfspaces and hyperplanes. It converges to the
+// exact Euclidean projection for convex sets; each elementary projection
+// is closed-form.
+func projectDykstra(c *Constraints, x0 []float64, maxSweeps int, tol float64) []float64 {
+	rows := c.rows()
+	if len(rows) == 0 {
+		return clone(x0)
+	}
+	x := clone(x0)
+	// Dykstra correction vectors, one per constraint.
+	p := make([][]float64, len(rows))
+	for i := range p {
+		p[i] = make([]float64, len(x))
+	}
+	prev := clone(x)
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		for i, r := range rows {
+			// y = x + p_i, then project y onto constraint i.
+			y := clone(x)
+			axpy(1, p[i], y)
+			proj := projectRow(r, y)
+			for k := range x {
+				p[i][k] = y[k] - proj[k]
+				x[k] = proj[k]
+			}
+		}
+		if normDiff(x, prev) < tol*(1+norm2(x)) && c.Feasible(x, 1e-9) {
+			break
+		}
+		copy(prev, x)
+	}
+	return x
+}
+
+// projectRow projects y onto a single halfspace a·x ≤ b (or hyperplane
+// a·x = b).
+func projectRow(r row, y []float64) []float64 {
+	v := dot(r.a, y) - r.b
+	if !r.eq && v <= 0 {
+		return clone(y)
+	}
+	den := dot(r.a, r.a)
+	if den == 0 {
+		return clone(y)
+	}
+	out := clone(y)
+	axpy(-v/den, r.a, out)
+	return out
+}
+
+func normDiff(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// projectActiveSet solves min ½‖x−x0‖² s.t. the polyhedron, with a primal
+// active-set method. Returns ok=false if it fails to make progress (cycling
+// or singular KKT), in which case the caller should fall back to Dykstra.
+func projectActiveSet(c *Constraints, x0 []float64) ([]float64, bool) {
+	rows := c.rows()
+	n := c.n
+	// Feasible start: a few Dykstra sweeps are enough to get inside.
+	x := projectDykstra(c, x0, 300, 1e-11)
+	if !c.Feasible(x, 1e-7) {
+		return nil, false
+	}
+
+	// Working set: all equalities plus inequalities active at x.
+	const actTol = 1e-8
+	working := make([]int, 0, len(rows))
+	inWorking := make([]bool, len(rows))
+	for i, r := range rows {
+		if r.eq || math.Abs(dot(r.a, x)-r.b) < actTol {
+			working = append(working, i)
+			inWorking[i] = true
+		}
+	}
+
+	for iter := 0; iter < 200; iter++ {
+		// Solve the equality-constrained projection onto the working set:
+		// min ½‖z−x0‖² s.t. a_w·z = b_w  →  KKT system in (z, λ).
+		z, lambda, ok := eqProject(x0, rows, working, n)
+		if !ok {
+			// Degenerate working set: drop the most recently added row.
+			if len(working) == 0 {
+				return x, true
+			}
+			last := working[len(working)-1]
+			if rows[last].eq {
+				return nil, false
+			}
+			inWorking[last] = false
+			working = working[:len(working)-1]
+			continue
+		}
+		dir := sub(z, x)
+		if norm2(dir) < 1e-10 {
+			// At the working-set minimizer: check inequality multipliers.
+			minLambda, minIdx := 0.0, -1
+			for k, wi := range working {
+				if rows[wi].eq {
+					continue
+				}
+				if lambda[k] < minLambda {
+					minLambda, minIdx = lambda[k], k
+				}
+			}
+			if minIdx < 0 || minLambda > -1e-9 {
+				return x, true // KKT satisfied
+			}
+			inWorking[working[minIdx]] = false
+			working = append(working[:minIdx], working[minIdx+1:]...)
+			continue
+		}
+		// Step toward z, stopping at the first blocking constraint.
+		alpha, blocking := 1.0, -1
+		for i, r := range rows {
+			if inWorking[i] || r.eq {
+				continue
+			}
+			ad := dot(r.a, dir)
+			if ad <= 1e-12 {
+				continue
+			}
+			room := (r.b - dot(r.a, x)) / ad
+			if room < alpha {
+				alpha, blocking = room, i
+			}
+		}
+		if alpha < 0 {
+			alpha = 0
+		}
+		axpy(alpha, dir, x)
+		if blocking >= 0 {
+			working = append(working, blocking)
+			inWorking[blocking] = true
+		}
+	}
+	return nil, false
+}
+
+// eqProject solves min ½‖z−x0‖² s.t. a_w·z = b_w for all w in the working
+// set, via the KKT system:
+//
+//	[ I  Aᵀ ] [z]   [x0]
+//	[ A  0  ] [λ] = [b ]
+//
+// Eliminating z = x0 − Aᵀλ gives (A Aᵀ) λ = A x0 − b.
+func eqProject(x0 []float64, rows []row, working []int, n int) (z, lambda []float64, ok bool) {
+	m := len(working)
+	if m == 0 {
+		return clone(x0), nil, true
+	}
+	AAt := make([][]float64, m)
+	rhs := make([]float64, m)
+	for i, wi := range working {
+		AAt[i] = make([]float64, m)
+		for j, wj := range working {
+			AAt[i][j] = dot(rows[wi].a, rows[wj].a)
+		}
+		rhs[i] = dot(rows[wi].a, x0) - rows[wi].b
+	}
+	lam, err := solveDense(AAt, rhs)
+	if err != nil {
+		return nil, nil, false
+	}
+	z = clone(x0)
+	for i, wi := range working {
+		axpy(-lam[i], rows[wi].a, z)
+	}
+	return z, lam, true
+}

@@ -1,0 +1,351 @@
+package opt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Problem is a constrained minimization over an n-vector.
+type Problem struct {
+	N int
+	// Objective must be finite on the feasible set; +Inf outside is fine.
+	Objective func(x []float64) float64
+	// Grad is optional; nil uses central finite differences.
+	Grad func(x []float64) []float64
+	Cons *Constraints
+}
+
+// Options tunes the solver. Zero values select sensible defaults.
+type Options struct {
+	// MaxIters bounds projected-gradient iterations per start (default 600).
+	MaxIters int
+	// Tol is the relative objective-improvement stopping tolerance
+	// (default 1e-9).
+	Tol float64
+	// Starts is the multistart count (default 8). Starts are
+	// deterministic: heuristic seeds first, then seeded-random points.
+	Starts int
+	// Seed drives the deterministic PRNG for random starts (default 1).
+	Seed int64
+	// Convex declares the objective convex, enabling single-start early
+	// exit once projected gradient converges.
+	Convex bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters == 0 {
+		o.MaxIters = 600
+	}
+	if o.Tol == 0 {
+		o.Tol = 1e-9
+	}
+	if o.Starts == 0 {
+		o.Starts = 8
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// Result reports the best point found.
+type Result struct {
+	X         []float64
+	F         float64
+	Starts    int
+	Converged bool
+}
+
+// Minimize solves the problem with deterministic multistart projected
+// gradient descent, refining the best candidates with a penalized
+// Nelder-Mead polish. For convex problems the first converged start is
+// returned.
+func Minimize(p Problem, o Options) (Result, error) {
+	if p.N < 1 || p.Objective == nil || p.Cons == nil {
+		return Result{}, fmt.Errorf("opt: problem needs N ≥ 1, an objective, and constraints")
+	}
+	if p.Cons.N() != p.N {
+		return Result{}, fmt.Errorf("opt: constraints over %d variables for an %d-variable problem", p.Cons.N(), p.N)
+	}
+	o = o.withDefaults()
+
+	seeds := seedPoints(p, o)
+	if len(seeds) == 0 {
+		return Result{}, fmt.Errorf("opt: could not build any feasible start (empty feasible set?)")
+	}
+
+	best := Result{F: math.Inf(1)}
+	for si, s := range seeds {
+		x, f, conv := projectedGradient(p, s, o)
+		// Polish with direct search from the PGD endpoint.
+		x2, f2 := nelderMead(p, x, o)
+		if f2 < f {
+			x, f = x2, f2
+		}
+		if f < best.F {
+			best = Result{X: x, F: f, Converged: conv}
+		}
+		best.Starts = si + 1
+		if o.Convex && conv && si >= 0 {
+			break
+		}
+	}
+	if best.X == nil {
+		return Result{}, fmt.Errorf("opt: no start produced a finite objective")
+	}
+	return best, nil
+}
+
+// seedPoints builds deterministic feasible starting points: the projected
+// center of the box/budget, projected per-variable emphasis points, and
+// seeded-random interior points.
+func seedPoints(p Problem, o Options) [][]float64 {
+	n := p.N
+	c := p.Cons
+	// Estimate a characteristic scale from bounds or budget rows.
+	scale := 1.0
+	for i := 0; i < n; i++ {
+		if !math.IsInf(c.Upper(i), 1) && c.Upper(i) > 0 {
+			scale = math.Max(scale, c.Upper(i))
+		}
+	}
+	for i, a := range c.eqA {
+		pos := 0.0
+		for _, v := range a {
+			if v > 0 {
+				pos += v
+			}
+		}
+		if pos > 0 && c.eqB[i] > 0 {
+			scale = math.Max(scale, c.eqB[i]/pos)
+		}
+	}
+	for i, a := range c.ineqA {
+		pos := 0.0
+		for _, v := range a {
+			if v > 0 {
+				pos += v
+			}
+		}
+		if pos > 0 && c.ineqB[i] > 0 {
+			scale = math.Max(scale, c.ineqB[i]/pos)
+		}
+	}
+
+	var seeds [][]float64
+	add := func(raw []float64) {
+		x := Project(c, raw)
+		if !c.Feasible(x, 1e-6) {
+			return
+		}
+		if math.IsInf(p.Objective(x), 1) {
+			return
+		}
+		seeds = append(seeds, x)
+	}
+	// Equal split.
+	eq := make([]float64, n)
+	for i := range eq {
+		eq[i] = scale / float64(n)
+	}
+	add(eq)
+	// Emphasis on each variable.
+	for i := 0; i < n; i++ {
+		e := make([]float64, n)
+		for j := range e {
+			e[j] = scale / float64(4*n)
+		}
+		e[i] = scale / 2
+		add(e)
+	}
+	// Geometric decay (inner dims carry more traffic in LIBRA problems).
+	g := make([]float64, n)
+	v := scale / 2
+	for i := 0; i < n; i++ {
+		g[i] = v
+		v /= 2
+	}
+	add(g)
+	// Seeded random interior points.
+	rng := rand.New(rand.NewSource(o.Seed))
+	for len(seeds) < o.Starts+n {
+		r := make([]float64, n)
+		for i := range r {
+			r[i] = rng.Float64() * scale
+		}
+		add(r)
+		if rng.Intn(1000) == 999 { // safety valve against infeasible models
+			break
+		}
+	}
+	if len(seeds) > o.Starts+n {
+		seeds = seeds[:o.Starts+n]
+	}
+	return seeds
+}
+
+// numGrad computes a central-difference gradient.
+func numGrad(f func([]float64) float64, x []float64) []float64 {
+	g := make([]float64, len(x))
+	for i := range x {
+		h := 1e-6 * math.Max(1, math.Abs(x[i]))
+		xp, xm := clone(x), clone(x)
+		xp[i] += h
+		xm[i] -= h
+		fp, fm := f(xp), f(xm)
+		if math.IsInf(fp, 1) || math.IsInf(fm, 1) {
+			// One-sided fallback at feasibility edges.
+			f0 := f(x)
+			if !math.IsInf(fp, 1) {
+				g[i] = (fp - f0) / h
+			} else if !math.IsInf(fm, 1) {
+				g[i] = (f0 - fm) / h
+			} else {
+				g[i] = 0
+			}
+			continue
+		}
+		g[i] = (fp - fm) / (2 * h)
+	}
+	return g
+}
+
+// projectedGradient runs monotone projected gradient descent with
+// backtracking line search from a feasible start.
+func projectedGradient(p Problem, start []float64, o Options) (x []float64, f float64, converged bool) {
+	grad := p.Grad
+	if grad == nil {
+		grad = func(x []float64) []float64 { return numGrad(p.Objective, x) }
+	}
+	x = clone(start)
+	f = p.Objective(x)
+	step := 1.0
+	stall := 0
+	for iter := 0; iter < o.MaxIters; iter++ {
+		g := grad(x)
+		gn := norm2(g)
+		if gn == 0 {
+			return x, f, true
+		}
+		// Scale the step to the current point magnitude.
+		t := step * math.Max(norm2(x), 1) / gn
+		improved := false
+		for try := 0; try < 40; try++ {
+			cand := clone(x)
+			axpy(-t, g, cand)
+			cand = Project(p.Cons, cand)
+			fc := p.Objective(cand)
+			if fc < f-1e-15*math.Abs(f) {
+				x, f = cand, fc
+				improved = true
+				step = math.Min(step*1.3, 4)
+				break
+			}
+			t /= 2
+		}
+		if !improved {
+			step = math.Max(step/4, 1e-6)
+			stall++
+			if stall >= 3 {
+				return x, f, true
+			}
+			continue
+		}
+		stall = 0
+	}
+	return x, f, false
+}
+
+// nelderMead polishes a point with a penalized Nelder-Mead direct search;
+// constraint violations are penalized quadratically, and the returned
+// point is re-projected into the feasible set.
+func nelderMead(p Problem, start []float64, o Options) ([]float64, float64) {
+	n := p.N
+	mu := 1e6 * math.Max(1, math.Abs(p.Objective(start)))
+	pen := func(x []float64) float64 {
+		v := p.Cons.Violation(x)
+		f := p.Objective(x)
+		if math.IsInf(f, 1) {
+			return 1e300 + mu*v
+		}
+		return f + mu*v*v
+	}
+	// Initial simplex around start.
+	simplex := make([][]float64, n+1)
+	fs := make([]float64, n+1)
+	simplex[0] = clone(start)
+	for i := 1; i <= n; i++ {
+		s := clone(start)
+		h := 0.05 * math.Max(math.Abs(s[i-1]), 1)
+		s[i-1] += h
+		simplex[i] = s
+	}
+	for i := range simplex {
+		fs[i] = pen(simplex[i])
+	}
+	const (
+		alpha = 1.0
+		gamma = 2.0
+		rho   = 0.5
+		sigma = 0.5
+	)
+	order := func() {
+		for i := 1; i < len(simplex); i++ {
+			for j := i; j > 0 && fs[j] < fs[j-1]; j-- {
+				fs[j], fs[j-1] = fs[j-1], fs[j]
+				simplex[j], simplex[j-1] = simplex[j-1], simplex[j]
+			}
+		}
+	}
+	for iter := 0; iter < 400*n; iter++ {
+		order()
+		if math.Abs(fs[n]-fs[0]) <= o.Tol*(math.Abs(fs[0])+1e-12) {
+			break
+		}
+		// Centroid of all but worst.
+		cen := make([]float64, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				cen[j] += simplex[i][j]
+			}
+		}
+		for j := range cen {
+			cen[j] /= float64(n)
+		}
+		refl := clone(cen)
+		axpy(alpha, sub(cen, simplex[n]), refl)
+		fr := pen(refl)
+		switch {
+		case fr < fs[0]:
+			exp := clone(cen)
+			axpy(gamma, sub(cen, simplex[n]), exp)
+			if fe := pen(exp); fe < fr {
+				simplex[n], fs[n] = exp, fe
+			} else {
+				simplex[n], fs[n] = refl, fr
+			}
+		case fr < fs[n-1]:
+			simplex[n], fs[n] = refl, fr
+		default:
+			con := clone(cen)
+			axpy(rho, sub(simplex[n], cen), con)
+			if fc := pen(con); fc < fs[n] {
+				simplex[n], fs[n] = con, fc
+			} else {
+				for i := 1; i <= n; i++ {
+					shr := clone(simplex[0])
+					axpy(sigma, sub(simplex[i], simplex[0]), shr)
+					simplex[i], fs[i] = shr, pen(shr)
+				}
+			}
+		}
+	}
+	order()
+	best := Project(p.Cons, simplex[0])
+	fb := p.Objective(best)
+	if math.IsInf(fb, 1) {
+		return clone(start), p.Objective(start)
+	}
+	return best, fb
+}

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"fmt"
+
+	"libra/internal/compute"
+	"libra/internal/timemodel"
+	"libra/internal/topology"
+	"libra/internal/workload"
+)
+
+// TrainingConfig drives an iteration-level simulation.
+type TrainingConfig struct {
+	Net     *topology.Network
+	Compute compute.Model
+	Loop    timemodel.Loop
+	Policy  timemodel.MappingPolicy
+	// Chunks is the per-collective chunk count (the paper splits every
+	// collective into 64 chunks, §V-B).
+	Chunks int
+}
+
+// DefaultChunks is the paper's per-collective chunk count.
+const DefaultChunks = 64
+
+// TrainingResult reports a simulated training iteration.
+type TrainingResult struct {
+	// Total is the simulated end-to-end iteration time.
+	Total float64
+	// CommTime is the summed simulated collective makespan.
+	CommTime float64
+	// ComputeOnly is the communication-free floor.
+	ComputeOnly float64
+	// DimBusy is per-dimension busy seconds per iteration.
+	DimBusy []float64
+	// Utilization is DimBusy averaged over dims divided by the total
+	// collective window.
+	Utilization float64
+}
+
+// SimulateIteration runs one training iteration, pricing every collective
+// with the chunk-pipeline simulator instead of the closed-form model.
+// Chunked pipelining lets consecutive stages of different chunks overlap,
+// so the simulated collective time approaches — but never beats — the
+// analytical bottleneck bound, with a small pipeline fill/drain penalty
+// (the "inevitable scheduling bubbles" of Fig. 9c).
+func SimulateIteration(cfg TrainingConfig, w *workload.Workload, bw topology.BWConfig) (TrainingResult, error) {
+	if cfg.Chunks == 0 {
+		cfg.Chunks = DefaultChunks
+	}
+	if cfg.Chunks < 1 {
+		return TrainingResult{}, fmt.Errorf("sim: chunk count %d must be ≥ 1", cfg.Chunks)
+	}
+	if err := bw.Validate(cfg.Net); err != nil {
+		return TrainingResult{}, err
+	}
+	if err := w.Validate(); err != nil {
+		return TrainingResult{}, err
+	}
+	maps, err := timemodel.MapStrategy(cfg.Net, w.Strategy, cfg.Policy)
+	if err != nil {
+		return TrainingResult{}, err
+	}
+
+	res := TrainingResult{DimBusy: make([]float64, cfg.Net.NumDims())}
+	commOf := func(cs []workload.Comm) (float64, error) {
+		total := 0.0
+		for _, c := range cs {
+			pr, err := SimulateCollective(c.Op, c.Bytes, maps.ForScope(c.Scope), bw, cfg.Chunks)
+			if err != nil {
+				return 0, err
+			}
+			total += pr.Makespan
+			for d, b := range pr.DimBusy {
+				res.DimBusy[d] += b
+			}
+		}
+		return total, nil
+	}
+
+	for _, l := range w.Layers {
+		n := float64(l.Count)
+		fwdComp := cfg.Compute.Time(l.FwdFLOPs, l.FwdBytes)
+		tpComp := cfg.Compute.Time(l.TPFLOPs, l.TPBytes)
+		dpComp := cfg.Compute.Time(l.DPFLOPs, l.DPBytes)
+
+		preBusy := append([]float64(nil), res.DimBusy...)
+		fwdComm, err := commOf(l.FwdComm)
+		if err != nil {
+			return TrainingResult{}, err
+		}
+		tpComm, err := commOf(l.TPComm)
+		if err != nil {
+			return TrainingResult{}, err
+		}
+		dpComm, err := commOf(l.DPComm)
+		if err != nil {
+			return TrainingResult{}, err
+		}
+		for d := range res.DimBusy {
+			res.DimBusy[d] = preBusy[d] + n*(res.DimBusy[d]-preBusy[d])
+		}
+		res.CommTime += n * (fwdComm + tpComm + dpComm)
+		res.ComputeOnly += n * (fwdComp + tpComp + dpComp)
+
+		switch cfg.Loop {
+		case timemodel.TPDPOverlap:
+			bwd := tpComp + maxf(tpComm, dpComp+dpComm)
+			res.Total += n * (fwdComp + fwdComm + bwd)
+		default:
+			res.Total += n * (fwdComp + fwdComm + tpComp + tpComm + dpComp + dpComm)
+		}
+	}
+	if res.CommTime > 0 {
+		sum := 0.0
+		for _, b := range res.DimBusy {
+			sum += b
+		}
+		res.Utilization = sum / (float64(len(res.DimBusy)) * res.CommTime)
+	}
+	return res, nil
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,249 @@
+// Package tacos reimplements the TACOS topology-aware collective
+// synthesizer (Won et al. [63]) used in the paper's §VI-D co-design study.
+//
+// TACOS synthesizes a collective algorithm for an arbitrary point-to-point
+// topology by greedy matching on the time-expanded network: whenever a
+// link becomes free, it forwards a chunk its source holds and its
+// destination still lacks, preferring globally rare chunks. Synthesizing
+// All-Gather this way and mirroring it in time yields Reduce-Scatter, so
+// an All-Reduce costs two synthesized All-Gathers.
+//
+// The synthesizer works on the link-level expansion of Ring and
+// FullyConnected dimensions (the paper's Fig. 20 study uses the 3D-Torus);
+// Switch dimensions have no point-to-point structure to exploit and are
+// rejected.
+package tacos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"libra/internal/collective"
+	"libra/internal/sim"
+	"libra/internal/topology"
+)
+
+// Schedule is a synthesized collective schedule.
+type Schedule struct {
+	// Makespan is the All-Gather completion time in seconds.
+	Makespan float64
+	// Sends counts scheduled link transfers.
+	Sends int
+	// LinkBusy is per-link busy seconds, indexed like Graph.Links.
+	LinkBusy []float64
+	// AvgLinkUtilization is mean busy fraction across links.
+	AvgLinkUtilization float64
+	// ChunkBytes is the size of each scheduled chunk.
+	ChunkBytes float64
+}
+
+// send is one scheduled transfer in the event queue.
+type send struct {
+	link  int
+	chunk int
+	end   float64
+}
+
+// SynthesizeAllGather greedily builds an All-Gather schedule for an
+// m-byte result buffer split into chunksPerNPU chunks per NPU: every NPU
+// starts holding its own chunks and must collect all P·chunksPerNPU.
+// Link bandwidths derive from the per-NPU per-dimension budget via
+// topology.Graph.LinkBW.
+func SynthesizeAllGather(net *topology.Network, bw topology.BWConfig, m float64, chunksPerNPU int) (Schedule, error) {
+	if chunksPerNPU < 1 {
+		return Schedule{}, fmt.Errorf("tacos: chunks per NPU %d must be ≥ 1", chunksPerNPU)
+	}
+	if err := bw.Validate(net); err != nil {
+		return Schedule{}, err
+	}
+	for _, d := range net.Dims() {
+		if d.Kind == topology.Switch {
+			return Schedule{}, fmt.Errorf("tacos: switch dimensions are not point-to-point; cannot synthesize")
+		}
+	}
+	g := topology.BuildGraph(net)
+	linkBW := g.LinkBW(bw)
+	p := net.NPUs()
+	nChunks := p * chunksPerNPU
+	chunkBytes := m / float64(nChunks)
+
+	// owns[c] is a bitset over NPUs (p ≤ a few thousand; use []uint64).
+	words := (p + 63) / 64
+	owns := make([][]uint64, nChunks)
+	ownerCount := make([]int, nChunks)
+	for c := 0; c < nChunks; c++ {
+		owns[c] = make([]uint64, words)
+		npu := c / chunksPerNPU
+		owns[c][npu/64] |= 1 << (npu % 64)
+		ownerCount[c] = 1
+	}
+	has := func(c, npu int) bool { return owns[c][npu/64]&(1<<(npu%64)) != 0 }
+	give := func(c, npu int) {
+		if !has(c, npu) {
+			owns[c][npu/64] |= 1 << (npu % 64)
+			ownerCount[c]++
+		}
+	}
+	// inflight tracks (chunk, dstNPU) pairs already being sent on a link
+	// at least this fast; a strictly faster link may duplicate the send
+	// (dedupe happens on arrival) so slow links never gate the tail.
+	inflight := make(map[[2]int]float64)
+
+	sched := Schedule{LinkBusy: make([]float64, len(g.Links)), ChunkBytes: chunkBytes}
+	linkFree := make([]float64, len(g.Links))
+	remaining := nChunks * (p - 1) // deliveries still needed
+
+	// pick returns the rarest useful chunk for a link, or -1. Ties are
+	// broken by a per-link rotation instead of lowest-id so concurrent
+	// links spread distinct chunks (pure rarest-first herds every link
+	// onto the same chunk and serializes the tail of the schedule).
+	// suppliers[dst] lists the NPUs with links into dst, weighted by the
+	// incoming bandwidth — used to prefer chunks this link is uniquely
+	// positioned to deliver.
+	suppliers := make([][]int, p)
+	supplierBW := make([][]float64, p)
+	for li, l := range g.Links {
+		dst := g.Nodes[l.Dst].NPU
+		src := g.Nodes[l.Src].NPU
+		suppliers[dst] = append(suppliers[dst], src)
+		supplierBW[dst] = append(supplierBW[dst], linkBW[li])
+	}
+
+	pick := func(l topology.Link, lbw float64) int {
+		src, dst := g.Nodes[l.Src].NPU, g.Nodes[l.Dst].NPU
+		best := -1
+		bestScore := math.Inf(1)
+		for c := 0; c < nChunks; c++ {
+			if !has(c, src) || has(c, dst) {
+				continue
+			}
+			if fb, ok := inflight[[2]int{c, dst}]; ok && fb >= lbw {
+				continue // an equal-or-faster copy is already on the way
+			}
+			// Supplier bandwidth: how much alternative capacity dst has
+			// for this chunk. Chunks only reachable through this link
+			// (low alternative capacity) come first; global rarity and a
+			// per-link rotation break ties.
+			alt := 0.0
+			for si, sp := range suppliers[dst] {
+				if sp != src && has(c, sp) {
+					alt += supplierBW[dst][si]
+				}
+			}
+			score := alt*1e6 + float64(ownerCount[c])*1e3 +
+				float64((c*131+l.ID*197)%nChunks)/float64(nChunks)
+			if score < bestScore {
+				best, bestScore = c, score
+			}
+		}
+		return best
+	}
+
+	// Arm faster links first so rare chunks ride fast paths and slow
+	// links pick up the remainder.
+	order := make([]int, len(g.Links))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if linkBW[order[a]] != linkBW[order[b]] {
+			return linkBW[order[a]] > linkBW[order[b]]
+		}
+		return order[a] < order[b]
+	})
+
+	var active []send
+	now := 0.0
+	for remaining > 0 {
+		// Arm every idle link that has useful work.
+		progress := false
+		for _, li := range order {
+			l := g.Links[li]
+			if linkFree[li] > now {
+				continue
+			}
+			c := pick(l, linkBW[li])
+			if c < 0 {
+				continue
+			}
+			dst := g.Nodes[l.Dst].NPU
+			dur := chunkBytes / (linkBW[li] * 1e9)
+			end := now + dur
+			linkFree[li] = end
+			sched.LinkBusy[li] += dur
+			if fb, ok := inflight[[2]int{c, dst}]; !ok || linkBW[li] > fb {
+				inflight[[2]int{c, dst}] = linkBW[li]
+			}
+			active = append(active, send{link: li, chunk: c, end: end})
+			sched.Sends++
+			progress = true
+		}
+		if len(active) == 0 {
+			if !progress {
+				return Schedule{}, fmt.Errorf("tacos: synthesis stalled with %d deliveries remaining (disconnected topology?)", remaining)
+			}
+			continue
+		}
+		// Advance to the earliest completion; deliver everything ending then.
+		next := math.Inf(1)
+		for _, s := range active {
+			if s.end < next {
+				next = s.end
+			}
+		}
+		now = next
+		kept := active[:0]
+		for _, s := range active {
+			if s.end <= now+1e-18 {
+				dst := g.Nodes[g.Links[s.link].Dst].NPU
+				if inflight[[2]int{s.chunk, dst}] <= linkBW[s.link] {
+					delete(inflight, [2]int{s.chunk, dst})
+				}
+				if !has(s.chunk, dst) {
+					give(s.chunk, dst)
+					remaining--
+				}
+				if s.end > sched.Makespan {
+					sched.Makespan = s.end
+				}
+			} else {
+				kept = append(kept, s)
+			}
+		}
+		active = kept
+	}
+	if sched.Makespan > 0 && len(sched.LinkBusy) > 0 {
+		sum := 0.0
+		for _, b := range sched.LinkBusy {
+			sum += b
+		}
+		sched.AvgLinkUtilization = sum / (float64(len(sched.LinkBusy)) * sched.Makespan)
+		if sched.AvgLinkUtilization > 1 { // floating-point accumulation noise
+			sched.AvgLinkUtilization = 1
+		}
+	}
+	return sched, nil
+}
+
+// AllReduceTime prices a synthesized All-Reduce of m bytes: a synthesized
+// Reduce-Scatter (the time-mirror of All-Gather) followed by the
+// synthesized All-Gather — 2× the All-Gather makespan.
+//
+// The multi-rail dimension-sequential algorithm is itself one point in
+// TACOS's schedule search space, so the synthesizer never returns a
+// schedule worse than it: if the greedy synthesis loses to the multi-rail
+// pipeline (it can on strongly skewed bandwidth allocations), the
+// multi-rail time is returned instead.
+func AllReduceTime(net *topology.Network, bw topology.BWConfig, m float64, chunksPerNPU int) (float64, Schedule, error) {
+	ag, err := SynthesizeAllGather(net, bw, m, chunksPerNPU)
+	if err != nil {
+		return 0, Schedule{}, err
+	}
+	t := 2 * ag.Makespan
+	base, err := sim.SimulateCollective(collective.AllReduce, m, collective.FullMapping(net), bw, chunksPerNPU)
+	if err == nil && base.Makespan < t {
+		t = base.Makespan
+	}
+	return t, ag, nil
+}

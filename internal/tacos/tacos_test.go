@@ -1,0 +1,140 @@
+package tacos
+
+import (
+	"math"
+	"testing"
+
+	"libra/internal/collective"
+	"libra/internal/topology"
+)
+
+func approx(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+// On a single ring, the synthesized All-Gather cannot beat the
+// bandwidth-optimal ring algorithm: m(p−1)/p over the per-direction link
+// bandwidth... with both directions usable, the floor is m(p−1)/(p·B)
+// for per-NPU budget B. The greedy synthesis should land within 2× of it.
+func TestSynthesizedRingAllGatherNearOptimal(t *testing.T) {
+	net := topology.MustParse("RI(8)")
+	bw := topology.BWConfig{100}
+	m := 8e8
+	floor := collective.Time(collective.AllGather, m, collective.FullMapping(net), bw)
+	s, err := SynthesizeAllGather(net, bw, m, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Makespan < floor*(1-1e-9) {
+		t.Errorf("synthesized %v beats the bandwidth floor %v", s.Makespan, floor)
+	}
+	if s.Makespan > floor*2.2 {
+		t.Errorf("synthesized %v too far above floor %v", s.Makespan, floor)
+	}
+}
+
+func TestAllGatherCompletes(t *testing.T) {
+	for _, shape := range []string{"RI(4)", "FC(4)", "RI(4)_RI(4)", "RI(4)_RI(4)_RI(4)"} {
+		net := topology.MustParse(shape)
+		bw := make(topology.BWConfig, net.NumDims())
+		for i := range bw {
+			bw[i] = 50
+		}
+		s, err := SynthesizeAllGather(net, bw, 64e6, 2)
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		p := net.NPUs()
+		wantSends := p * 2 * (p - 1) // every chunk delivered to p−1 NPUs
+		if s.Sends < wantSends {
+			t.Errorf("%s: %d sends < %d required deliveries", shape, s.Sends, wantSends)
+		}
+		if s.Makespan <= 0 {
+			t.Errorf("%s: zero makespan", shape)
+		}
+		if s.AvgLinkUtilization <= 0 || s.AvgLinkUtilization > 1 {
+			t.Errorf("%s: link utilization %v", shape, s.AvgLinkUtilization)
+		}
+	}
+}
+
+// More chunks per NPU pipeline better: makespan must not grow.
+func TestMoreChunksHelp(t *testing.T) {
+	net := topology.ThreeDTorus()
+	bw := topology.EqualBW(999, 3)
+	prev := math.Inf(1)
+	for _, chunks := range []int{1, 2, 8} {
+		s, err := SynthesizeAllGather(net, bw, 1e9, chunks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Makespan > prev*(1+0.05) {
+			t.Errorf("chunks=%d makespan %v worse than %v", chunks, s.Makespan, prev)
+		}
+		prev = s.Makespan
+	}
+}
+
+// TACOS's whole point: on a torus it exploits every link, beating the
+// dimension-sequential multi-rail baseline on the same bandwidth.
+func TestTacosBeatsMultiRailOnTorus(t *testing.T) {
+	net := topology.ThreeDTorus()
+	bw := topology.EqualBW(999, 3)
+	m := 1e9
+	base := collective.Time(collective.AllReduce, m, collective.FullMapping(net), bw)
+	ar, _, err := AllReduceTime(net, bw, m, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ar < base) {
+		t.Errorf("TACOS All-Reduce %v should beat multi-rail %v on the torus", ar, base)
+	}
+}
+
+func TestAllReduceIsTwiceAllGather(t *testing.T) {
+	net := topology.ThreeDTorus()
+	bw := topology.EqualBW(300, 3)
+	ar, ag, err := AllReduceTime(net, bw, 5e8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(ar, 2*ag.Makespan, 1e-12) {
+		t.Errorf("AR %v != 2×AG %v", ar, ag.Makespan)
+	}
+}
+
+func TestSwitchRejected(t *testing.T) {
+	net := topology.MustParse("SW(4)")
+	if _, err := SynthesizeAllGather(net, topology.BWConfig{10}, 1e6, 1); err == nil {
+		t.Error("switch topology should be rejected")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	net := topology.MustParse("RI(4)")
+	if _, err := SynthesizeAllGather(net, topology.BWConfig{10}, 1e6, 0); err == nil {
+		t.Error("0 chunks should error")
+	}
+	if _, err := SynthesizeAllGather(net, topology.BWConfig{10, 10}, 1e6, 1); err == nil {
+		t.Error("bad bw should error")
+	}
+}
+
+// Faster links shorten the synthesized schedule.
+func TestMakespanScalesWithBW(t *testing.T) {
+	net := topology.ThreeDTorus()
+	s1, err := SynthesizeAllGather(net, topology.EqualBW(300, 3), 1e9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SynthesizeAllGather(net, topology.EqualBW(600, 3), 1e9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(s2.Makespan < s1.Makespan) {
+		t.Errorf("2× BW should cut makespan: %v vs %v", s2.Makespan, s1.Makespan)
+	}
+}

@@ -1,0 +1,206 @@
+package timemodel
+
+import (
+	"fmt"
+
+	"libra/internal/collective"
+	"libra/internal/compute"
+	"libra/internal/topology"
+	"libra/internal/workload"
+)
+
+// Loop selects the training loop (paper Fig. 5).
+type Loop int
+
+const (
+	// NoOverlap runs every compute and communication stage exclusively
+	// (Fig. 5b).
+	NoOverlap Loop = iota
+	// TPDPOverlap exposes TP compute but overlaps TP communication with
+	// DP compute and DP communication (Fig. 5c): per-layer backward time
+	// is TPComp + max(TPComm, DPComp + DPComm).
+	TPDPOverlap
+)
+
+// String names the loop.
+func (l Loop) String() string {
+	switch l {
+	case NoOverlap:
+		return "No Overlap"
+	case TPDPOverlap:
+		return "TP-DP Overlap"
+	default:
+		return fmt.Sprintf("Loop(%d)", int(l))
+	}
+}
+
+// Estimator evaluates iteration time for one network + bandwidth
+// configuration. The zero value is unusable; fill every field (InNetwork
+// may be nil for no switch offload).
+type Estimator struct {
+	Net     *topology.Network
+	Compute compute.Model
+	Loop    Loop
+	Policy  MappingPolicy
+	// InNetwork marks dimensions whose switches offload All-Reduce
+	// reductions (in-network collectives, §IV-C). nil disables offload.
+	InNetwork []bool
+}
+
+// Breakdown reports the six Fig. 5 stage totals plus derived quantities,
+// all in seconds (traffic in bytes).
+type Breakdown struct {
+	FwdComp, FwdComm float64
+	TPComp, TPComm   float64
+	DPComp, DPComm   float64
+	// Total is the end-to-end iteration time under the estimator's loop.
+	Total float64
+	// ComputeOnly is the iteration time with all communication free — the
+	// "pure compute" floor of Fig. 10.
+	ComputeOnly float64
+	// ExposedComm = Total − ComputeOnly.
+	ExposedComm float64
+	// DimTraffic is the per-dimension bytes each NPU moves per iteration.
+	DimTraffic []float64
+	// DimBusy is the per-dimension seconds each NPU's port transfers.
+	DimBusy []float64
+	// CollectiveTime is the summed completion time of every collective
+	// (the serialized communication window used for utilization).
+	CollectiveTime float64
+}
+
+// AvgUtilization returns the average network bandwidth utilization during
+// communication: the mean over dimensions of (busy time / communication
+// window), the quantity Fig. 10's x-axis reports.
+func (b Breakdown) AvgUtilization() float64 {
+	if b.CollectiveTime <= 0 || len(b.DimBusy) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range b.DimBusy {
+		sum += v
+	}
+	return sum / (float64(len(b.DimBusy)) * b.CollectiveTime)
+}
+
+// Iteration estimates one training iteration of w under bandwidth bw.
+func (e *Estimator) Iteration(w *workload.Workload, bw topology.BWConfig) (Breakdown, error) {
+	if err := bw.Validate(e.Net); err != nil {
+		return Breakdown{}, err
+	}
+	if err := w.Validate(); err != nil {
+		return Breakdown{}, err
+	}
+	maps, err := MapStrategy(e.Net, w.Strategy, e.Policy)
+	if err != nil {
+		return Breakdown{}, err
+	}
+	return e.iterate(w, bw, maps), nil
+}
+
+// commCost prices one collective call, accumulating per-dim traffic/busy.
+func (e *Estimator) commCost(c workload.Comm, maps Mappings, bw topology.BWConfig, b *Breakdown) float64 {
+	mapping := maps.ForScope(c.Scope)
+	ndims := e.Net.NumDims()
+	var traffic []float64
+	if e.InNetwork != nil {
+		traffic = collective.InNetworkTraffic(c.Op, c.Bytes, mapping, ndims, e.InNetwork)
+	} else {
+		traffic = collective.Traffic(c.Op, c.Bytes, mapping, ndims)
+	}
+	worst := 0.0
+	for d, v := range traffic {
+		if v == 0 {
+			continue
+		}
+		t := v / (bw[d] * 1e9)
+		b.DimTraffic[d] += v
+		b.DimBusy[d] += t
+		if t > worst {
+			worst = t
+		}
+	}
+	b.CollectiveTime += worst
+	return worst
+}
+
+func (e *Estimator) iterate(w *workload.Workload, bw topology.BWConfig, maps Mappings) Breakdown {
+	b := Breakdown{
+		DimTraffic: make([]float64, e.Net.NumDims()),
+		DimBusy:    make([]float64, e.Net.NumDims()),
+	}
+	sumComm := func(cs []workload.Comm) float64 {
+		t := 0.0
+		for _, c := range cs {
+			t += e.commCost(c, maps, bw, &b)
+		}
+		return t
+	}
+	for _, l := range w.Layers {
+		n := float64(l.Count)
+		fwdComp := e.Compute.Time(l.FwdFLOPs, l.FwdBytes)
+		tpComp := e.Compute.Time(l.TPFLOPs, l.TPBytes)
+		dpComp := e.Compute.Time(l.DPFLOPs, l.DPBytes)
+		// Communication is identical across the Count copies; price one
+		// layer and scale. Scale the shared accumulators afterwards.
+		preTraffic := append([]float64(nil), b.DimTraffic...)
+		preBusy := append([]float64(nil), b.DimBusy...)
+		preColl := b.CollectiveTime
+		fwdComm := sumComm(l.FwdComm)
+		tpComm := sumComm(l.TPComm)
+		dpComm := sumComm(l.DPComm)
+		for d := range b.DimTraffic {
+			b.DimTraffic[d] = preTraffic[d] + n*(b.DimTraffic[d]-preTraffic[d])
+			b.DimBusy[d] = preBusy[d] + n*(b.DimBusy[d]-preBusy[d])
+		}
+		b.CollectiveTime = preColl + n*(b.CollectiveTime-preColl)
+
+		b.FwdComp += n * fwdComp
+		b.FwdComm += n * fwdComm
+		b.TPComp += n * tpComp
+		b.TPComm += n * tpComm
+		b.DPComp += n * dpComp
+		b.DPComm += n * dpComm
+
+		b.ComputeOnly += n * (fwdComp + tpComp + dpComp)
+		switch e.Loop {
+		case TPDPOverlap:
+			bwd := tpComp + maxf(tpComm, dpComp+dpComm)
+			b.Total += n * (fwdComp + fwdComm + bwd)
+		default: // NoOverlap
+			b.Total += n * (fwdComp + fwdComm + tpComp + tpComm + dpComp + dpComm)
+		}
+	}
+	b.ExposedComm = b.Total - b.ComputeOnly
+	return b
+}
+
+// TimeFunc returns a closure evaluating iteration time as a pure function
+// of the bandwidth vector — the objective handed to the optimizer. The
+// workload mapping is resolved once; the closure never fails (invalid
+// bandwidths yield +Inf).
+func (e *Estimator) TimeFunc(w *workload.Workload) (func(bw topology.BWConfig) float64, error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	maps, err := MapStrategy(e.Net, w.Strategy, e.Policy)
+	if err != nil {
+		return nil, err
+	}
+	return func(bw topology.BWConfig) float64 {
+		if err := bw.Validate(e.Net); err != nil {
+			return inf
+		}
+		b := e.iterate(w, bw, maps)
+		return b.Total
+	}, nil
+}
+
+const inf = 1e308
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,463 @@
+package timemodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"libra/internal/collective"
+	"libra/internal/compute"
+	"libra/internal/topology"
+	"libra/internal/workload"
+)
+
+func approx(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestMapStrategyExactDims(t *testing.T) {
+	net := topology.FourD4K() // RI(4)_FC(8)_RI(4)_SW(32)
+	m, err := MapStrategy(net, workload.Strategy{TP: 128, DP: 32}, Actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTP := []collective.Phase{{Dim: 0, Group: 4}, {Dim: 1, Group: 8}, {Dim: 2, Group: 4}}
+	if len(m.TP.Phases) != 3 {
+		t.Fatalf("TP phases = %+v", m.TP.Phases)
+	}
+	for i, p := range m.TP.Phases {
+		if p != wantTP[i] {
+			t.Errorf("TP phase %d = %+v, want %+v", i, p, wantTP[i])
+		}
+	}
+	if len(m.DP.Phases) != 1 || m.DP.Phases[0] != (collective.Phase{Dim: 3, Group: 32}) {
+		t.Errorf("DP phases = %+v", m.DP.Phases)
+	}
+	if m.All.Size() != 4096 {
+		t.Errorf("All size = %d", m.All.Size())
+	}
+}
+
+// GPT-3's TP=16 ends inside FC(8): TP takes (4, 4), DP takes (2, 4, 32).
+func TestMapStrategySplitDim(t *testing.T) {
+	net := topology.FourD4K()
+	m, err := MapStrategy(net, workload.Strategy{TP: 16, DP: 256}, Actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTP := []collective.Phase{{Dim: 0, Group: 4}, {Dim: 1, Group: 4}}
+	wantDP := []collective.Phase{{Dim: 1, Group: 2}, {Dim: 2, Group: 4}, {Dim: 3, Group: 32}}
+	if len(m.TP.Phases) != len(wantTP) {
+		t.Fatalf("TP phases = %+v", m.TP.Phases)
+	}
+	for i := range wantTP {
+		if m.TP.Phases[i] != wantTP[i] {
+			t.Errorf("TP phase %d = %+v, want %+v", i, m.TP.Phases[i], wantTP[i])
+		}
+	}
+	if len(m.DP.Phases) != len(wantDP) {
+		t.Fatalf("DP phases = %+v", m.DP.Phases)
+	}
+	for i := range wantDP {
+		if m.DP.Phases[i] != wantDP[i] {
+			t.Errorf("DP phase %d = %+v, want %+v", i, m.DP.Phases[i], wantDP[i])
+		}
+	}
+	if m.TP.Size()*m.DP.Size() != 4096 {
+		t.Errorf("TP×DP = %d", m.TP.Size()*m.DP.Size())
+	}
+}
+
+func TestMapStrategyIdealFullDims(t *testing.T) {
+	net := topology.FourD4K()
+	m, err := MapStrategy(net, workload.Strategy{TP: 16, DP: 256}, IdealFullDims)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ideal policy rounds TP=16 up to RI(4)×FC(8) = 32.
+	if len(m.TP.Phases) != 2 || m.TP.Phases[1].Group != 8 {
+		t.Errorf("ideal TP phases = %+v", m.TP.Phases)
+	}
+	if len(m.DP.Phases) != 2 || m.DP.Phases[0].Dim != 2 {
+		t.Errorf("ideal DP phases = %+v", m.DP.Phases)
+	}
+}
+
+func TestMapStrategyPureDP(t *testing.T) {
+	net := topology.ThreeD4K()
+	m, err := MapStrategy(net, workload.Strategy{TP: 1, DP: 4096}, Actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.TP.Phases) != 0 {
+		t.Errorf("TP phases = %+v, want empty", m.TP.Phases)
+	}
+	if m.DP.Size() != 4096 {
+		t.Errorf("DP size = %d", m.DP.Size())
+	}
+}
+
+func TestMapStrategyErrors(t *testing.T) {
+	net := topology.FourD4K()
+	cases := []workload.Strategy{
+		{TP: 24, DP: 4096 / 24}, // wrong NPU count (not integral anyway)
+		{TP: 3, DP: 1365},       // 3 does not divide 4
+		{TP: 4096 * 2, DP: 1},   // exceeds network
+		{TP: 12, DP: 4096 / 12}, // wrong NPU total
+	}
+	for _, s := range cases {
+		if _, err := MapStrategy(net, s, Actual); err == nil {
+			t.Errorf("strategy %v unexpectedly mapped", s)
+		}
+	}
+	// TP=24 with the right total still fails divisibility mid-dim.
+	net2 := topology.MustParse("RI(4)_FC(8)_SW(3)")
+	if _, err := MapStrategy(net2, workload.Strategy{TP: 24, DP: 4}, Actual); err == nil {
+		t.Error("TP=24 on RI(4)_FC(8) should fail (6 does not divide 8)")
+	}
+}
+
+func newEstimator(net *topology.Network, loop Loop) *Estimator {
+	return &Estimator{Net: net, Compute: compute.A100(), Loop: loop, Policy: Actual}
+}
+
+func synthetic(tp, dp int) *workload.Workload {
+	return &workload.Workload{
+		Name:      "synthetic",
+		Params:    1e9,
+		Strategy:  workload.Strategy{TP: tp, DP: dp},
+		Minibatch: 1,
+		Layers: []workload.Layer{{
+			Name:     "l",
+			Count:    2,
+			FwdFLOPs: 234e12 * 0.010, // 10 ms at A100 rate
+			TPFLOPs:  234e12 * 0.020,
+			DPFLOPs:  0,
+			FwdComm:  []workload.Comm{{Op: collective.AllReduce, Bytes: 1e9, Scope: workload.TPScope}},
+			TPComm:   []workload.Comm{{Op: collective.AllReduce, Bytes: 1e9, Scope: workload.TPScope}},
+			DPComm:   []workload.Comm{{Op: collective.AllReduce, Bytes: 2e9, Scope: workload.DPScope}},
+		}},
+	}
+}
+
+func TestIterationNoOverlapAddsEverything(t *testing.T) {
+	net := topology.MustParse("RI(4)_SW(8)")
+	e := newEstimator(net, NoOverlap)
+	w := synthetic(4, 8)
+	bw := topology.BWConfig{100, 100}
+	b, err := e.Iteration(w, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := b.FwdComp + b.FwdComm + b.TPComp + b.TPComm + b.DPComp + b.DPComm
+	if !approx(b.Total, want, 1e-12) {
+		t.Errorf("NoOverlap total = %v, want sum of stages %v", b.Total, want)
+	}
+	// Two layers at 10+20 ms compute each.
+	if !approx(b.ComputeOnly, 0.060, 1e-9) {
+		t.Errorf("ComputeOnly = %v, want 60 ms", b.ComputeOnly)
+	}
+	if !approx(b.ExposedComm, b.Total-b.ComputeOnly, 1e-12) {
+		t.Errorf("ExposedComm = %v", b.ExposedComm)
+	}
+}
+
+func TestIterationTPDPOverlap(t *testing.T) {
+	net := topology.MustParse("RI(4)_SW(8)")
+	w := synthetic(4, 8)
+	bw := topology.BWConfig{100, 100}
+	no, err := newEstimator(net, NoOverlap).Iteration(w, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ov, err := newEstimator(net, TPDPOverlap).Iteration(w, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ov.Total < no.Total) {
+		t.Errorf("overlap %v should beat no-overlap %v", ov.Total, no.Total)
+	}
+	// Per layer: fwd (comp+comm) + TPComp + max(TPComm, DPComp+DPComm).
+	perLayerFwd := no.FwdComp/2 + no.FwdComm/2
+	bwd := no.TPComp/2 + math.Max(no.TPComm/2, no.DPComp/2+no.DPComm/2)
+	if !approx(ov.Total, 2*(perLayerFwd+bwd), 1e-9) {
+		t.Errorf("overlap total = %v, want %v", ov.Total, 2*(perLayerFwd+bwd))
+	}
+}
+
+func TestIterationTimeDecreasesWithBW(t *testing.T) {
+	net := topology.MustParse("RI(4)_SW(8)")
+	e := newEstimator(net, NoOverlap)
+	w := synthetic(4, 8)
+	t1, err := e.Iteration(w, topology.BWConfig{50, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := e.Iteration(w, topology.BWConfig{500, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(t2.Total < t1.Total) {
+		t.Errorf("10× BW should reduce time: %v vs %v", t2.Total, t1.Total)
+	}
+	if !(t2.Total >= t1.Total-t1.ExposedComm) {
+		t.Errorf("time cannot beat the compute floor")
+	}
+}
+
+func TestDimTrafficAndBusyConsistent(t *testing.T) {
+	net := topology.MustParse("RI(4)_SW(8)")
+	e := newEstimator(net, NoOverlap)
+	w := synthetic(4, 8)
+	bw := topology.BWConfig{100, 25}
+	b, err := e.Iteration(w, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := range b.DimBusy {
+		want := b.DimTraffic[d] / (bw[d] * 1e9)
+		if !approx(b.DimBusy[d], want, 1e-9) {
+			t.Errorf("dim %d busy %v, want traffic/bw %v", d, b.DimBusy[d], want)
+		}
+	}
+	// TP AR (1e9 ×2 calls ×2 layers) on dim 0: 2·m·3/4 each.
+	wantTP := 2.0 * 2 * (2 * 1e9 * 3 / 4)
+	if !approx(b.DimTraffic[0], wantTP, 1e-9) {
+		t.Errorf("dim0 traffic = %v, want %v", b.DimTraffic[0], wantTP)
+	}
+	if b.AvgUtilization() <= 0 || b.AvgUtilization() > 1 {
+		t.Errorf("utilization = %v out of (0,1]", b.AvgUtilization())
+	}
+}
+
+func TestUtilizationIsPerfectWhenBalanced(t *testing.T) {
+	// One collective over both dims with BW proportional to traffic: every
+	// dim is busy the whole window → utilization 1.
+	net := topology.MustParse("RI(4)_SW(8)")
+	w := &workload.Workload{
+		Name: "ar-only", Strategy: workload.Strategy{TP: 32, DP: 1}, Minibatch: 1,
+		Layers: []workload.Layer{{
+			Name: "l", Count: 1,
+			FwdComm: []workload.Comm{{Op: collective.AllReduce, Bytes: 1e9, Scope: workload.TPScope}},
+		}},
+	}
+	e := newEstimator(net, NoOverlap)
+	tr := collective.Traffic(collective.AllReduce, 1e9, collective.Mapping{
+		Phases: []collective.Phase{{Dim: 0, Group: 4}, {Dim: 1, Group: 8}}}, 2)
+	bw := topology.BWConfig{tr[0] / 1e9, tr[1] / 1e9}
+	b, err := e.Iteration(w, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(b.AvgUtilization(), 1.0, 1e-9) {
+		t.Errorf("balanced utilization = %v, want 1", b.AvgUtilization())
+	}
+}
+
+func TestTimeFuncMatchesIteration(t *testing.T) {
+	net := topology.FourD4K()
+	e := newEstimator(net, NoOverlap)
+	w, err := workload.MSFT1T(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := e.TimeFunc(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := topology.BWConfig{100, 80, 60, 60}
+	b, err := e.Iteration(w, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(f(bw), b.Total, 1e-12) {
+		t.Errorf("TimeFunc = %v, Iteration = %v", f(bw), b.Total)
+	}
+	if got := f(topology.BWConfig{1}); !math.IsInf(got, 1) && got < 1e300 {
+		t.Errorf("invalid bw should price to +inf-ish, got %v", got)
+	}
+}
+
+func TestInNetworkOffloadSpeedsUpAllReduce(t *testing.T) {
+	net := topology.MustParse("RI(4)_SW(8)")
+	w := synthetic(4, 8)
+	bw := topology.BWConfig{100, 100}
+	plain := newEstimator(net, NoOverlap)
+	off := newEstimator(net, NoOverlap)
+	off.InNetwork = []bool{false, true}
+	bp, err := plain.Iteration(w, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bo, err := off.Iteration(w, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bo.DPComm < bp.DPComm) {
+		t.Errorf("offloaded DP comm %v should beat %v", bo.DPComm, bp.DPComm)
+	}
+}
+
+// The GPT-3 anomaly (§VI-A): an Ideal-policy model prices TP over the full
+// FC(8) while the Actual traffic only uses groups of 4 — the two must
+// disagree on 4D-4K to reproduce the paper's observation.
+func TestIdealVsActualDivergeForGPT3(t *testing.T) {
+	net := topology.FourD4K()
+	w, err := workload.GPT3(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := topology.EqualBW(400, 4)
+	actual := newEstimator(net, NoOverlap)
+	ideal := newEstimator(net, NoOverlap)
+	ideal.Policy = IdealFullDims
+	ba, err := actual.Iteration(w, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bi, err := ideal.Iteration(w, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx(ba.Total, bi.Total, 1e-9) {
+		t.Errorf("ideal and actual policies agree (%v); expected divergence for TP=16 on 4D-4K", ba.Total)
+	}
+}
+
+// Property: iteration time is monotone non-increasing in every dimension's
+// bandwidth.
+func TestQuickMonotoneInBW(t *testing.T) {
+	net := topology.MustParse("RI(4)_SW(8)")
+	e := newEstimator(net, NoOverlap)
+	w := synthetic(4, 8)
+	f, err := e.TimeFunc(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a, b uint8, dim bool) bool {
+		b1 := topology.BWConfig{float64(a%200) + 1, float64(b%200) + 1}
+		b2 := b1.Clone()
+		if dim {
+			b2[0] *= 2
+		} else {
+			b2[1] *= 2
+		}
+		return f(b2) <= f(b1)+1e-15
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the analytical objective is convex along random line segments
+// in BW space (PerfOpt's convexity, which the optimizer relies on).
+func TestQuickConvexAlongSegments(t *testing.T) {
+	net := topology.MustParse("RI(4)_SW(8)")
+	e := newEstimator(net, NoOverlap)
+	w := synthetic(4, 8)
+	f, err := e.TimeFunc(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prop := func(a1, a2, b1, b2 uint8) bool {
+		x := topology.BWConfig{float64(a1) + 1, float64(a2) + 1}
+		y := topology.BWConfig{float64(b1) + 1, float64(b2) + 1}
+		mid := topology.BWConfig{(x[0] + y[0]) / 2, (x[1] + y[1]) / 2}
+		return f(mid) <= (f(x)+f(y))/2+1e-12
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Pipeline parallelism maps between TP (innermost) and DP (outermost).
+func TestMapStrategyWithPP(t *testing.T) {
+	net := topology.FourD4K() // RI(4)_FC(8)_RI(4)_SW(32)
+	m, err := MapStrategy(net, workload.Strategy{TP: 32, PP: 4, DP: 32}, Actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// TP = 4×8, PP = RI(4), DP = SW(32).
+	if m.TP.Size() != 32 || m.PP.Size() != 4 || m.DP.Size() != 32 {
+		t.Errorf("sizes TP=%d PP=%d DP=%d", m.TP.Size(), m.PP.Size(), m.DP.Size())
+	}
+	if len(m.PP.Phases) != 1 || m.PP.Phases[0].Dim != 2 {
+		t.Errorf("PP phases = %+v, want dim 3", m.PP.Phases)
+	}
+}
+
+// PP splitting a dimension: TP=8 on RI(4)_FC(8): TP takes (4,2); PP=2
+// takes the next factor of FC(8); DP gets the rest.
+func TestMapStrategyPPSplitsDim(t *testing.T) {
+	net := topology.MustParse("RI(4)_FC(8)_SW(4)")
+	m, err := MapStrategy(net, workload.Strategy{TP: 8, PP: 2, DP: 8}, Actual)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TP.Size() != 8 || m.PP.Size() != 2 || m.DP.Size() != 8 {
+		t.Fatalf("sizes TP=%d PP=%d DP=%d", m.TP.Size(), m.PP.Size(), m.DP.Size())
+	}
+	if len(m.PP.Phases) != 1 || m.PP.Phases[0].Dim != 1 || m.PP.Phases[0].Group != 2 {
+		t.Errorf("PP phases = %+v", m.PP.Phases)
+	}
+	wantDP := []collective.Phase{{Dim: 1, Group: 2}, {Dim: 2, Group: 4}}
+	if len(m.DP.Phases) != 2 || m.DP.Phases[0] != wantDP[0] || m.DP.Phases[1] != wantDP[1] {
+		t.Errorf("DP phases = %+v, want %+v", m.DP.Phases, wantDP)
+	}
+}
+
+// A pipelined iteration prices the stage-boundary point-to-point traffic
+// on the dimension where PP lives.
+func TestIterationWithPipelineParallelism(t *testing.T) {
+	net := topology.MustParse("RI(4)_FC(4)_SW(8)")
+	cfg := workload.TransformerConfig{Name: "pp", NumLayers: 16, Hidden: 2048, SeqLen: 512}
+	w, err := workload.TransformerPP(cfg, workload.Strategy{TP: 4, PP: 4, DP: 8}, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEstimator(net, NoOverlap)
+	bw := topology.BWConfig{100, 100, 100}
+	b, err := e.Iteration(w, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.DimTraffic[1] == 0 {
+		t.Error("PP dim carries no traffic")
+	}
+	// Point-to-point volume per stage: fwd + bwd boundary messages.
+	wantP2P := 2 * 16.0 * 512 * 2048 * 2 / 4
+	gotP2P := b.DimTraffic[1]
+	if gotP2P < wantP2P*(1-1e-9) {
+		t.Errorf("PP dim traffic %v, want ≥ %v", gotP2P, wantP2P)
+	}
+	// Starving the PP dimension must slow the iteration.
+	slow, err := e.Iteration(w, topology.BWConfig{100, 0.5, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(slow.Total > b.Total) {
+		t.Errorf("starved PP dim should hurt: %v vs %v", slow.Total, b.Total)
+	}
+}
+
+// LIBRA optimization works end-to-end on a pipelined workload: the PP
+// point-to-point traffic is tiny next to TP collectives, so PerfOpt
+// still wins by rebalancing toward the TP dims.
+func TestPointToPointCollectiveModel(t *testing.T) {
+	mp := collective.Mapping{Phases: []collective.Phase{{Dim: 1, Group: 4}}}
+	tr := collective.Traffic(collective.PointToPoint, 1e6, mp, 3)
+	if tr[0] != 0 || tr[1] != 1e6 || tr[2] != 0 {
+		t.Errorf("P2P traffic = %v, want 1e6 on dim 2 only", tr)
+	}
+	bw := topology.BWConfig{10, 10, 10}
+	if got := collective.Time(collective.PointToPoint, 1e6, mp, bw); !approx(got, 1e-4, 1e-12) {
+		t.Errorf("P2P time = %v, want 1e-4", got)
+	}
+	ss := collective.Stages(collective.PointToPoint, mp)
+	if len(ss) != 1 || ss[0].Op != collective.PointToPoint {
+		t.Errorf("P2P stages = %+v", ss)
+	}
+}

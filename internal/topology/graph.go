@@ -1,0 +1,130 @@
+package topology
+
+import "fmt"
+
+// NodeType distinguishes NPU vertices from switch vertices in the expanded
+// link-level graph.
+type NodeType int
+
+const (
+	// NPUNode is a compute endpoint.
+	NPUNode NodeType = iota
+	// SwitchNode is a switch interior vertex (Switch dimensions only).
+	SwitchNode
+)
+
+// GraphNode is a vertex of the expanded link-level graph.
+type GraphNode struct {
+	ID   int
+	Type NodeType
+	// NPU is the NPU id for NPUNode vertices, -1 for switches.
+	NPU int
+	// Dim is the owning dimension for SwitchNode vertices, -1 for NPUs.
+	Dim int
+}
+
+// Link is a directed link of the expanded graph. Bandwidth is assigned
+// later from a BWConfig; the graph only records structure.
+type Link struct {
+	ID       int
+	Src, Dst int // GraphNode ids
+	Dim      int // owning dimension (0-based)
+}
+
+// Graph is the link-level expansion of a Network: one vertex per NPU plus
+// one vertex per switch group of every Switch dimension, and directed links
+// following each dimension's unit topology. It backs the full
+// discrete-event simulator and the TACOS synthesizer.
+type Graph struct {
+	Net   *Network
+	Nodes []GraphNode
+	Links []Link
+	// Out[v] lists link ids leaving vertex v.
+	Out [][]int
+	// In[v] lists link ids entering vertex v.
+	In [][]int
+}
+
+// BuildGraph expands the network into its link-level graph.
+//
+// Per dimension:
+//   - Ring: each NPU gets bidirectional links to its ±1 neighbors in the
+//     ring (wrap-around), i.e. two unidirectional links per neighbor pair.
+//   - FullyConnected: directed links between every ordered pair in the group.
+//   - Switch: one switch vertex per group with a bidirectional link pair
+//     between each member NPU and the switch.
+func BuildGraph(n *Network) *Graph {
+	g := &Graph{Net: n}
+	p := n.NPUs()
+	for id := 0; id < p; id++ {
+		g.Nodes = append(g.Nodes, GraphNode{ID: id, Type: NPUNode, NPU: id, Dim: -1})
+	}
+	addLink := func(src, dst, dim int) {
+		g.Links = append(g.Links, Link{ID: len(g.Links), Src: src, Dst: dst, Dim: dim})
+	}
+	for dim, d := range n.dims {
+		seen := make(map[string]bool)
+		for npu := 0; npu < p; npu++ {
+			group := n.GroupOf(npu, dim)
+			key := fmt.Sprint(group[0], ":", dim)
+			if group[0] != npu || seen[key] {
+				continue // enumerate each group once, from its first member
+			}
+			seen[key] = true
+			switch d.Kind {
+			case Ring:
+				for i := range group {
+					next := group[(i+1)%len(group)]
+					addLink(group[i], next, dim)
+					addLink(next, group[i], dim)
+				}
+			case FullyConnected:
+				for i := range group {
+					for j := range group {
+						if i != j {
+							addLink(group[i], group[j], dim)
+						}
+					}
+				}
+			case Switch:
+				sw := len(g.Nodes)
+				g.Nodes = append(g.Nodes, GraphNode{ID: sw, Type: SwitchNode, NPU: -1, Dim: dim})
+				for _, m := range group {
+					addLink(m, sw, dim)
+					addLink(sw, m, dim)
+				}
+			}
+		}
+	}
+	g.Out = make([][]int, len(g.Nodes))
+	g.In = make([][]int, len(g.Nodes))
+	for _, l := range g.Links {
+		g.Out[l.Src] = append(g.Out[l.Src], l.ID)
+		g.In[l.Dst] = append(g.In[l.Dst], l.ID)
+	}
+	return g
+}
+
+// LinkBW returns the per-link bandwidth (GB/s) for every link given a
+// per-NPU per-dimension allocation. An NPU's dimension budget bw[dim] is
+// divided across the unidirectional links it drives in that dimension:
+// Ring splits across the 2 outgoing neighbor links, FullyConnected across
+// the (size−1) peers, and Switch dedicates the full budget to the single
+// uplink (and each switch downlink mirrors the member's uplink).
+func (g *Graph) LinkBW(bw BWConfig) []float64 {
+	out := make([]float64, len(g.Links))
+	for i, l := range g.Links {
+		d := g.Net.dims[l.Dim]
+		var per float64
+		switch d.Kind {
+		case Ring:
+			per = bw[l.Dim] / 2
+		case FullyConnected:
+			per = bw[l.Dim] / float64(d.Size-1)
+		case Switch:
+			per = bw[l.Dim]
+		}
+		out[i] = per
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package topology
+
+import "fmt"
+
+// Preset names used throughout the paper's evaluation (Table III) plus the
+// real-cluster examples of Fig. 11.
+const (
+	Name4D4K    = "4D-4K"
+	Name3D4K    = "3D-4K"
+	Name3D512   = "3D-512"
+	Name3D1K    = "3D-1K"
+	Name4D2K    = "4D-2K"
+	Name3DTorus = "3D-Torus"
+	Name2D4K    = "2D-4K"
+)
+
+// FourD4K is the paper's representative 4,096-NPU 4D network:
+// RI(4)_FC(8)_RI(4)_SW(32).
+func FourD4K() *Network { return MustParse("RI(4)_FC(8)_RI(4)_SW(32)").WithName(Name4D4K) }
+
+// ThreeD4K is the paper's 4,096-NPU 3D network, formed by combining the two
+// Ring dimensions of 4D-4K: RI(16)_FC(8)_SW(32).
+func ThreeD4K() *Network { return MustParse("RI(16)_FC(8)_SW(32)").WithName(Name3D4K) }
+
+// TwoD4K is a 4,096-NPU 2D network used for the Fig. 10 dimensionality
+// study. The paper does not spell out its 2D shape; we merge the scale-up
+// dimensions of 3D-4K into one switch dimension: SW(128)_SW(32).
+func TwoD4K() *Network { return MustParse("SW(128)_SW(32)").WithName(Name2D4K) }
+
+// ThreeD512 is the 512-NPU topology SW(16)_SW(8)_SW(4) from Table III.
+func ThreeD512() *Network { return MustParse("SW(16)_SW(8)_SW(4)").WithName(Name3D512) }
+
+// ThreeD1K is the 1,024-NPU topology FC(8)_RI(16)_SW(8) from Table III.
+func ThreeD1K() *Network { return MustParse("FC(8)_RI(16)_SW(8)").WithName(Name3D1K) }
+
+// FourD2K is the 2,048-NPU topology RI(4)_SW(4)_SW(8)_SW(16) from Table III.
+func FourD2K() *Network { return MustParse("RI(4)_SW(4)_SW(8)_SW(16)").WithName(Name4D2K) }
+
+// ThreeDTorus is the 64-NPU 3D torus RI(4)_RI(4)_RI(4) from Table III,
+// used in the TACOS co-design study (Fig. 20).
+func ThreeDTorus() *Network { return MustParse("RI(4)_RI(4)_RI(4)").WithName(Name3DTorus) }
+
+// Preset returns a named evaluation topology from Table III (or 2D-4K).
+func Preset(name string) (*Network, error) {
+	switch name {
+	case Name4D4K:
+		return FourD4K(), nil
+	case Name3D4K:
+		return ThreeD4K(), nil
+	case Name2D4K:
+		return TwoD4K(), nil
+	case Name3D512:
+		return ThreeD512(), nil
+	case Name3D1K:
+		return ThreeD1K(), nil
+	case Name4D2K:
+		return FourD2K(), nil
+	case Name3DTorus:
+		return ThreeDTorus(), nil
+	default:
+		return nil, fmt.Errorf("topology: unknown preset %q", name)
+	}
+}
+
+// PresetNames lists the Table III evaluation topologies in paper order.
+func PresetNames() []string {
+	return []string{Name4D4K, Name3D4K, Name3D512, Name3D1K, Name4D2K, Name3DTorus}
+}
+
+// RealSystem describes a deployed ML cluster whose fabric the block
+// notation captures (Fig. 11).
+type RealSystem struct {
+	Cluster string
+	Shape   string
+}
+
+// RealSystems returns the Fig. 11 examples mapping notation to deployed
+// ML HPC clusters.
+func RealSystems() []RealSystem {
+	return []RealSystem{
+		{Cluster: "Google TPUv4", Shape: "RI(4)_RI(2)_RI(2)"},
+		{Cluster: "Google TPUv2/TPUv3", Shape: "RI(4)_RI(2)"},
+		{Cluster: "NVIDIA DGX-2 / DGX-A100", Shape: "SW(3)_SW(2)"},
+		{Cluster: "Intel Habana HLS-1 / NVIDIA HGX-H100", Shape: "FC(4)_SW(2)"},
+		{Cluster: "Meta Zion / NVIDIA DGX-1", Shape: "RI(4)_SW(2)"},
+	}
+}

@@ -1,0 +1,307 @@
+// Package topology models multi-dimensional training-fabric topologies.
+//
+// A multi-dimensional network gives every NPU several independent
+// connectivity options ("dimensions") that can be driven in parallel.
+// Following the LIBRA paper (ISPASS 2024) and ASTRA-sim 2.0, each dimension
+// is one of three unit building blocks — Ring (RI), FullyConnected (FC), or
+// Switch (SW) — and a network is written by stacking blocks innermost-first,
+// e.g. "RI(4)_FC(8)_RI(4)_SW(32)" is the paper's 4D-4K network with
+// 4×8×4×32 = 4096 NPUs.
+//
+// Dimensions also carry a physical tier (Chiplet, Package, Node, Pod) used
+// by the cost model; by default the outermost dimension is the Pod
+// (scale-out) tier and inner dimensions take successively closer tiers.
+package topology
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Kind is the unit topology of one network dimension.
+type Kind int
+
+const (
+	// Ring connects the dimension's NPUs in a bidirectional ring; its
+	// topology-aware collective algorithm is Ring.
+	Ring Kind = iota
+	// FullyConnected gives every pair of NPUs in the dimension a direct
+	// link; its topology-aware collective algorithm is Direct.
+	FullyConnected
+	// Switch connects the dimension's NPUs through a non-blocking switch;
+	// its topology-aware collective algorithm is Halving-Doubling.
+	Switch
+)
+
+// String returns the two-letter notation used in network names.
+func (k Kind) String() string {
+	switch k {
+	case Ring:
+		return "RI"
+	case FullyConnected:
+		return "FC"
+	case Switch:
+		return "SW"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind parses the two-letter block notation ("RI", "FC", "SW").
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToUpper(s) {
+	case "RI", "RING":
+		return Ring, nil
+	case "FC", "FULLYCONNECTED":
+		return FullyConnected, nil
+	case "SW", "SWITCH":
+		return Switch, nil
+	default:
+		return 0, fmt.Errorf("topology: unknown building block %q (want RI, FC, or SW)", s)
+	}
+}
+
+// Tier is the physical connotation of a network dimension, used by the
+// dollar-cost model (Table I of the paper).
+type Tier int
+
+const (
+	// Chiplet is the intra-package, chiplet-to-chiplet tier (always
+	// peer-to-peer; never uses switches or NICs).
+	Chiplet Tier = iota
+	// Package is the package-to-package (intra-board, MCM) tier.
+	Package
+	// Node is the board-to-board (intra-server) tier.
+	Node
+	// Pod is the scale-out tier; the only tier that uses NICs.
+	Pod
+)
+
+// String returns the tier name.
+func (t Tier) String() string {
+	switch t {
+	case Chiplet:
+		return "Chiplet"
+	case Package:
+		return "Package"
+	case Node:
+		return "Node"
+	case Pod:
+		return "Pod"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// Dim is one dimension of a multi-dimensional network.
+type Dim struct {
+	Kind Kind
+	Size int  // NPUs per group in this dimension (≥ 2)
+	Tier Tier // physical connotation; used for dollar cost
+}
+
+// String renders the dimension in block notation, e.g. "FC(8)".
+func (d Dim) String() string { return fmt.Sprintf("%s(%d)", d.Kind, d.Size) }
+
+// Network is an N-dimensional topology: a stack of unit building blocks,
+// innermost (Dim 1) first.
+type Network struct {
+	name string
+	dims []Dim
+}
+
+// New builds a network from dimensions, innermost first. Tiers, if left at
+// their zero value for every dimension, are assigned by DefaultTiers.
+func New(dims ...Dim) (*Network, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("topology: network needs at least one dimension")
+	}
+	cp := make([]Dim, len(dims))
+	copy(cp, dims)
+	allChiplet := true
+	for i, d := range cp {
+		if d.Size < 2 {
+			return nil, fmt.Errorf("topology: dim %d has size %d; every dimension needs ≥ 2 NPUs", i+1, d.Size)
+		}
+		if d.Kind != Ring && d.Kind != FullyConnected && d.Kind != Switch {
+			return nil, fmt.Errorf("topology: dim %d has unknown kind %v", i+1, d.Kind)
+		}
+		if d.Tier != Chiplet {
+			allChiplet = false
+		}
+	}
+	n := &Network{dims: cp}
+	if allChiplet {
+		n.AssignDefaultTiers()
+	}
+	return n, nil
+}
+
+// MustNew is New but panics on error; for package-level presets and tests.
+func MustNew(dims ...Dim) *Network {
+	n, err := New(dims...)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Parse reads the underscore-separated block notation, e.g.
+// "RI(4)_FC(8)_RI(4)_SW(32)". Tiers are assigned by DefaultTiers.
+func Parse(s string) (*Network, error) {
+	parts := strings.Split(strings.TrimSpace(s), "_")
+	if len(parts) == 0 || parts[0] == "" {
+		return nil, fmt.Errorf("topology: empty network string")
+	}
+	dims := make([]Dim, 0, len(parts))
+	for _, p := range parts {
+		open := strings.IndexByte(p, '(')
+		if open < 0 || !strings.HasSuffix(p, ")") {
+			return nil, fmt.Errorf("topology: malformed block %q (want KIND(SIZE))", p)
+		}
+		kind, err := ParseKind(p[:open])
+		if err != nil {
+			return nil, err
+		}
+		size, err := strconv.Atoi(p[open+1 : len(p)-1])
+		if err != nil {
+			return nil, fmt.Errorf("topology: malformed size in block %q: %v", p, err)
+		}
+		dims = append(dims, Dim{Kind: kind, Size: size})
+	}
+	return New(dims...)
+}
+
+// MustParse is Parse but panics on error.
+func MustParse(s string) *Network {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// String renders the network in block notation.
+func (n *Network) String() string {
+	var b strings.Builder
+	for i, d := range n.dims {
+		if i > 0 {
+			b.WriteByte('_')
+		}
+		b.WriteString(d.String())
+	}
+	return b.String()
+}
+
+// Name returns the preset name if set (e.g. "4D-4K"), else the block notation.
+func (n *Network) Name() string {
+	if n.name != "" {
+		return n.name
+	}
+	return n.String()
+}
+
+// WithName returns the same network labeled with a human-readable name.
+func (n *Network) WithName(name string) *Network {
+	cp := *n
+	cp.name = name
+	return &cp
+}
+
+// Dims returns a copy of the dimension list, innermost first.
+func (n *Network) Dims() []Dim {
+	cp := make([]Dim, len(n.dims))
+	copy(cp, n.dims)
+	return cp
+}
+
+// Dim returns dimension i (0-based; 0 is the innermost, "Dim 1" in the paper).
+func (n *Network) Dim(i int) Dim { return n.dims[i] }
+
+// NumDims returns the network's dimensionality N.
+func (n *Network) NumDims() int { return len(n.dims) }
+
+// NPUs returns the total NPU count: the product of all dimension sizes.
+func (n *Network) NPUs() int {
+	p := 1
+	for _, d := range n.dims {
+		p *= d.Size
+	}
+	return p
+}
+
+// Sizes returns the dimension sizes, innermost first.
+func (n *Network) Sizes() []int {
+	s := make([]int, len(n.dims))
+	for i, d := range n.dims {
+		s[i] = d.Size
+	}
+	return s
+}
+
+// DefaultTiers returns the physical connotation the paper assigns to an
+// n-dimensional network (Fig. 2b): the outermost dimension is always Pod,
+// preceded by Node, Package, and Chiplet. Networks with more than four
+// dimensions pin the extra innermost dimensions to Chiplet.
+func DefaultTiers(n int) []Tier {
+	order := []Tier{Chiplet, Package, Node, Pod}
+	tiers := make([]Tier, n)
+	for i := 0; i < n; i++ {
+		// Align to the tail of the canonical order.
+		j := len(order) - n + i
+		if j < 0 {
+			j = 0
+		}
+		tiers[i] = order[j]
+	}
+	return tiers
+}
+
+// AssignDefaultTiers overwrites every dimension's tier with DefaultTiers.
+func (n *Network) AssignDefaultTiers() {
+	tiers := DefaultTiers(len(n.dims))
+	for i := range n.dims {
+		n.dims[i].Tier = tiers[i]
+	}
+}
+
+// SetTier overrides the tier of dimension i (0-based).
+func (n *Network) SetTier(i int, t Tier) { n.dims[i].Tier = t }
+
+// Coord converts an NPU id in [0, NPUs) to its per-dimension coordinates
+// (innermost dimension varies fastest).
+func (n *Network) Coord(id int) []int {
+	c := make([]int, len(n.dims))
+	for i, d := range n.dims {
+		c[i] = id % d.Size
+		id /= d.Size
+	}
+	return c
+}
+
+// ID converts per-dimension coordinates back to an NPU id.
+func (n *Network) ID(coord []int) int {
+	id := 0
+	stride := 1
+	for i, d := range n.dims {
+		id += coord[i] * stride
+		stride *= d.Size
+	}
+	return id
+}
+
+// GroupOf returns the ids of every NPU that shares npu's position in all
+// dimensions except dim; these are the peers npu talks to over that
+// dimension. The result is sorted by the dim coordinate and includes npu.
+func (n *Network) GroupOf(npu, dim int) []int {
+	coord := n.Coord(npu)
+	group := make([]int, n.dims[dim].Size)
+	for v := 0; v < n.dims[dim].Size; v++ {
+		c := make([]int, len(coord))
+		copy(c, coord)
+		c[dim] = v
+		group[v] = n.ID(c)
+	}
+	return group
+}

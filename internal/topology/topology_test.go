@@ -1,0 +1,379 @@
+package topology
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"RI(4)_FC(8)_RI(4)_SW(32)",
+		"RI(16)_FC(8)_SW(32)",
+		"SW(16)_SW(8)_SW(4)",
+		"FC(8)_RI(16)_SW(8)",
+		"RI(4)_SW(4)_SW(8)_SW(16)",
+		"RI(4)_RI(4)_RI(4)",
+		"SW(2)",
+	}
+	for _, s := range cases {
+		n, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if got := n.String(); got != s {
+			t.Errorf("Parse(%q).String() = %q", s, got)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"", "RI", "RI(1)", "RI(0)", "XX(4)", "RI(4)FC(8)", "RI(four)",
+		"RI(4)_", "_RI(4)", "RI(-3)",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) unexpectedly succeeded", s)
+		}
+	}
+}
+
+func TestParseAcceptsLongNames(t *testing.T) {
+	n, err := Parse("Ring(4)_Switch(8)")
+	if err != nil {
+		t.Fatalf("Parse long names: %v", err)
+	}
+	if n.Dim(0).Kind != Ring || n.Dim(1).Kind != Switch {
+		t.Errorf("long-name kinds wrong: %v", n.Dims())
+	}
+}
+
+func TestNPUs(t *testing.T) {
+	cases := []struct {
+		shape string
+		want  int
+	}{
+		{"RI(4)_FC(8)_RI(4)_SW(32)", 4096},
+		{"RI(16)_FC(8)_SW(32)", 4096},
+		{"SW(16)_SW(8)_SW(4)", 512},
+		{"FC(8)_RI(16)_SW(8)", 1024},
+		{"RI(4)_SW(4)_SW(8)_SW(16)", 2048},
+		{"RI(4)_RI(4)_RI(4)", 64},
+	}
+	for _, c := range cases {
+		if got := MustParse(c.shape).NPUs(); got != c.want {
+			t.Errorf("%s NPUs = %d, want %d", c.shape, got, c.want)
+		}
+	}
+}
+
+func TestPresetsMatchTableIII(t *testing.T) {
+	wantShape := map[string]string{
+		Name4D4K:    "RI(4)_FC(8)_RI(4)_SW(32)",
+		Name3D4K:    "RI(16)_FC(8)_SW(32)",
+		Name3D512:   "SW(16)_SW(8)_SW(4)",
+		Name3D1K:    "FC(8)_RI(16)_SW(8)",
+		Name4D2K:    "RI(4)_SW(4)_SW(8)_SW(16)",
+		Name3DTorus: "RI(4)_RI(4)_RI(4)",
+	}
+	for _, name := range PresetNames() {
+		n, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if n.String() != wantShape[name] {
+			t.Errorf("Preset(%q) = %s, want %s", name, n.String(), wantShape[name])
+		}
+		if n.Name() != name {
+			t.Errorf("Preset(%q).Name() = %q", name, n.Name())
+		}
+	}
+	if _, err := Preset("5D-bogus"); err == nil {
+		t.Error("unknown preset should error")
+	}
+}
+
+func TestDefaultTiers(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []Tier
+	}{
+		{1, []Tier{Pod}},
+		{2, []Tier{Node, Pod}},
+		{3, []Tier{Package, Node, Pod}},
+		{4, []Tier{Chiplet, Package, Node, Pod}},
+		{5, []Tier{Chiplet, Chiplet, Package, Node, Pod}},
+	}
+	for _, c := range cases {
+		got := DefaultTiers(c.n)
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("DefaultTiers(%d) = %v, want %v", c.n, got, c.want)
+				break
+			}
+		}
+	}
+	// Networks built via Parse get default tiers.
+	n := MustParse("RI(4)_FC(8)_RI(4)_SW(32)")
+	for i, want := range []Tier{Chiplet, Package, Node, Pod} {
+		if n.Dim(i).Tier != want {
+			t.Errorf("dim %d tier = %v, want %v", i+1, n.Dim(i).Tier, want)
+		}
+	}
+}
+
+func TestSetTierOverride(t *testing.T) {
+	n := MustParse("RI(4)_SW(2)")
+	n.SetTier(0, Package)
+	if n.Dim(0).Tier != Package {
+		t.Errorf("SetTier did not stick: %v", n.Dim(0).Tier)
+	}
+}
+
+func TestCoordIDRoundTrip(t *testing.T) {
+	n := MustParse("RI(4)_FC(8)_SW(3)")
+	for id := 0; id < n.NPUs(); id++ {
+		c := n.Coord(id)
+		if back := n.ID(c); back != id {
+			t.Fatalf("ID(Coord(%d)) = %d", id, back)
+		}
+		for i, d := range n.Dims() {
+			if c[i] < 0 || c[i] >= d.Size {
+				t.Fatalf("coord %v of %d out of range for %v", c, id, d)
+			}
+		}
+	}
+}
+
+func TestCoordInnermostVariesFastest(t *testing.T) {
+	n := MustParse("RI(4)_SW(2)")
+	c0, c1 := n.Coord(0), n.Coord(1)
+	if c0[0] != 0 || c1[0] != 1 || c0[1] != 0 || c1[1] != 0 {
+		t.Errorf("coords: %v %v; want innermost to vary fastest", c0, c1)
+	}
+	if n.Coord(4)[1] != 1 {
+		t.Errorf("coord(4) = %v; want second dim 1", n.Coord(4))
+	}
+}
+
+func TestGroupOf(t *testing.T) {
+	n := MustParse("RI(3)_SW(2)")
+	g := n.GroupOf(0, 0)
+	if len(g) != 3 || g[0] != 0 || g[1] != 1 || g[2] != 2 {
+		t.Errorf("GroupOf(0, dim0) = %v", g)
+	}
+	g = n.GroupOf(1, 1)
+	if len(g) != 2 || g[0] != 1 || g[1] != 4 {
+		t.Errorf("GroupOf(1, dim1) = %v", g)
+	}
+	// Every member of a group reports the same group.
+	for npu := 0; npu < n.NPUs(); npu++ {
+		for dim := 0; dim < n.NumDims(); dim++ {
+			grp := n.GroupOf(npu, dim)
+			found := false
+			for _, m := range grp {
+				if m == npu {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("GroupOf(%d,%d) = %v does not contain the NPU", npu, dim, grp)
+			}
+		}
+	}
+}
+
+func TestEqualBW(t *testing.T) {
+	bw := EqualBW(300, 3)
+	if len(bw) != 3 {
+		t.Fatalf("len = %d", len(bw))
+	}
+	for _, v := range bw {
+		if v != 100 {
+			t.Errorf("EqualBW(300,3) = %v", bw)
+		}
+	}
+	if got := bw.Total(); got != 300 {
+		t.Errorf("Total = %v", got)
+	}
+}
+
+func TestBWConfigValidate(t *testing.T) {
+	n := MustParse("RI(4)_SW(2)")
+	if err := (BWConfig{10, 20}).Validate(n); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	for _, bad := range []BWConfig{{10}, {10, 20, 30}, {0, 20}, {-1, 20}} {
+		if err := bad.Validate(n); err == nil {
+			t.Errorf("config %v unexpectedly valid", bad)
+		}
+	}
+}
+
+func TestBWConfigCloneIndependent(t *testing.T) {
+	a := BWConfig{1, 2}
+	b := a.Clone()
+	b[0] = 99
+	if a[0] != 1 {
+		t.Error("Clone aliases the original")
+	}
+}
+
+func TestBWConfigString(t *testing.T) {
+	s := BWConfig{30, 20.5}.String()
+	if !strings.Contains(s, "30.00") || !strings.Contains(s, "20.50") || !strings.Contains(s, "GB/s") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestRealSystemsParse(t *testing.T) {
+	for _, rs := range RealSystems() {
+		n, err := Parse(rs.Shape)
+		if err != nil {
+			t.Errorf("real system %s shape %q: %v", rs.Cluster, rs.Shape, err)
+			continue
+		}
+		if n.NPUs() < 2 {
+			t.Errorf("real system %s has %d NPUs", rs.Cluster, n.NPUs())
+		}
+	}
+}
+
+func TestBuildGraphRing(t *testing.T) {
+	g := BuildGraph(MustParse("RI(4)"))
+	if len(g.Nodes) != 4 {
+		t.Fatalf("nodes = %d", len(g.Nodes))
+	}
+	// 4 neighbor pairs × 2 directions.
+	if len(g.Links) != 8 {
+		t.Fatalf("links = %d, want 8", len(g.Links))
+	}
+	for _, l := range g.Links {
+		diff := (l.Dst - l.Src + 4) % 4
+		if diff != 1 && diff != 3 {
+			t.Errorf("non-neighbor ring link %d→%d", l.Src, l.Dst)
+		}
+	}
+}
+
+func TestBuildGraphFC(t *testing.T) {
+	g := BuildGraph(MustParse("FC(4)"))
+	if len(g.Links) != 12 { // 4×3 ordered pairs
+		t.Fatalf("links = %d, want 12", len(g.Links))
+	}
+}
+
+func TestBuildGraphSwitch(t *testing.T) {
+	g := BuildGraph(MustParse("SW(4)"))
+	if len(g.Nodes) != 5 {
+		t.Fatalf("nodes = %d, want 4 NPUs + 1 switch", len(g.Nodes))
+	}
+	if len(g.Links) != 8 { // 4 up + 4 down
+		t.Fatalf("links = %d, want 8", len(g.Links))
+	}
+	sw := g.Nodes[4]
+	if sw.Type != SwitchNode || sw.Dim != 0 || sw.NPU != -1 {
+		t.Errorf("switch node malformed: %+v", sw)
+	}
+}
+
+func TestBuildGraphMultiDim(t *testing.T) {
+	n := MustParse("RI(4)_SW(2)")
+	g := BuildGraph(n)
+	// 8 NPUs + 4 switches (one per group of the SW(2) dim).
+	if len(g.Nodes) != 12 {
+		t.Fatalf("nodes = %d, want 12", len(g.Nodes))
+	}
+	// Ring dim: 2 groups × 8 links; switch dim: 4 groups × 4 links.
+	if len(g.Links) != 32 {
+		t.Fatalf("links = %d, want 32", len(g.Links))
+	}
+	// Out/In indexes must be consistent.
+	for _, l := range g.Links {
+		foundOut, foundIn := false, false
+		for _, id := range g.Out[l.Src] {
+			if id == l.ID {
+				foundOut = true
+			}
+		}
+		for _, id := range g.In[l.Dst] {
+			if id == l.ID {
+				foundIn = true
+			}
+		}
+		if !foundOut || !foundIn {
+			t.Fatalf("link %d missing from adjacency index", l.ID)
+		}
+	}
+}
+
+func TestLinkBW(t *testing.T) {
+	n := MustParse("RI(4)_FC(3)_SW(2)")
+	g := BuildGraph(n)
+	bw := g.LinkBW(BWConfig{10, 20, 30})
+	for i, l := range g.Links {
+		var want float64
+		switch n.Dim(l.Dim).Kind {
+		case Ring:
+			want = 5 // 10 / 2 directions
+		case FullyConnected:
+			want = 10 // 20 / (3-1) peers
+		case Switch:
+			want = 30
+		}
+		if bw[i] != want {
+			t.Errorf("link %d (dim %d) bw = %v, want %v", i, l.Dim, bw[i], want)
+		}
+	}
+}
+
+// Property: Coord/ID are inverse bijections for arbitrary shapes.
+func TestQuickCoordBijection(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		da, db, dc := int(a%6)+2, int(b%6)+2, int(c%6)+2
+		n := MustNew(
+			Dim{Kind: Ring, Size: da},
+			Dim{Kind: FullyConnected, Size: db},
+			Dim{Kind: Switch, Size: dc},
+		)
+		seen := make(map[int]bool)
+		for id := 0; id < n.NPUs(); id++ {
+			back := n.ID(n.Coord(id))
+			if back != id || seen[back] {
+				return false
+			}
+			seen[back] = true
+		}
+		return len(seen) == da*db*dc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: graph link endpoints in a dimension always share all other
+// coordinates (links never cross dimensions).
+func TestQuickGraphLinksStayInGroup(t *testing.T) {
+	f := func(a, b uint8) bool {
+		da, db := int(a%4)+2, int(b%4)+2
+		n := MustNew(Dim{Kind: Ring, Size: da}, Dim{Kind: FullyConnected, Size: db})
+		g := BuildGraph(n)
+		for _, l := range g.Links {
+			src, dst := g.Nodes[l.Src], g.Nodes[l.Dst]
+			if src.Type != NPUNode || dst.Type != NPUNode {
+				continue
+			}
+			cs, cd := n.Coord(src.NPU), n.Coord(dst.NPU)
+			for d := range cs {
+				if d != l.Dim && cs[d] != cd[d] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fig1Point is one model of the paper's Fig. 1: per-NPU communication
+// volume per training iteration at 1,024 NPUs (FP16).
+type Fig1Point struct {
+	Model  string
+	Year   int
+	Params float64
+	// CommMB is the per-NPU communication volume in megabytes.
+	CommMB float64
+}
+
+// dpOnlyCommMB returns the Fig. 1 volume for a pure data-parallel model:
+// a ZeRO-2 gradient Reduce-Scatter plus weight All-Gather (together the
+// volume of one All-Reduce), i.e. ≈ 2 · 2 bytes · params for large DP.
+func dpOnlyCommMB(params float64, dp int) float64 {
+	n := float64(dp)
+	return 2 * bytesFP16 * params * (n - 1) / n / 1e6
+}
+
+// Fig1Models reproduces Fig. 1's model set: DP-only models (minibatch 32)
+// from ResNet-50 (2015) through Turing-NLG (2020), plus GPT-3 and MSFT-1T
+// under their Table II hybrid strategies, all at 1,024 NPUs.
+func Fig1Models() ([]Fig1Point, error) {
+	const npus = 1024
+	// DP-only models: published parameter counts.
+	dpModels := []struct {
+		name   string
+		year   int
+		params float64
+	}{
+		{"ResNet-50", 2015, 25.6e6},
+		{"GNMT", 2016, 278e6},
+		{"ResNeXt", 2017, 83.6e6},
+		{"SENet-154", 2017, 115e6},
+		{"NasNet-A", 2018, 88.9e6},
+		{"BERT-L", 2018, 340e6},
+		{"Megatron", 2019, 8.3e9},
+		{"Turing-NLG", 2020, 17e9},
+	}
+	out := make([]Fig1Point, 0, len(dpModels)+2)
+	for _, m := range dpModels {
+		out = append(out, Fig1Point{
+			Model:  m.name,
+			Year:   m.year,
+			Params: m.params,
+			CommMB: dpOnlyCommMB(m.params, npus),
+		})
+	}
+	for _, build := range []struct {
+		year int
+		fn   func(int) (*Workload, error)
+	}{
+		{2020, GPT3},
+		{2021, MSFT1T},
+	} {
+		w, err := build.fn(npus)
+		if err != nil {
+			return nil, fmt.Errorf("workload: fig1 %v", err)
+		}
+		out = append(out, Fig1Point{
+			Model:  w.Name,
+			Year:   build.year,
+			Params: w.Params,
+			CommMB: w.CommVolume() / 1e6,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Year != out[j].Year {
+			return out[i].Year < out[j].Year
+		}
+		return out[i].CommMB < out[j].CommMB
+	})
+	return out, nil
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+
+	"libra/internal/collective"
+)
+
+// TransformerPP builds a Megatron-style transformer under a 3-way hybrid
+// strategy HP-(TP, PP, DP): TP-way tensor sharding within each of PP
+// pipeline stages, DP-way data parallelism across replicas (§IV-C's
+// pipeline-parallel extension — stage boundaries exchange direct
+// NPU-to-NPU activation/gradient messages priced as m/B).
+//
+// The iteration is modeled from one stage's perspective (stages are
+// symmetric):
+//
+//   - Each NPU holds L/PP transformer blocks (L must divide by PP).
+//   - The minibatch is split into microbatches GPipe-style; every
+//     microbatch crossing a stage boundary moves
+//     microbatchTokens·H·fp16 bytes forward and the same backward, so a
+//     stage's per-iteration point-to-point volume is
+//     2 · microbatches · (mb/microbatches)·S·H·2 = 2·mb·S·H·2 bytes.
+//   - The pipeline fill/drain bubble inflates compute by
+//     (microbatches + PP − 1)/microbatches, applied to per-layer compute.
+//
+// minibatch is samples per DP replica per iteration; microbatches must
+// divide it.
+func TransformerPP(cfg TransformerConfig, s Strategy, minibatch, microbatches int) (*Workload, error) {
+	if s.PPOr1() == 1 {
+		return Transformer(cfg, s, minibatch)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if microbatches < 1 {
+		return nil, fmt.Errorf("workload: %s needs ≥ 1 microbatches, got %d", cfg.Name, microbatches)
+	}
+	if minibatch%microbatches != 0 {
+		return nil, fmt.Errorf("workload: %s minibatch %d must divide into %d microbatches", cfg.Name, minibatch, microbatches)
+	}
+	if cfg.NumLayers%s.PP != 0 {
+		return nil, fmt.Errorf("workload: %s has %d layers, not divisible into %d pipeline stages", cfg.Name, cfg.NumLayers, s.PP)
+	}
+
+	// Build the single-stage workload: L/PP layers under HP-(TP, DP).
+	stageCfg := cfg
+	stageCfg.NumLayers = cfg.NumLayers / s.PP
+	if s.PP > 1 {
+		// Embedding lives on the first/last stages only; drop it from the
+		// per-stage model and keep the uniform-stage approximation.
+		stageCfg.VocabSize = 0
+	}
+	w, err := Transformer(stageCfg, Strategy{TP: s.TP, DP: s.DP}, minibatch)
+	if err != nil {
+		return nil, err
+	}
+	w.Name = cfg.Name
+	w.Params = cfg.Params()
+	w.Strategy = s
+
+	// Pipeline bubble: (microbatches + PP − 1)/microbatches on compute.
+	bubble := float64(microbatches+s.PP-1) / float64(microbatches)
+	for i := range w.Layers {
+		w.Layers[i].FwdFLOPs *= bubble
+		w.Layers[i].FwdBytes *= bubble
+		w.Layers[i].TPFLOPs *= bubble
+		w.Layers[i].TPBytes *= bubble
+	}
+
+	// Stage-boundary point-to-point traffic: activations forward,
+	// gradients backward, one message per microbatch, TP-sharded.
+	tokens := float64(minibatch) * float64(cfg.SeqLen)
+	p2pBytes := tokens * float64(cfg.Hidden) * bytesFP16 / float64(s.TP)
+	boundary := Layer{
+		Name:    "pp-boundary",
+		Count:   1,
+		FwdComm: []Comm{{Op: collective.PointToPoint, Bytes: p2pBytes, Scope: PPScope}},
+		TPComm:  []Comm{{Op: collective.PointToPoint, Bytes: p2pBytes, Scope: PPScope}},
+	}
+	w.Layers = append(w.Layers, boundary)
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

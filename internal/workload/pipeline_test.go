@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"libra/internal/collective"
+)
+
+func TestTransformerPPStructure(t *testing.T) {
+	cfg := TransformerConfig{Name: "pp-model", NumLayers: 32, Hidden: 2048, SeqLen: 1024, VocabSize: 1000}
+	s := Strategy{TP: 4, PP: 4, DP: 8}
+	w, err := TransformerPP(cfg, s, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Strategy.NPUs() != 128 {
+		t.Errorf("NPUs = %d, want 128", w.Strategy.NPUs())
+	}
+	var block, boundary *Layer
+	for i := range w.Layers {
+		switch w.Layers[i].Name {
+		case "transformer-block":
+			block = &w.Layers[i]
+		case "pp-boundary":
+			boundary = &w.Layers[i]
+		}
+	}
+	if block == nil || boundary == nil {
+		t.Fatalf("layers = %+v", w.Layers)
+	}
+	// Each stage holds L/PP blocks.
+	if block.Count != 8 {
+		t.Errorf("stage blocks = %d, want 8", block.Count)
+	}
+	// Boundary sends TP-sharded microbatch activations point-to-point.
+	if len(boundary.FwdComm) != 1 || boundary.FwdComm[0].Op != collective.PointToPoint ||
+		boundary.FwdComm[0].Scope != PPScope {
+		t.Errorf("boundary fwd comm = %+v", boundary.FwdComm)
+	}
+	wantP2P := 16.0 * 1024 * 2048 * 2 / 4
+	if math.Abs(boundary.FwdComm[0].Bytes-wantP2P) > 1 {
+		t.Errorf("p2p bytes = %v, want %v", boundary.FwdComm[0].Bytes, wantP2P)
+	}
+}
+
+func TestTransformerPPBubbleInflatesCompute(t *testing.T) {
+	cfg := TransformerConfig{Name: "pp-model", NumLayers: 32, Hidden: 2048, SeqLen: 1024}
+	noPP, err := Transformer(TransformerConfig{Name: "x", NumLayers: 8, Hidden: 2048, SeqLen: 1024},
+		Strategy{TP: 4, DP: 8}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := TransformerPP(cfg, Strategy{TP: 4, PP: 4, DP: 8}, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bubble factor (8+4-1)/8 = 1.375 on the stage's forward compute.
+	want := noPP.Layers[0].FwdFLOPs * 1.375
+	if math.Abs(pp.Layers[0].FwdFLOPs-want)/want > 1e-9 {
+		t.Errorf("bubbled FwdFLOPs = %v, want %v", pp.Layers[0].FwdFLOPs, want)
+	}
+}
+
+func TestTransformerPPDegenersatesToHP(t *testing.T) {
+	cfg := TransformerConfig{Name: "m", NumLayers: 8, Hidden: 512, SeqLen: 128}
+	a, err := TransformerPP(cfg, Strategy{TP: 2, PP: 0, DP: 4}, 8, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Transformer(cfg, Strategy{TP: 2, DP: 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalFLOPs() != b.TotalFLOPs() || a.CommVolume() != b.CommVolume() {
+		t.Errorf("PP=0 should match the plain transformer")
+	}
+}
+
+func TestTransformerPPValidation(t *testing.T) {
+	cfg := TransformerConfig{Name: "m", NumLayers: 9, Hidden: 512, SeqLen: 128}
+	if _, err := TransformerPP(cfg, Strategy{TP: 2, PP: 4, DP: 2}, 8, 4); err == nil {
+		t.Error("9 layers over 4 stages should error")
+	}
+	cfg.NumLayers = 8
+	if _, err := TransformerPP(cfg, Strategy{TP: 2, PP: 4, DP: 2}, 8, 3); err == nil {
+		t.Error("minibatch 8 with 3 microbatches should error")
+	}
+	if _, err := TransformerPP(cfg, Strategy{TP: 2, PP: 4, DP: 2}, 8, 0); err == nil {
+		t.Error("0 microbatches should error")
+	}
+}
+
+func TestStrategyWithPP(t *testing.T) {
+	s := Strategy{TP: 16, PP: 4, DP: 32}
+	if s.NPUs() != 2048 {
+		t.Errorf("NPUs = %d", s.NPUs())
+	}
+	if got := s.String(); got != "HP-(16, 4, 32)" {
+		t.Errorf("String = %q", got)
+	}
+	if (Strategy{TP: 1, PP: -1, DP: 1}).Validate() == nil {
+		t.Error("negative PP should be invalid")
+	}
+	w := &Workload{Strategy: s}
+	if w.ScopeSize(PPScope) != 4 || w.ScopeSize(AllScope) != 2048 {
+		t.Errorf("scope sizes: PP=%d All=%d", w.ScopeSize(PPScope), w.ScopeSize(AllScope))
+	}
+}
+
+func TestPointToPointCommVolume(t *testing.T) {
+	w := &Workload{
+		Name: "p2p", Strategy: Strategy{TP: 1, PP: 4, DP: 1}, Minibatch: 1,
+		Layers: []Layer{{
+			Name: "b", Count: 1,
+			FwdComm: []Comm{{Op: collective.PointToPoint, Bytes: 100, Scope: PPScope}},
+		}},
+	}
+	// Average per-NPU send volume: m·(PP−1)/PP.
+	if got, want := w.CommVolume(), 75.0; math.Abs(got-want) > 1e-9 {
+		t.Errorf("CommVolume = %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,232 @@
+package workload
+
+import (
+	"fmt"
+
+	"libra/internal/collective"
+)
+
+// Table II parallelization defaults.
+const (
+	// DefaultMinibatch is the per-replica minibatch the paper's Fig. 1
+	// caption fixes for data-parallel workloads.
+	DefaultMinibatch = 32
+
+	TuringNLGTP = 1
+	GPT3TP      = 16
+	MSFT1TTP    = 128
+)
+
+// Published architecture shapes.
+var (
+	// TuringNLGConfig: 17B parameters — 78 layers × hidden 4256.
+	TuringNLGConfig = TransformerConfig{Name: "Turing-NLG", NumLayers: 78, Hidden: 4256, SeqLen: 1024, VocabSize: 50257}
+	// GPT3Config: 175B parameters — 96 layers × hidden 12288.
+	GPT3Config = TransformerConfig{Name: "GPT-3", NumLayers: 96, Hidden: 12288, SeqLen: 2048, VocabSize: 50257}
+	// MSFT1TConfig: the 1T-parameter configuration from the ZeRO paper —
+	// 128 layers × hidden 25600, sequence length 1024.
+	MSFT1TConfig = TransformerConfig{Name: "MSFT-1T", NumLayers: 128, Hidden: 25600, SeqLen: 1024, VocabSize: 50257}
+)
+
+func hybrid(cfg TransformerConfig, tp, npus int) (*Workload, error) {
+	if npus%tp != 0 {
+		return nil, fmt.Errorf("workload: %s needs TP=%d to divide %d NPUs", cfg.Name, tp, npus)
+	}
+	return Transformer(cfg, Strategy{TP: tp, DP: npus / tp}, DefaultMinibatch)
+}
+
+// TuringNLG builds the 17B Turing-NLG workload (Table II: TP=1, pure DP).
+func TuringNLG(npus int) (*Workload, error) { return hybrid(TuringNLGConfig, TuringNLGTP, npus) }
+
+// GPT3 builds the 175B GPT-3 workload (Table II: TP=16).
+func GPT3(npus int) (*Workload, error) { return hybrid(GPT3Config, GPT3TP, npus) }
+
+// MSFT1T builds the 1T-parameter MSFT-1T workload (Table II: TP=128).
+func MSFT1T(npus int) (*Workload, error) { return hybrid(MSFT1TConfig, MSFT1TTP, npus) }
+
+// MSFT1TWithTP builds MSFT-1T under an alternative HP-(tp, npus/tp)
+// strategy — the Fig. 21 network × parallelization co-design study. The
+// paper relaxes the NPU-memory constraint for this experiment (assuming
+// CXL/CPU-extended memory), so any TP dividing the NPU count is accepted.
+//
+// The global batch is held fixed across strategies (at the size implied by
+// the default HP-(128, npus/128) configuration with DefaultMinibatch per
+// replica), so the per-replica minibatch scales with TP. This is what
+// creates the paper's TP/DP communication tradeoff: TP activation traffic
+// grows with the replica batch (∝ TP) while DP gradient traffic shrinks
+// (∝ 1/TP), peaking training throughput at a mid-range strategy.
+func MSFT1TWithTP(npus, tp int) (*Workload, error) {
+	if npus%tp != 0 {
+		return nil, fmt.Errorf("workload: TP=%d does not divide %d NPUs", tp, npus)
+	}
+	globalBatch := DefaultMinibatch * npus / MSFT1TTP
+	dp := npus / tp
+	mb := globalBatch / dp
+	if mb < 1 {
+		mb = 1
+	}
+	w, err := Transformer(MSFT1TConfig, Strategy{TP: tp, DP: dp}, mb)
+	if err != nil {
+		return nil, err
+	}
+	w.Name = fmt.Sprintf("MSFT-1T/HP-(%d,%d)", tp, dp)
+	return w, nil
+}
+
+// DLRMParams is Table II's DLRM size: 57M parameters in the MLP layers.
+const DLRMParams = 57e6
+
+// DLRM builds the recommendation workload: data-parallel MLPs (ZeRO-2)
+// plus model-parallel embedding tables sharded across all NPUs, exchanged
+// with All-to-All in both forward and backward (Table II: "TP across all
+// NPUs"). Embedding lookup constants follow the open-source DLRM
+// benchmark: 26 sparse features × 128-dim embeddings.
+func DLRM(npus int) (*Workload, error) {
+	if npus < 1 {
+		return nil, fmt.Errorf("workload: DLRM needs ≥ 1 NPU, got %d", npus)
+	}
+	const (
+		numTables = 26
+		embDim    = 128
+	)
+	mb := float64(DefaultMinibatch)
+	// Post-pooling embedding exchange: every sample carries one embDim
+	// vector per table.
+	a2aBytes := mb * numTables * embDim * bytesFP16
+
+	// 8 MLP layers share the 57M parameters (bottom 3 + top 5).
+	const mlpLayers = 8
+	perLayer := DLRMParams / mlpLayers
+	dp := float64(npus)
+
+	mlp := Layer{
+		Name:     "mlp",
+		Count:    mlpLayers,
+		FwdFLOPs: 2 * perLayer * mb,
+		FwdBytes: perLayer * bytesFP16,
+		TPFLOPs:  4 * perLayer * mb,
+		TPBytes:  2 * perLayer * bytesFP16,
+		DPFLOPs:  adamFLOPsPerParam * perLayer / dp,
+		DPBytes:  adamBytesPerParam * perLayer / dp,
+	}
+	if npus > 1 {
+		grad := perLayer * bytesFP16
+		mlp.DPComm = []Comm{
+			{Op: collective.ReduceScatter, Bytes: grad, Scope: DPScope},
+			{Op: collective.AllGather, Bytes: grad, Scope: DPScope},
+		}
+	}
+
+	emb := Layer{
+		Name:     "embedding",
+		Count:    1,
+		FwdFLOPs: mb * numTables * embDim, // pooling
+		FwdBytes: a2aBytes,
+		TPFLOPs:  mb * numTables * embDim,
+		TPBytes:  a2aBytes,
+		// Embedding gradients are local to their shard: no DP comm.
+		DPFLOPs: adamFLOPsPerParam * mb * numTables * embDim / dp,
+		DPBytes: adamBytesPerParam * mb * numTables * embDim / dp,
+	}
+	if npus > 1 {
+		emb.FwdComm = []Comm{{Op: collective.AllToAll, Bytes: a2aBytes, Scope: AllScope}}
+		emb.TPComm = []Comm{{Op: collective.AllToAll, Bytes: a2aBytes, Scope: AllScope}}
+	}
+
+	w := &Workload{
+		Name:      "DLRM",
+		Params:    DLRMParams,
+		Strategy:  Strategy{TP: 1, DP: npus},
+		Minibatch: DefaultMinibatch,
+		Layers:    []Layer{emb, mlp},
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// ResNet50Params is Table II's ResNet-50 size.
+const ResNet50Params = 25.6e6
+
+// resNetStage is one stage group of ResNet-50 with its parameter count and
+// forward GFLOPs per image (224×224 input).
+type resNetStage struct {
+	name      string
+	params    float64
+	gflopsImg float64
+}
+
+var resNet50Stages = []resNetStage{
+	{"conv1", 9.4e3, 0.24},
+	{"layer1", 215.8e3, 0.69},
+	{"layer2", 1.22e6, 1.04},
+	{"layer3", 7.10e6, 1.47},
+	{"layer4", 14.96e6, 0.81},
+	{"fc", 2.05e6, 0.004},
+}
+
+// ResNet50 builds the vision workload: pure data parallelism with ZeRO-2
+// gradient synchronization per stage group (Table II: TP=1).
+func ResNet50(npus int) (*Workload, error) {
+	if npus < 1 {
+		return nil, fmt.Errorf("workload: ResNet-50 needs ≥ 1 NPU, got %d", npus)
+	}
+	mb := float64(DefaultMinibatch)
+	dp := float64(npus)
+	layers := make([]Layer, 0, len(resNet50Stages))
+	for _, s := range resNet50Stages {
+		l := Layer{
+			Name:     s.name,
+			Count:    1,
+			FwdFLOPs: s.gflopsImg * 1e9 * mb,
+			FwdBytes: s.params * bytesFP16,
+			TPFLOPs:  2 * s.gflopsImg * 1e9 * mb,
+			TPBytes:  2 * s.params * bytesFP16,
+			DPFLOPs:  adamFLOPsPerParam * s.params / dp,
+			DPBytes:  adamBytesPerParam * s.params / dp,
+		}
+		if npus > 1 {
+			grad := s.params * bytesFP16
+			l.DPComm = []Comm{
+				{Op: collective.ReduceScatter, Bytes: grad, Scope: DPScope},
+				{Op: collective.AllGather, Bytes: grad, Scope: DPScope},
+			}
+		}
+		layers = append(layers, l)
+	}
+	w := &Workload{
+		Name:      "ResNet-50",
+		Params:    ResNet50Params,
+		Strategy:  Strategy{TP: 1, DP: npus},
+		Minibatch: DefaultMinibatch,
+		Layers:    layers,
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Preset builds a Table II workload by name on the given NPU count.
+func Preset(name string, npus int) (*Workload, error) {
+	switch name {
+	case "Turing-NLG":
+		return TuringNLG(npus)
+	case "GPT-3":
+		return GPT3(npus)
+	case "MSFT-1T":
+		return MSFT1T(npus)
+	case "DLRM":
+		return DLRM(npus)
+	case "ResNet-50":
+		return ResNet50(npus)
+	default:
+		return nil, fmt.Errorf("workload: unknown preset %q", name)
+	}
+}
+
+// PresetNames lists Table II workloads in paper order.
+func PresetNames() []string {
+	return []string{"Turing-NLG", "GPT-3", "MSFT-1T", "DLRM", "ResNet-50"}
+}

@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"fmt"
+
+	"libra/internal/collective"
+)
+
+// TransformerConfig parameterizes a Megatron-style decoder-only
+// transformer. Parameter count ≈ 12·L·H² (+ V·H embedding).
+type TransformerConfig struct {
+	Name      string
+	NumLayers int // L: transformer blocks
+	Hidden    int // H: model width
+	SeqLen    int // S: tokens per sample
+	VocabSize int // V: embedding rows (0 to omit the embedding layer)
+}
+
+// Params returns the approximate trainable parameter count.
+func (c TransformerConfig) Params() float64 {
+	p := 12 * float64(c.NumLayers) * float64(c.Hidden) * float64(c.Hidden)
+	p += float64(c.VocabSize) * float64(c.Hidden)
+	return p
+}
+
+// Validate rejects degenerate configs.
+func (c TransformerConfig) Validate() error {
+	if c.NumLayers < 1 || c.Hidden < 1 || c.SeqLen < 1 {
+		return fmt.Errorf("workload: transformer %q needs positive layers/hidden/seq, got L=%d H=%d S=%d",
+			c.Name, c.NumLayers, c.Hidden, c.SeqLen)
+	}
+	return nil
+}
+
+const (
+	bytesFP16 = 2.0
+	// adamFLOPsPerParam approximates the element-wise Adam update cost.
+	adamFLOPsPerParam = 12.0
+	// adamBytesPerParam covers reading/writing the fp32 master weight,
+	// two moments, and the fp16 gradient/weight.
+	adamBytesPerParam = 20.0
+)
+
+// Transformer builds a Megatron-LM + ZeRO-2 workload (paper §II-B):
+//
+//   - The model is TP-way sharded within each transformer block: forward
+//     runs 2 TP All-Reduces per block (attention + MLP outputs) of
+//     minibatch·S·H fp16 activations each, and backward mirrors them.
+//   - ZeRO-2 data parallelism synchronizes gradients with a
+//     Reduce-Scatter and re-materializes updated weights with an
+//     All-Gather, each of the block's local (1/TP) parameter bytes.
+//   - Compute: 2·params·tokens FLOPs forward, 2× that backward, all
+//     divided across the TP group; the DP-sharded Adam step is modeled
+//     with per-parameter FLOP/byte constants (memory-bound roofline).
+//
+// minibatch is samples per DP replica per iteration.
+func Transformer(cfg TransformerConfig, strategy Strategy, minibatch int) (*Workload, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if err := strategy.Validate(); err != nil {
+		return nil, err
+	}
+	if minibatch < 1 {
+		return nil, fmt.Errorf("workload: transformer %q minibatch %d must be ≥ 1", cfg.Name, minibatch)
+	}
+
+	tp, dp := float64(strategy.TP), float64(strategy.DP)
+	h := float64(cfg.Hidden)
+	tokens := float64(minibatch) * float64(cfg.SeqLen)
+
+	blockParams := 12 * h * h
+	localParams := blockParams / tp // parameters held per NPU per block
+
+	block := Layer{
+		Name:  "transformer-block",
+		Count: cfg.NumLayers,
+
+		FwdFLOPs: 2 * blockParams * tokens / tp,
+		FwdBytes: localParams*bytesFP16 + tokens*h*bytesFP16,
+
+		TPFLOPs: 4 * blockParams * tokens / tp, // dgrad + wgrad ≈ 2× forward
+		TPBytes: 2 * (localParams*bytesFP16 + tokens*h*bytesFP16),
+
+		// ZeRO-2 shards the optimizer state DP-ways.
+		DPFLOPs: adamFLOPsPerParam * localParams / dp,
+		DPBytes: adamBytesPerParam * localParams / dp,
+	}
+	if strategy.TP > 1 {
+		activation := tokens * h * bytesFP16
+		block.FwdComm = []Comm{
+			{Op: collective.AllReduce, Bytes: activation, Scope: TPScope},
+			{Op: collective.AllReduce, Bytes: activation, Scope: TPScope},
+		}
+		block.TPComm = []Comm{
+			{Op: collective.AllReduce, Bytes: activation, Scope: TPScope},
+			{Op: collective.AllReduce, Bytes: activation, Scope: TPScope},
+		}
+	}
+	if strategy.DP > 1 {
+		grad := localParams * bytesFP16
+		block.DPComm = []Comm{
+			{Op: collective.ReduceScatter, Bytes: grad, Scope: DPScope},
+			{Op: collective.AllGather, Bytes: grad, Scope: DPScope},
+		}
+	}
+
+	layers := []Layer{block}
+
+	if cfg.VocabSize > 0 {
+		embParams := float64(cfg.VocabSize) * h
+		localEmb := embParams / tp
+		emb := Layer{
+			Name:     "embedding",
+			Count:    1,
+			FwdFLOPs: 2 * embParams * tokens / tp,
+			FwdBytes: localEmb * bytesFP16,
+			TPFLOPs:  4 * embParams * tokens / tp,
+			TPBytes:  2 * localEmb * bytesFP16,
+			DPFLOPs:  adamFLOPsPerParam * localEmb / dp,
+			DPBytes:  adamBytesPerParam * localEmb / dp,
+		}
+		if strategy.TP > 1 {
+			// Vocab-parallel embedding/LM head: one activation
+			// All-Reduce each way.
+			activation := tokens * h * bytesFP16
+			emb.FwdComm = []Comm{{Op: collective.AllReduce, Bytes: activation, Scope: TPScope}}
+			emb.TPComm = []Comm{{Op: collective.AllReduce, Bytes: activation, Scope: TPScope}}
+		}
+		if strategy.DP > 1 {
+			grad := localEmb * bytesFP16
+			emb.DPComm = []Comm{
+				{Op: collective.ReduceScatter, Bytes: grad, Scope: DPScope},
+				{Op: collective.AllGather, Bytes: grad, Scope: DPScope},
+			}
+		}
+		layers = append(layers, emb)
+	}
+
+	w := &Workload{
+		Name:      cfg.Name,
+		Params:    cfg.Params(),
+		Strategy:  strategy,
+		Minibatch: minibatch,
+		Layers:    layers,
+	}
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}

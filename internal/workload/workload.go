@@ -1,0 +1,218 @@
+// Package workload describes DNN training workloads the way LIBRA's
+// analytical model consumes them: per-layer compute costs (FLOPs and bytes)
+// and per-layer collective-communication calls, split into the six
+// training-loop stages of paper Fig. 5 (Fwd-Comp, Fwd-Comm, TP-Comp,
+// TP-Comm, DP-Comp, DP-Comm).
+//
+// The package ships the five evaluation workloads of Table II —
+// Turing-NLG (17B), GPT-3 (175B), MSFT-1T (1T), DLRM, and ResNet-50 —
+// plus a parametric Megatron-style transformer generator so users can
+// model their own LLMs.
+package workload
+
+import (
+	"fmt"
+
+	"libra/internal/collective"
+)
+
+// Scope identifies which parallelization group a collective spans.
+type Scope int
+
+const (
+	// TPScope collectives run within a tensor-parallel group.
+	TPScope Scope = iota
+	// DPScope collectives run within a data-parallel group.
+	DPScope
+	// AllScope collectives span every NPU in the system (e.g. DLRM's
+	// embedding All-to-All).
+	AllScope
+	// PPScope communications cross adjacent pipeline-parallel stages
+	// (point-to-point activation/gradient transfers, §IV-C).
+	PPScope
+)
+
+// String names the scope.
+func (s Scope) String() string {
+	switch s {
+	case TPScope:
+		return "TP"
+	case DPScope:
+		return "DP"
+	case AllScope:
+		return "All"
+	case PPScope:
+		return "PP"
+	default:
+		return fmt.Sprintf("Scope(%d)", int(s))
+	}
+}
+
+// Comm is one collective call issued by a layer.
+type Comm struct {
+	Op    collective.Op
+	Bytes float64 // collective payload m in bytes (per participating NPU)
+	Scope Scope
+}
+
+// Layer is one (group of identical) model layer(s) with its training-loop
+// stage costs. Compute fields are per-NPU per-layer; Count multiplies the
+// whole entry.
+type Layer struct {
+	Name  string
+	Count int // number of identical layers this entry stands for (≥ 1)
+
+	// Forward pass.
+	FwdFLOPs float64 // per-NPU forward compute
+	FwdBytes float64 // per-NPU forward memory traffic (roofline)
+	FwdComm  []Comm
+
+	// Backward pass compute + tensor-parallel gradient communication
+	// ("TP-Comp" / "TP-Comm" in Fig. 5).
+	TPFLOPs float64
+	TPBytes float64
+	TPComm  []Comm
+
+	// Optimizer step + data-parallel gradient synchronization
+	// ("DP-Comp" / "DP-Comm").
+	DPFLOPs float64
+	DPBytes float64
+	DPComm  []Comm
+}
+
+// Strategy is a hybrid parallelization HP-(TP, DP) optionally extended
+// with pipeline parallelism: the model is TP-way tensor-sharded within
+// each pipeline stage, PP-way stage-sharded, and the dataset DP-way
+// split, occupying TP×PP×DP NPUs. PP == 0 means no pipeline parallelism
+// (treated as 1).
+type Strategy struct {
+	TP int
+	DP int
+	PP int
+}
+
+// PPOr1 returns the pipeline degree, treating the zero value as 1.
+func (s Strategy) PPOr1() int {
+	if s.PP < 1 {
+		return 1
+	}
+	return s.PP
+}
+
+// NPUs returns the NPU count the strategy occupies.
+func (s Strategy) NPUs() int { return s.TP * s.PPOr1() * s.DP }
+
+// String renders like "HP-(128, 32)" or "HP-(16, 4, 32)" with pipelining.
+func (s Strategy) String() string {
+	if s.PPOr1() > 1 {
+		return fmt.Sprintf("HP-(%d, %d, %d)", s.TP, s.PP, s.DP)
+	}
+	return fmt.Sprintf("HP-(%d, %d)", s.TP, s.DP)
+}
+
+// Validate rejects non-positive factors.
+func (s Strategy) Validate() error {
+	if s.TP < 1 || s.DP < 1 {
+		return fmt.Errorf("workload: strategy %v must have TP ≥ 1 and DP ≥ 1", s)
+	}
+	if s.PP < 0 {
+		return fmt.Errorf("workload: strategy %v must have PP ≥ 0", s)
+	}
+	return nil
+}
+
+// Workload is a complete training workload: a layer list under a specific
+// parallelization strategy.
+type Workload struct {
+	Name      string
+	Params    float64 // total trainable parameters
+	Strategy  Strategy
+	Minibatch int // samples per data-parallel replica per iteration
+	Layers    []Layer
+}
+
+// Validate checks structural sanity.
+func (w *Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("workload: empty name")
+	}
+	if err := w.Strategy.Validate(); err != nil {
+		return err
+	}
+	if w.Minibatch < 1 {
+		return fmt.Errorf("workload %s: minibatch %d must be ≥ 1", w.Name, w.Minibatch)
+	}
+	if len(w.Layers) == 0 {
+		return fmt.Errorf("workload %s: no layers", w.Name)
+	}
+	for i, l := range w.Layers {
+		if l.Count < 1 {
+			return fmt.Errorf("workload %s: layer %d (%s) count %d must be ≥ 1", w.Name, i, l.Name, l.Count)
+		}
+		if l.FwdFLOPs < 0 || l.TPFLOPs < 0 || l.DPFLOPs < 0 || l.FwdBytes < 0 || l.TPBytes < 0 || l.DPBytes < 0 {
+			return fmt.Errorf("workload %s: layer %d (%s) has negative cost", w.Name, i, l.Name)
+		}
+		for _, cs := range [][]Comm{l.FwdComm, l.TPComm, l.DPComm} {
+			for _, c := range cs {
+				if c.Bytes < 0 {
+					return fmt.Errorf("workload %s: layer %d (%s) has negative comm bytes", w.Name, i, l.Name)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ScopeSize returns the group size a scope spans under the workload's
+// strategy (AllScope spans TP×PP×DP; PPScope spans the PP degree).
+func (w *Workload) ScopeSize(s Scope) int {
+	switch s {
+	case TPScope:
+		return w.Strategy.TP
+	case DPScope:
+		return w.Strategy.DP
+	case PPScope:
+		return w.Strategy.PPOr1()
+	default:
+		return w.Strategy.NPUs()
+	}
+}
+
+// CommVolume returns the network-independent total bytes each NPU
+// transfers per training iteration, using the flat (single-dimension)
+// collective traffic factors — the quantity Fig. 1 plots. A collective of
+// m bytes over a group of n contributes m·(n−1)/n (RS, AG, A2A) or
+// 2m·(n−1)/n (AR).
+func (w *Workload) CommVolume() float64 {
+	total := 0.0
+	add := func(cs []Comm) {
+		for _, c := range cs {
+			n := float64(w.ScopeSize(c.Scope))
+			if n <= 1 {
+				continue
+			}
+			factor := (n - 1) / n
+			if c.Op == collective.AllReduce {
+				factor *= 2
+			}
+			total += c.Bytes * factor
+		}
+	}
+	for _, l := range w.Layers {
+		for i := 0; i < l.Count; i++ {
+			add(l.FwdComm)
+			add(l.TPComm)
+			add(l.DPComm)
+		}
+	}
+	return total
+}
+
+// TotalFLOPs returns the per-NPU FLOPs per iteration across all stages.
+func (w *Workload) TotalFLOPs() float64 {
+	total := 0.0
+	for _, l := range w.Layers {
+		total += float64(l.Count) * (l.FwdFLOPs + l.TPFLOPs + l.DPFLOPs)
+	}
+	return total
+}

@@ -1,0 +1,355 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"libra/internal/collective"
+)
+
+func approx(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestStrategy(t *testing.T) {
+	s := Strategy{TP: 128, DP: 32}
+	if s.NPUs() != 4096 {
+		t.Errorf("NPUs = %d", s.NPUs())
+	}
+	if got := s.String(); got != "HP-(128, 32)" {
+		t.Errorf("String = %q", got)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("valid strategy rejected: %v", err)
+	}
+	for _, bad := range []Strategy{{TP: 0, DP: 4}, {TP: 4, DP: 0}, {TP: -1, DP: -1}} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("strategy %v unexpectedly valid", bad)
+		}
+	}
+}
+
+func TestTransformerParamCounts(t *testing.T) {
+	cases := []struct {
+		cfg  TransformerConfig
+		want float64
+		tol  float64
+	}{
+		{TuringNLGConfig, 17e9, 0.05},
+		{GPT3Config, 175e9, 0.05},
+		{MSFT1TConfig, 1e12, 0.05},
+	}
+	for _, c := range cases {
+		got := c.cfg.Params()
+		if math.Abs(got-c.want)/c.want > c.tol {
+			t.Errorf("%s params = %.3g, want %.3g ± %.0f%%", c.cfg.Name, got, c.want, c.tol*100)
+		}
+	}
+}
+
+func TestTableIIPresets(t *testing.T) {
+	const npus = 4096
+	cases := []struct {
+		name   string
+		wantTP int
+	}{
+		{"Turing-NLG", 1},
+		{"GPT-3", 16},
+		{"MSFT-1T", 128},
+		{"DLRM", 1},
+		{"ResNet-50", 1},
+	}
+	for _, c := range cases {
+		w, err := Preset(c.name, npus)
+		if err != nil {
+			t.Fatalf("Preset(%s): %v", c.name, err)
+		}
+		if w.Strategy.TP != c.wantTP {
+			t.Errorf("%s TP = %d, want %d", c.name, w.Strategy.TP, c.wantTP)
+		}
+		if w.Strategy.NPUs() != npus {
+			t.Errorf("%s occupies %d NPUs, want %d", c.name, w.Strategy.NPUs(), npus)
+		}
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", c.name, err)
+		}
+	}
+	if _, err := Preset("bogus", npus); err == nil {
+		t.Error("unknown preset should error")
+	}
+}
+
+func TestPresetNamesBuildable(t *testing.T) {
+	for _, name := range PresetNames() {
+		if _, err := Preset(name, 2048); err != nil {
+			t.Errorf("Preset(%s, 2048): %v", name, err)
+		}
+	}
+}
+
+func TestTransformerTPDivisibility(t *testing.T) {
+	if _, err := GPT3(100); err == nil {
+		t.Error("GPT-3 on 100 NPUs (TP=16 not dividing) should error")
+	}
+}
+
+func TestTransformerCommStructure(t *testing.T) {
+	w, err := GPT3(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	block := w.Layers[0]
+	if block.Count != 96 {
+		t.Errorf("GPT-3 block count = %d", block.Count)
+	}
+	// Megatron: 2 TP All-Reduces forward, 2 backward.
+	if len(block.FwdComm) != 2 || len(block.TPComm) != 2 {
+		t.Fatalf("TP comm calls fwd=%d bwd=%d, want 2/2", len(block.FwdComm), len(block.TPComm))
+	}
+	wantAct := 32.0 * 2048 * 12288 * 2
+	for _, c := range append(append([]Comm{}, block.FwdComm...), block.TPComm...) {
+		if c.Op != collective.AllReduce || c.Scope != TPScope || !approx(c.Bytes, wantAct, 1e-9) {
+			t.Errorf("TP comm = %+v, want AR of %.0f bytes", c, wantAct)
+		}
+	}
+	// ZeRO-2: RS + AG of the local (1/TP) block gradient bytes.
+	if len(block.DPComm) != 2 {
+		t.Fatalf("DP comm calls = %d", len(block.DPComm))
+	}
+	wantGrad := 12.0 * 12288 * 12288 * 2 / 16
+	if block.DPComm[0].Op != collective.ReduceScatter || block.DPComm[1].Op != collective.AllGather {
+		t.Errorf("ZeRO-2 DP comm ops = %v, %v", block.DPComm[0].Op, block.DPComm[1].Op)
+	}
+	for _, c := range block.DPComm {
+		if c.Scope != DPScope || !approx(c.Bytes, wantGrad, 1e-9) {
+			t.Errorf("DP comm = %+v, want %.0f bytes", c, wantGrad)
+		}
+	}
+}
+
+func TestPureDPHasNoTPComm(t *testing.T) {
+	w, err := TuringNLG(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range w.Layers {
+		if len(l.FwdComm) != 0 || len(l.TPComm) != 0 {
+			t.Errorf("layer %s has TP comm with TP=1", l.Name)
+		}
+		if len(l.DPComm) == 0 {
+			t.Errorf("layer %s missing DP comm", l.Name)
+		}
+	}
+}
+
+func TestSingleNPUNoComm(t *testing.T) {
+	w, err := Transformer(TuringNLGConfig, Strategy{TP: 1, DP: 1}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.CommVolume(); got != 0 {
+		t.Errorf("1-NPU comm volume = %v", got)
+	}
+}
+
+func TestBackwardIsTwiceForward(t *testing.T) {
+	w, err := GPT3(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := w.Layers[0]
+	if !approx(b.TPFLOPs, 2*b.FwdFLOPs, 1e-12) {
+		t.Errorf("bwd FLOPs %v, want 2× fwd %v", b.TPFLOPs, b.FwdFLOPs)
+	}
+}
+
+func TestDLRMStructure(t *testing.T) {
+	w, err := DLRM(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var emb, mlp *Layer
+	for i := range w.Layers {
+		switch w.Layers[i].Name {
+		case "embedding":
+			emb = &w.Layers[i]
+		case "mlp":
+			mlp = &w.Layers[i]
+		}
+	}
+	if emb == nil || mlp == nil {
+		t.Fatal("DLRM missing embedding or mlp layers")
+	}
+	if len(emb.FwdComm) != 1 || emb.FwdComm[0].Op != collective.AllToAll || emb.FwdComm[0].Scope != AllScope {
+		t.Errorf("embedding fwd comm = %+v, want All-to-All across all NPUs", emb.FwdComm)
+	}
+	if len(emb.TPComm) != 1 || emb.TPComm[0].Op != collective.AllToAll {
+		t.Errorf("embedding bwd comm = %+v", emb.TPComm)
+	}
+	// MLP parameters must total Table II's 57M.
+	total := float64(mlp.Count) * mlp.FwdBytes / bytesFP16
+	if !approx(total, DLRMParams, 1e-9) {
+		t.Errorf("MLP params = %v, want %v", total, DLRMParams)
+	}
+}
+
+func TestResNet50ParamTotal(t *testing.T) {
+	w, err := ResNet50(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for _, l := range w.Layers {
+		total += float64(l.Count) * l.FwdBytes / bytesFP16
+	}
+	if math.Abs(total-ResNet50Params)/ResNet50Params > 0.01 {
+		t.Errorf("ResNet-50 stage params total %.3g, want %.3g", total, ResNet50Params)
+	}
+}
+
+func TestCommVolumeFactors(t *testing.T) {
+	// A synthetic workload with one AR and one RS over DP=4:
+	// volume = 2m·3/4 + m·3/4.
+	w := &Workload{
+		Name:      "synthetic",
+		Strategy:  Strategy{TP: 1, DP: 4},
+		Minibatch: 1,
+		Layers: []Layer{{
+			Name:  "l",
+			Count: 1,
+			DPComm: []Comm{
+				{Op: collective.AllReduce, Bytes: 100, Scope: DPScope},
+				{Op: collective.ReduceScatter, Bytes: 100, Scope: DPScope},
+			},
+		}},
+	}
+	want := 2*100*0.75 + 100*0.75
+	if got := w.CommVolume(); !approx(got, want, 1e-12) {
+		t.Errorf("CommVolume = %v, want %v", got, want)
+	}
+}
+
+func TestCommVolumeCountsLayerMultiplicity(t *testing.T) {
+	mk := func(count int) *Workload {
+		return &Workload{
+			Name: "synthetic", Strategy: Strategy{TP: 1, DP: 2}, Minibatch: 1,
+			Layers: []Layer{{
+				Name: "l", Count: count,
+				DPComm: []Comm{{Op: collective.AllReduce, Bytes: 64, Scope: DPScope}},
+			}},
+		}
+	}
+	if got, want := mk(3).CommVolume(), 3*mk(1).CommVolume(); !approx(got, want, 1e-12) {
+		t.Errorf("count=3 volume %v, want %v", got, want)
+	}
+}
+
+func TestFig1ShapesMatchPaper(t *testing.T) {
+	pts, err := Fig1Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]Fig1Point{}
+	for _, p := range pts {
+		byName[p.Model] = p
+	}
+	// ResNet-50 DP gradient sync ≈ 2·2B·25.6M ≈ 102 MB (paper plots ~100 MB).
+	if rn := byName["ResNet-50"]; rn.CommMB < 50 || rn.CommMB > 200 {
+		t.Errorf("ResNet-50 comm = %.1f MB, want ≈ 100 MB", rn.CommMB)
+	}
+	// MSFT-1T lands in the TB decade (paper's top of the log axis).
+	if ms := byName["MSFT-1T"]; ms.CommMB < 1e5 || ms.CommMB > 5e6 {
+		t.Errorf("MSFT-1T comm = %.3g MB, want ~1e6 MB (TB scale)", ms.CommMB)
+	}
+	// Volumes grow by ~4 orders of magnitude from 2015 to 2021 and the
+	// largest model dominates.
+	if !(byName["MSFT-1T"].CommMB > byName["GPT-3"].CommMB) {
+		t.Error("MSFT-1T should exceed GPT-3")
+	}
+	if !(byName["GPT-3"].CommMB > byName["ResNet-50"].CommMB*100) {
+		t.Error("GPT-3 should exceed ResNet-50 by >100×")
+	}
+	// Sorted by year.
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Year < pts[i-1].Year {
+			t.Errorf("points not year-sorted: %v", pts)
+		}
+	}
+}
+
+func TestMSFT1TWithTP(t *testing.T) {
+	for _, tp := range []int{8, 16, 32, 64, 128, 256} {
+		w, err := MSFT1TWithTP(4096, tp)
+		if err != nil {
+			t.Fatalf("MSFT1TWithTP(%d): %v", tp, err)
+		}
+		if w.Strategy.TP != tp || w.Strategy.DP != 4096/tp {
+			t.Errorf("TP=%d strategy = %v", tp, w.Strategy)
+		}
+		if !strings.Contains(w.Name, "HP-") {
+			t.Errorf("name %q should carry the strategy", w.Name)
+		}
+	}
+	if _, err := MSFT1TWithTP(4096, 3); err == nil {
+		t.Error("non-dividing TP should error")
+	}
+}
+
+// Larger TP shifts communication from DP gradients to TP activations; the
+// total comm volume is strategy-dependent (the Fig. 21 tradeoff).
+func TestTPDPVolumeTradeoff(t *testing.T) {
+	vol := map[int]float64{}
+	for _, tp := range []int{8, 32, 128} {
+		w, err := MSFT1TWithTP(4096, tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vol[tp] = w.CommVolume()
+	}
+	if vol[8] == vol[32] && vol[32] == vol[128] {
+		t.Error("comm volume should vary with the strategy")
+	}
+}
+
+func TestWorkloadValidateCatchesBadLayers(t *testing.T) {
+	bad := []*Workload{
+		{Name: "", Strategy: Strategy{TP: 1, DP: 1}, Minibatch: 1, Layers: []Layer{{Name: "l", Count: 1}}},
+		{Name: "w", Strategy: Strategy{TP: 0, DP: 1}, Minibatch: 1, Layers: []Layer{{Name: "l", Count: 1}}},
+		{Name: "w", Strategy: Strategy{TP: 1, DP: 1}, Minibatch: 0, Layers: []Layer{{Name: "l", Count: 1}}},
+		{Name: "w", Strategy: Strategy{TP: 1, DP: 1}, Minibatch: 1},
+		{Name: "w", Strategy: Strategy{TP: 1, DP: 1}, Minibatch: 1, Layers: []Layer{{Name: "l", Count: 0}}},
+		{Name: "w", Strategy: Strategy{TP: 1, DP: 1}, Minibatch: 1, Layers: []Layer{{Name: "l", Count: 1, FwdFLOPs: -1}}},
+		{Name: "w", Strategy: Strategy{TP: 1, DP: 1}, Minibatch: 1, Layers: []Layer{{Name: "l", Count: 1,
+			DPComm: []Comm{{Op: collective.AllReduce, Bytes: -5, Scope: DPScope}}}}},
+	}
+	for i, w := range bad {
+		if err := w.Validate(); err == nil {
+			t.Errorf("workload %d unexpectedly valid", i)
+		}
+	}
+}
+
+func TestScopeSize(t *testing.T) {
+	w := &Workload{Strategy: Strategy{TP: 8, DP: 4}}
+	if w.ScopeSize(TPScope) != 8 || w.ScopeSize(DPScope) != 4 || w.ScopeSize(AllScope) != 32 {
+		t.Errorf("scope sizes = %d %d %d", w.ScopeSize(TPScope), w.ScopeSize(DPScope), w.ScopeSize(AllScope))
+	}
+}
+
+func TestTotalFLOPs(t *testing.T) {
+	w, err := GPT3(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := w.TotalFLOPs()
+	// Forward+backward ≈ 6·params·tokens/TP per NPU (ignoring the
+	// optimizer and embedding deltas).
+	want := 6 * w.Params * 32 * 2048 / 16
+	if math.Abs(got-want)/want > 0.1 {
+		t.Errorf("TotalFLOPs = %.3g, want ≈ %.3g", got, want)
+	}
+}

@@ -1,0 +1,266 @@
+// Package libra is a workload-aware, design-time optimization framework
+// for the multi-dimensional networks of large-scale AI training systems —
+// a from-scratch Go reproduction of "LIBRA: Enabling Workload-Aware
+// Multi-Dimensional Network Topology Optimization for Distributed Training
+// of Large AI Models" (Won, Rashidi, Srinivasan, Krishna; ISPASS 2024).
+//
+// Given a multi-dimensional network shape (e.g. "RI(4)_FC(8)_RI(4)_SW(32)"),
+// a set of target DNN workloads, a dollar cost model, and linear design
+// constraints, LIBRA analytically models end-to-end training time as a
+// function of the per-dimension bandwidth vector and searches for the
+// allocation maximizing either training performance (PerfOptBW) or
+// performance-per-cost (PerfPerCostOptBW).
+//
+// Quick start:
+//
+//	net := libra.MustParseTopology("RI(4)_FC(8)_RI(4)_SW(32)")
+//	gpt3, _ := libra.GPT3(net.NPUs())
+//	problem := libra.NewProblem(net, 500 /* GB/s per NPU */, gpt3)
+//	result, _ := problem.Optimize()
+//	fmt.Println(result.BW) // optimized GB/s per dimension
+//
+// The package root re-exports the user-facing surface; implementation
+// lives under internal/: topology (network shapes and graphs), workload
+// (the Table II model zoo and a parametric transformer generator),
+// collective (the multi-rail analytical model), cost (Table I),
+// timemodel (training-loop time estimation), opt (the constrained
+// optimizer standing in for Gurobi), core (the LIBRA framework), sim (the
+// ASTRA-sim-substitute chunk/NPU-level simulators), themis and tacos (the
+// runtime co-design substrates), and experiments (every paper figure).
+package libra
+
+import (
+	"io"
+
+	"libra/internal/collective"
+	"libra/internal/compute"
+	"libra/internal/core"
+	"libra/internal/cost"
+	"libra/internal/experiments"
+	"libra/internal/opt"
+	"libra/internal/sim"
+	"libra/internal/tacos"
+	"libra/internal/themis"
+	"libra/internal/timemodel"
+	"libra/internal/topology"
+	"libra/internal/workload"
+)
+
+// ---- Topology ----
+
+// Network is a multi-dimensional network topology.
+type Network = topology.Network
+
+// Dim is one network dimension (building block, size, physical tier).
+type Dim = topology.Dim
+
+// BWConfig is a per-dimension bandwidth allocation in GB/s per NPU.
+type BWConfig = topology.BWConfig
+
+// Tier is a dimension's physical connotation (Chiplet/Package/Node/Pod).
+type Tier = topology.Tier
+
+// Unit topology kinds and tiers.
+const (
+	Ring           = topology.Ring
+	FullyConnected = topology.FullyConnected
+	Switch         = topology.Switch
+
+	Chiplet = topology.Chiplet
+	Package = topology.Package
+	Node    = topology.Node
+	Pod     = topology.Pod
+)
+
+// ParseTopology reads the block notation, e.g. "RI(4)_FC(8)_RI(4)_SW(32)".
+func ParseTopology(s string) (*Network, error) { return topology.Parse(s) }
+
+// MustParseTopology is ParseTopology, panicking on error.
+func MustParseTopology(s string) *Network { return topology.MustParse(s) }
+
+// PresetTopology returns a Table III evaluation topology by name
+// ("4D-4K", "3D-4K", "3D-512", "3D-1K", "4D-2K", "3D-Torus").
+func PresetTopology(name string) (*Network, error) { return topology.Preset(name) }
+
+// EqualBW splits a per-NPU bandwidth budget evenly across n dimensions —
+// the paper's workload-agnostic baseline.
+func EqualBW(total float64, n int) BWConfig { return topology.EqualBW(total, n) }
+
+// ---- Workloads ----
+
+// Workload is a DNN training workload: layers with compute costs and
+// collective-communication calls under a parallelization strategy.
+type Workload = workload.Workload
+
+// Strategy is a hybrid parallelization HP-(TP, DP).
+type Strategy = workload.Strategy
+
+// TransformerConfig parameterizes a Megatron-style transformer.
+type TransformerConfig = workload.TransformerConfig
+
+// Table II workload presets; npus is the target system size.
+var (
+	TuringNLG = workload.TuringNLG
+	GPT3      = workload.GPT3
+	MSFT1T    = workload.MSFT1T
+	DLRM      = workload.DLRM
+	ResNet50  = workload.ResNet50
+)
+
+// NewTransformer builds a Megatron-LM + ZeRO-2 workload from an
+// architecture config, a strategy, and a per-replica minibatch.
+func NewTransformer(cfg TransformerConfig, s Strategy, minibatch int) (*Workload, error) {
+	return workload.Transformer(cfg, s, minibatch)
+}
+
+// NewTransformerPP builds a pipelined transformer under a 3-way
+// HP-(TP, PP, DP) strategy: GPipe-style microbatching with stage-boundary
+// point-to-point transfers priced as m/B (§IV-C's pipeline-parallel
+// extension).
+func NewTransformerPP(cfg TransformerConfig, s Strategy, minibatch, microbatches int) (*Workload, error) {
+	return workload.TransformerPP(cfg, s, minibatch, microbatches)
+}
+
+// WorkloadPreset builds a Table II workload by name.
+func WorkloadPreset(name string, npus int) (*Workload, error) { return workload.Preset(name, npus) }
+
+// ---- Cost and compute models ----
+
+// CostTable is a per-tier network cost model in $/GBps.
+type CostTable = cost.Table
+
+// ComputeModel converts FLOPs/bytes to NPU seconds.
+type ComputeModel = compute.Model
+
+// DefaultCostTable returns the paper's Table I (lowest published values).
+func DefaultCostTable() CostTable { return cost.Default() }
+
+// A100 returns the paper's compute model (234 TFLOPS effective).
+func A100() ComputeModel { return compute.A100() }
+
+// NetworkCost prices a network design under a cost table.
+func NetworkCost(t CostTable, net *Network, bw BWConfig) (float64, error) {
+	return cost.Network(t, net, bw)
+}
+
+// ---- The LIBRA framework ----
+
+// Problem is a LIBRA optimization instance.
+type Problem = core.Problem
+
+// Target is one weighted workload of a multi-workload optimization.
+type Target = core.Target
+
+// Result is an evaluated bandwidth design point.
+type Result = core.Result
+
+// Objective selects PerfOptBW or PerfPerCostOptBW.
+type Objective = core.Objective
+
+// Constraints is the linear design-constraint set handed to the solver.
+type Constraints = opt.Constraints
+
+// Optimization objectives.
+const (
+	PerfOpt        = core.PerfOpt
+	PerfPerCostOpt = core.PerfPerCostOpt
+)
+
+// Training loops (paper Fig. 5).
+const (
+	NoOverlap   = timemodel.NoOverlap
+	TPDPOverlap = timemodel.TPDPOverlap
+)
+
+// NewProblem builds a Problem with the paper's defaults (A100 compute,
+// Table I costs, no-overlap loop, PerfOpt objective).
+func NewProblem(net *Network, budgetGBps float64, targets ...*Workload) *Problem {
+	return core.NewProblem(net, budgetGBps, targets...)
+}
+
+// EqualBWForCost returns the equal-per-dimension allocation that spends a
+// dollar budget exactly — the iso-cost baseline of §VI-D.
+func EqualBWForCost(t CostTable, net *Network, dollars float64) (BWConfig, error) {
+	return core.EqualBWForCost(t, net, dollars)
+}
+
+// ---- Collectives and simulation ----
+
+// CollectiveOp is a collective communication pattern.
+type CollectiveOp = collective.Op
+
+// Collective patterns (Fig. 6).
+const (
+	ReduceScatter = collective.ReduceScatter
+	AllGather     = collective.AllGather
+	AllReduce     = collective.AllReduce
+	AllToAll      = collective.AllToAll
+)
+
+// CollectiveTime is the closed-form multi-rail collective latency over the
+// full network: max over dimensions of traffic/bandwidth (§IV-C).
+func CollectiveTime(op CollectiveOp, bytes float64, net *Network, bw BWConfig) float64 {
+	return collective.Time(op, bytes, collective.FullMapping(net), bw)
+}
+
+// TrainingConfig drives iteration-level simulation.
+type TrainingConfig = sim.TrainingConfig
+
+// TrainingResult is a simulated training iteration.
+type TrainingResult = sim.TrainingResult
+
+// PipelineResult is a chunk-level collective simulation outcome.
+type PipelineResult = sim.PipelineResult
+
+// SimulateCollective runs a chunked multi-rail collective on the
+// symmetric pipeline simulator (the ASTRA-sim substitute).
+func SimulateCollective(op CollectiveOp, bytes float64, net *Network, bw BWConfig, chunks int) (PipelineResult, error) {
+	return sim.SimulateCollective(op, bytes, collective.FullMapping(net), bw, chunks)
+}
+
+// SimulateIteration simulates one training iteration with chunked
+// collectives (64 chunks by default, as in the paper).
+func SimulateIteration(cfg TrainingConfig, w *Workload, bw BWConfig) (TrainingResult, error) {
+	return sim.SimulateIteration(cfg, w, bw)
+}
+
+// ---- Runtime co-design substrates ----
+
+// ThemisResult is a Themis-scheduled collective execution.
+type ThemisResult = themis.Result
+
+// ThemisSchedule runs a collective under the Themis greedy chunk
+// scheduler (never worse than the default multi-rail schedule).
+func ThemisSchedule(op CollectiveOp, bytes float64, net *Network, bw BWConfig, chunks int) (ThemisResult, error) {
+	return themis.Schedule(op, bytes, collective.FullMapping(net), bw, chunks)
+}
+
+// ThemisIteration simulates a training iteration with Themis scheduling
+// every Reduce-Scatter/All-Gather/All-Reduce.
+func ThemisIteration(cfg TrainingConfig, w *Workload, bw BWConfig) (TrainingResult, error) {
+	return themis.SimulateIteration(cfg, w, bw)
+}
+
+// TacosSchedule is a synthesized collective schedule.
+type TacosSchedule = tacos.Schedule
+
+// TacosAllGather synthesizes a topology-aware All-Gather on a
+// point-to-point network (Ring/FullyConnected dimensions).
+func TacosAllGather(net *Network, bw BWConfig, bytes float64, chunksPerNPU int) (TacosSchedule, error) {
+	return tacos.SynthesizeAllGather(net, bw, bytes, chunksPerNPU)
+}
+
+// TacosAllReduceTime prices a synthesized All-Reduce (two synthesized
+// All-Gather phases, falling back to multi-rail when that is faster).
+func TacosAllReduceTime(net *Network, bw BWConfig, bytes float64, chunksPerNPU int) (float64, TacosSchedule, error) {
+	return tacos.AllReduceTime(net, bw, bytes, chunksPerNPU)
+}
+
+// ---- Paper experiments ----
+
+// RunExperiments regenerates every paper table and figure into dir
+// (CSV + text), streaming renderings to w (nil to silence). quick trims
+// the bandwidth sweeps.
+func RunExperiments(dir string, quick bool, w io.Writer) error {
+	return experiments.RunAll(dir, quick, w)
+}

@@ -1,0 +1,121 @@
+package libra_test
+
+import (
+	"math"
+	"testing"
+
+	"libra"
+)
+
+// The quickstart from the package docs must work end-to-end.
+func TestQuickstartFlow(t *testing.T) {
+	net := libra.MustParseTopology("RI(4)_FC(8)_RI(4)_SW(32)")
+	if net.NPUs() != 4096 {
+		t.Fatalf("NPUs = %d", net.NPUs())
+	}
+	gpt3, err := libra.GPT3(net.NPUs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := libra.NewProblem(net, 500, gpt3)
+	eq, err := p.EqualBW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.Optimize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WeightedTime > eq.WeightedTime*(1+1e-9) {
+		t.Errorf("optimized %v slower than EqualBW %v", r.WeightedTime, eq.WeightedTime)
+	}
+	if math.Abs(r.BW.Total()-500) > 0.5 {
+		t.Errorf("budget not honored: %v", r.BW.Total())
+	}
+}
+
+func TestFacadePresets(t *testing.T) {
+	for _, name := range []string{"4D-4K", "3D-4K", "3D-512", "3D-1K", "4D-2K", "3D-Torus"} {
+		if _, err := libra.PresetTopology(name); err != nil {
+			t.Errorf("PresetTopology(%s): %v", name, err)
+		}
+	}
+	for _, name := range []string{"Turing-NLG", "GPT-3", "MSFT-1T", "DLRM", "ResNet-50"} {
+		if _, err := libra.WorkloadPreset(name, 4096); err != nil {
+			t.Errorf("WorkloadPreset(%s): %v", name, err)
+		}
+	}
+}
+
+func TestFacadeCostAndCollectives(t *testing.T) {
+	net := libra.MustParseTopology("RI(4)_SW(2)")
+	bw := libra.EqualBW(100, 2)
+	c, err := libra.NetworkCost(libra.DefaultCostTable(), net, bw)
+	if err != nil || c <= 0 {
+		t.Errorf("NetworkCost = %v, %v", c, err)
+	}
+	ct := libra.CollectiveTime(libra.AllReduce, 1e9, net, bw)
+	if ct <= 0 {
+		t.Errorf("CollectiveTime = %v", ct)
+	}
+	pr, err := libra.SimulateCollective(libra.AllReduce, 1e9, net, bw, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Makespan < ct*(1-1e-9) {
+		t.Errorf("simulated %v beats analytic bound %v", pr.Makespan, ct)
+	}
+}
+
+func TestFacadeSimAndCoDesign(t *testing.T) {
+	net := libra.MustParseTopology("RI(4)_RI(4)_RI(4)")
+	bw := libra.EqualBW(300, 3)
+	w, err := libra.NewTransformer(libra.TransformerConfig{
+		Name: "tiny", NumLayers: 2, Hidden: 1024, SeqLen: 128,
+	}, libra.Strategy{TP: 4, DP: 16}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := libra.TrainingConfig{Net: net, Compute: libra.A100(), Chunks: 8}
+	base, err := libra.SimulateIteration(cfg, w, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	th, err := libra.ThemisIteration(cfg, w, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if th.Total > base.Total*(1+1e-9) {
+		t.Errorf("Themis %v worse than baseline %v", th.Total, base.Total)
+	}
+	ts, err := libra.TacosAllGather(net, bw, 64e6, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Makespan <= 0 {
+		t.Errorf("Tacos makespan = %v", ts.Makespan)
+	}
+	art, _, err := libra.TacosAllReduceTime(net, bw, 64e6, 2)
+	if err != nil || art <= 0 {
+		t.Errorf("TacosAllReduceTime = %v, %v", art, err)
+	}
+	tr, err := libra.ThemisSchedule(libra.AllReduce, 64e6, net, bw, 4)
+	if err != nil || tr.Makespan <= 0 {
+		t.Errorf("ThemisSchedule = %v, %v", tr, err)
+	}
+}
+
+func TestFacadeEqualBWForCost(t *testing.T) {
+	net := libra.MustParseTopology("RI(4)_FC(8)_RI(4)_SW(32)")
+	bw, err := libra.EqualBWForCost(libra.DefaultCostTable(), net, 15e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := libra.NetworkCost(libra.DefaultCostTable(), net, bw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(c-15e6) > 1 {
+		t.Errorf("iso-cost EqualBW costs %v", c)
+	}
+}
