@@ -8,6 +8,8 @@
 package libra_test
 
 import (
+	"context"
+	"sync/atomic"
 	"testing"
 
 	"libra"
@@ -126,6 +128,59 @@ func BenchmarkPerfPerCostSolve(b *testing.B) {
 		p.Objective = libra.PerfPerCostOpt
 		if _, err := p.Optimize(); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Service-layer (Engine) benchmarks ----
+
+func engineBenchSpec(budget float64) *libra.ProblemSpec {
+	return &libra.ProblemSpec{
+		Topology:   "4D-4K",
+		Workloads:  []libra.WorkloadSpec{{Preset: "MSFT-1T"}},
+		BudgetGBps: budget,
+	}
+}
+
+// BenchmarkEngineOptimizeParallel drives concurrent distinct solves
+// through the worker pool — the service layer's heavy-traffic shape. The
+// cache is disabled so every request costs a real solve.
+func BenchmarkEngineOptimizeParallel(b *testing.B) {
+	e := libra.NewEngine(libra.EngineConfig{CacheSize: -1})
+	defer e.Close()
+	ctx := context.Background()
+	var seq atomic.Int64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			// Distinct budgets defeat single-flight coalescing.
+			n := seq.Add(1)
+			if _, err := e.Optimize(ctx, engineBenchSpec(400+float64(n%997))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEngineCacheHit measures the memoized path: a repeated
+// identical optimize must come back from the LRU in well under a
+// millisecond.
+func BenchmarkEngineCacheHit(b *testing.B) {
+	e := libra.NewEngine(libra.EngineConfig{CacheSize: 16})
+	defer e.Close()
+	ctx := context.Background()
+	spec := engineBenchSpec(500)
+	if _, err := e.Optimize(ctx, spec); err != nil { // warm the cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r, err := e.Optimize(ctx, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Cached {
+			b.Fatal("cache miss on identical spec")
 		}
 	}
 }

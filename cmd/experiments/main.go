@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"os"
 
+	"libra/internal/cliutil"
 	"libra/internal/experiments"
 )
 
@@ -39,9 +40,4 @@ func main() {
 	fatalIf(experiments.RunAll(*out, *quick, os.Stdout))
 }
 
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
-	}
-}
+func fatalIf(err error) { cliutil.Fatal("experiments", err) }

@@ -1,0 +1,224 @@
+// Command libra-serve exposes the LIBRA Engine over HTTP: a concurrent,
+// cached optimization service for design-space exploration tooling.
+//
+//	libra-serve -addr :8080 -workers 8 -cache 1024
+//
+// Endpoints (request and response bodies are JSON):
+//
+//	POST /v1/optimize  ProblemSpec                     → EngineResult
+//	POST /v1/evaluate  {"spec": ProblemSpec,
+//	                    "bw": [GB/s per dim]}          → EngineResult
+//	POST /v1/sweep     {"spec": ProblemSpec,
+//	                    "sweep": {"topologies": [...],
+//	                              "budgets": [...],
+//	                              "objectives": [...]}} → {"points": [SweepPoint]}
+//	GET  /v1/stats                                      → EngineStats
+//	GET  /healthz                                       → ok
+//
+// Repeated identical requests are answered from the LRU result cache
+// (keyed by the spec's canonical fingerprint); identical concurrent
+// requests share one solve. Client disconnects cancel abandoned solves.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"libra"
+	"libra/internal/cliutil"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		workers = flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		cache   = flag.Int("cache", 512, "LRU result-cache entries (negative disables)")
+		maxBody = flag.Int64("max-body", 1<<20, "maximum request body bytes")
+	)
+	flag.Parse()
+
+	engine := libra.NewEngine(libra.EngineConfig{Workers: *workers, CacheSize: *cache})
+	defer engine.Close()
+	s := &server{engine: engine, maxBody: *maxBody}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/optimize", s.handleOptimize)
+	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(shutdownCtx)
+	}()
+
+	log.Printf("libra-serve listening on %s (workers=%d, cache=%d)", *addr, *workers, *cache)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		cliutil.Fatal("libra-serve", err)
+	}
+}
+
+type server struct {
+	engine  *libra.Engine
+	maxBody int64
+}
+
+func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
+		return nil, false
+	}
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, false
+	}
+	return data, true
+}
+
+func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	spec, err := libra.ParseSpec(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.engine.Optimize(r.Context(), spec)
+	if err != nil {
+		writeError(w, solveStatus(r, err), err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Spec json.RawMessage `json:"spec"`
+		BW   libra.BWConfig  `json:"bw"`
+	}
+	if err := strictUnmarshal(data, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := parseSpecField(req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.engine.Evaluate(r.Context(), spec, req.BW)
+	if err != nil {
+		writeError(w, solveStatus(r, err), err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Spec  json.RawMessage    `json:"spec"`
+		Sweep libra.SweepRequest `json:"sweep"`
+	}
+	if err := strictUnmarshal(data, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := parseSpecField(req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	points, err := s.engine.Sweep(r.Context(), spec, req.Sweep)
+	if err != nil {
+		writeError(w, solveStatus(r, err), err)
+		return
+	}
+	writeJSON(w, struct {
+		Points []libra.SweepPoint `json:"points"`
+	}{points})
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.engine.Stats())
+}
+
+// strictUnmarshal decodes JSON rejecting unknown fields, so typos in
+// request envelopes fail loudly instead of being silently dropped.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+// parseSpecField strictly decodes the embedded "spec" object with the
+// same unknown-field rejection the bare /v1/optimize body gets.
+func parseSpecField(raw json.RawMessage) (*libra.ProblemSpec, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("missing spec")
+	}
+	return libra.ParseSpec(raw)
+}
+
+// solveStatus maps a solve error to an HTTP status: bad specs are the
+// caller's fault (400), cancellations follow the client disconnect (408)
+// or server shutdown (503), and anything else is a solver-side 500.
+func solveStatus(r *http.Request, err error) int {
+	switch {
+	case errors.Is(err, libra.ErrBadSpec):
+		return http.StatusBadRequest
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		if r.Context().Err() != nil {
+			return http.StatusRequestTimeout
+		}
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("libra-serve: encode: %v", err)
+	}
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+	}{err.Error()})
+}

@@ -12,11 +12,10 @@ package main
 import (
 	"flag"
 	"fmt"
-	"os"
-	"strconv"
 	"strings"
 
 	"libra"
+	"libra/internal/cliutil"
 )
 
 func main() {
@@ -31,42 +30,21 @@ func main() {
 	)
 	flag.Parse()
 
-	var net *libra.Network
-	var err error
+	// The -preset default stands in for "neither flag given".
 	if *topo != "" {
-		net, err = libra.ParseTopology(*topo)
-	} else {
-		net, err = libra.PresetTopology(*preset)
+		*preset = ""
 	}
+	net, err := cliutil.ResolveNetwork(*topo, *preset, "3D-Torus")
 	fatalIf(err)
 
 	bw := libra.EqualBW(300, net.NumDims())
 	if *bwFlag != "" {
-		parts := strings.Split(*bwFlag, ",")
-		if len(parts) != net.NumDims() {
-			fatalIf(fmt.Errorf("%d bandwidths for a %dD network", len(parts), net.NumDims()))
-		}
-		bw = make(libra.BWConfig, len(parts))
-		for i, p := range parts {
-			v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
-			fatalIf(err)
-			bw[i] = v
-		}
+		bw, err = cliutil.ParseBW(*bwFlag, net.NumDims())
+		fatalIf(err)
 	}
 
-	var op libra.CollectiveOp
-	switch strings.ToLower(*opFlag) {
-	case "allreduce", "ar":
-		op = libra.AllReduce
-	case "reducescatter", "rs":
-		op = libra.ReduceScatter
-	case "allgather", "ag":
-		op = libra.AllGather
-	case "alltoall", "a2a":
-		op = libra.AllToAll
-	default:
-		fatalIf(fmt.Errorf("unknown op %q", *opFlag))
-	}
+	op, err := cliutil.ParseCollectiveOp(*opFlag)
+	fatalIf(err)
 
 	fmt.Printf("network:  %s (%d NPUs)\n", net.Name(), net.NPUs())
 	fmt.Printf("bw:       %s\n", bw.String())
@@ -109,9 +87,4 @@ func main() {
 	}
 }
 
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "libra-sim:", err)
-		os.Exit(1)
-	}
-}
+func fatalIf(err error) { cliutil.Fatal("libra-sim", err) }

@@ -1,27 +1,33 @@
 // Command libra optimizes the per-dimension bandwidth of a
 // multi-dimensional training network for a set of target workloads.
 //
-// Examples:
+// The problem can be described with flags or as a JSON ProblemSpec; both
+// paths build the identical spec, so results match byte-for-byte:
 //
 //	libra -topology "RI(4)_FC(8)_RI(4)_SW(32)" -workloads GPT-3 -budget 500
 //	libra -preset 4D-4K -workloads MSFT-1T,GPT-3,Turing-NLG -budget 1000 -objective ppc
 //	libra -preset 3D-4K -workloads MSFT-1T -budget 300 -cap 3=50 -loop overlap
+//	libra -spec examples/spec.json
+//	libra -spec examples/spec.json -json
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
+	"os/signal"
 	"strings"
+	"time"
 
 	"libra"
-	"libra/internal/opt"
-	"libra/internal/timemodel"
+	"libra/internal/cliutil"
 )
 
 func main() {
 	var (
+		specPath  = flag.String("spec", "", "JSON ProblemSpec file; overrides the topology/workload flags")
 		topo      = flag.String("topology", "", "network in block notation, e.g. RI(4)_FC(8)_RI(4)_SW(32)")
 		preset    = flag.String("preset", "", "named Table III topology (4D-4K, 3D-4K, 3D-512, 3D-1K, 4D-2K, 3D-Torus)")
 		workloads = flag.String("workloads", "GPT-3", "comma-separated Table II workloads (Turing-NLG, GPT-3, MSFT-1T, DLRM, ResNet-50)")
@@ -31,127 +37,113 @@ func main() {
 		loop      = flag.String("loop", "nooverlap", "training loop: nooverlap or overlap")
 		caps      = flag.String("cap", "", "per-dimension caps dim=GBps, comma-separated (1-based dims), e.g. 4=50")
 		floors    = flag.String("floor", "", "per-dimension floors dim=GBps, comma-separated (1-based dims)")
+		timeout   = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
+		asJSON    = flag.Bool("json", false, "emit the result as JSON instead of the text report")
 	)
 	flag.Parse()
 
-	net, err := resolveNet(*topo, *preset)
+	spec, err := buildSpec(*specPath, *topo, *preset, *workloads, *weights, *budget, *objective, *loop, *caps, *floors)
 	fatalIf(err)
 
-	names := splitList(*workloads)
-	ws := make([]*libra.Workload, len(names))
-	for i, n := range names {
-		w, err := libra.WorkloadPreset(n, net.NPUs())
-		fatalIf(err)
-		ws[i] = w
-	}
+	p, err := spec.Build()
+	fatalIf(err)
 
-	p := libra.NewProblem(net, *budget, ws...)
-	if *weights != "" {
-		vals := splitList(*weights)
-		if len(vals) != len(ws) {
-			fatalIf(fmt.Errorf("%d weights for %d workloads", len(vals), len(ws)))
-		}
-		for i, v := range vals {
-			f, err := strconv.ParseFloat(v, 64)
-			fatalIf(err)
-			p.Targets[i].Weight = f
-		}
-	}
-	switch *objective {
-	case "perf":
-		p.Objective = libra.PerfOpt
-	case "ppc":
-		p.Objective = libra.PerfPerCostOpt
-	default:
-		fatalIf(fmt.Errorf("unknown objective %q (want perf or ppc)", *objective))
-	}
-	switch *loop {
-	case "nooverlap":
-		p.Loop = timemodel.NoOverlap
-	case "overlap":
-		p.Loop = timemodel.TPDPOverlap
-	default:
-		fatalIf(fmt.Errorf("unknown loop %q (want nooverlap or overlap)", *loop))
-	}
-	capPairs, err := parsePairs(*caps)
-	fatalIf(err)
-	floorPairs, err := parsePairs(*floors)
-	fatalIf(err)
-	if len(capPairs)+len(floorPairs) > 0 {
-		p.Extra = func(c *opt.Constraints) {
-			for d, v := range capPairs {
-				c.VarAtMost(d-1, v)
-			}
-			for d, v := range floorPairs {
-				c.VarAtLeast(d-1, v)
-			}
-		}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
 
 	eq, err := p.EqualBW()
 	fatalIf(err)
-	r, err := p.Optimize()
+	start := time.Now()
+	r, err := p.OptimizeContext(ctx)
 	fatalIf(err)
+	elapsed := time.Since(start)
 
-	fmt.Printf("network:    %s (%d NPUs, %dD)\n", net.Name(), net.NPUs(), net.NumDims())
-	fmt.Printf("objective:  %s @ %.0f GB/s per NPU\n", p.Objective, *budget)
+	if *asJSON {
+		fp, err := spec.Fingerprint()
+		fatalIf(err)
+		out := struct {
+			Result      libra.Result `json:"result"`
+			EqualBW     libra.Result `json:"equal_bw"`
+			Fingerprint string       `json:"fingerprint"`
+			ElapsedMS   float64      `json:"elapsed_ms"`
+		}{r, eq, fp, float64(elapsed) / float64(time.Millisecond)}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		fatalIf(enc.Encode(out))
+		return
+	}
+
+	var names []string
+	for _, t := range p.Targets {
+		names = append(names, t.Workload.Name)
+	}
+	fmt.Printf("network:    %s (%d NPUs, %dD)\n", p.Net.Name(), p.Net.NPUs(), p.Net.NumDims())
+	fmt.Printf("objective:  %s @ %.0f GB/s per NPU\n", p.Objective, p.BWBudget)
 	fmt.Printf("workloads:  %s\n\n", strings.Join(names, ", "))
 	fmt.Printf("%-16s %-34s %12s %14s\n", "config", "BW per dim (GB/s)", "cost ($M)", "iter time (s)")
 	fmt.Printf("%-16s %-34s %12.2f %14.6f\n", "EqualBW", eq.BW.String(), eq.Cost/1e6, eq.WeightedTime)
 	fmt.Printf("%-16s %-34s %12.2f %14.6f\n", "LIBRA", r.BW.String(), r.Cost/1e6, r.WeightedTime)
 	fmt.Printf("\nspeedup over EqualBW:        %.2fx\n", eq.WeightedTime/r.WeightedTime)
 	fmt.Printf("perf-per-cost over EqualBW:  %.2fx\n", r.PerfPerCost()/eq.PerfPerCost())
-	for i, w := range ws {
-		fmt.Printf("  %-12s  %.6fs -> %.6fs (%.2fx)\n", w.Name, eq.Times[i], r.Times[i], eq.Times[i]/r.Times[i])
+	for i, t := range p.Targets {
+		fmt.Printf("  %-12s  %.6fs -> %.6fs (%.2fx)\n", t.Workload.Name, eq.Times[i], r.Times[i], eq.Times[i]/r.Times[i])
 	}
 }
 
-func resolveNet(topo, preset string) (*libra.Network, error) {
-	switch {
-	case topo != "" && preset != "":
+// buildSpec funnels both input paths into one declarative ProblemSpec.
+func buildSpec(specPath, topo, preset, workloads, weights string, budget float64, objective, loop, caps, floors string) (*libra.ProblemSpec, error) {
+	if specPath != "" {
+		return cliutil.LoadSpec(specPath)
+	}
+	topoName := topo
+	if topoName == "" {
+		topoName = preset
+	}
+	if topoName == "" {
+		topoName = "4D-4K"
+	} else if topo != "" && preset != "" {
 		return nil, fmt.Errorf("use -topology or -preset, not both")
-	case topo != "":
-		return libra.ParseTopology(topo)
-	case preset != "":
-		return libra.PresetTopology(preset)
-	default:
-		return libra.PresetTopology("4D-4K")
 	}
-}
 
-func splitList(s string) []string {
-	var out []string
-	for _, p := range strings.Split(s, ",") {
-		if p = strings.TrimSpace(p); p != "" {
-			out = append(out, p)
-		}
+	names := cliutil.SplitList(workloads)
+	spec := &libra.ProblemSpec{
+		Topology:   topoName,
+		BudgetGBps: budget,
+		Objective:  objective,
+		Loop:       loop,
 	}
-	return out
-}
-
-func parsePairs(s string) (map[int]float64, error) {
-	out := map[int]float64{}
-	for _, p := range splitList(s) {
-		eq := strings.IndexByte(p, '=')
-		if eq < 0 {
-			return nil, fmt.Errorf("malformed pair %q (want dim=GBps)", p)
-		}
-		d, err := strconv.Atoi(p[:eq])
-		if err != nil {
+	var ws []float64
+	if weights != "" {
+		var err error
+		if ws, err = cliutil.ParseFloats(weights); err != nil {
 			return nil, err
 		}
-		v, err := strconv.ParseFloat(p[eq+1:], 64)
-		if err != nil {
-			return nil, err
+		if len(ws) != len(names) {
+			return nil, fmt.Errorf("%d weights for %d workloads", len(ws), len(names))
 		}
-		out[d] = v
 	}
-	return out, nil
-}
-
-func fatalIf(err error) {
+	for i, n := range names {
+		w := libra.WorkloadSpec{Preset: n}
+		if ws != nil {
+			w.Weight = ws[i]
+		}
+		spec.Workloads = append(spec.Workloads, w)
+	}
+	capPairs, err := cliutil.ParseDimValuePairs(caps)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "libra:", err)
-		os.Exit(1)
+		return nil, err
 	}
+	floorPairs, err := cliutil.ParseDimValuePairs(floors)
+	if err != nil {
+		return nil, err
+	}
+	spec.Constraints = cliutil.ConstraintsFromPairs(capPairs, floorPairs)
+	return spec, nil
 }
+
+func fatalIf(err error) { cliutil.Fatal("libra", err) }

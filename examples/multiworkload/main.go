@@ -44,10 +44,14 @@ func main() {
 		own[w.Name] = r
 	}
 
-	// One weighted group design.
-	group := libra.NewProblem(net, budget, ws...)
-	for i := range group.Targets {
-		group.Targets[i].Weight = weights[group.Targets[i].Workload.Name]
+	// One weighted group design, assembled with functional options.
+	var groupOpts []libra.Option
+	for _, n := range names {
+		groupOpts = append(groupOpts, libra.WithWeightedPreset(n, weights[n]))
+	}
+	group, err := libra.New(net, budget, groupOpts...)
+	if err != nil {
+		log.Fatal(err)
 	}
 	rg, err := group.Optimize()
 	if err != nil {

@@ -31,8 +31,15 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	problem.Objective = libra.PerfPerCostOpt
-	ppc, err := problem.Optimize() // PerfPerCostOptBW
+	// The same instance assembled with functional options, switched to the
+	// perf-per-cost objective.
+	ppcProblem, err := libra.New(net, budget,
+		libra.WithWorkload(gpt3),
+		libra.WithObjective(libra.PerfPerCostOpt))
+	if err != nil {
+		log.Fatal(err)
+	}
+	ppc, err := ppcProblem.Optimize() // PerfPerCostOptBW
 	if err != nil {
 		log.Fatal(err)
 	}

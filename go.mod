@@ -1,0 +1,3 @@
+module libra
+
+go 1.21

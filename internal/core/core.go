@@ -13,9 +13,17 @@
 //
 // The EqualBW baseline — the paper's workload-agnostic straw person —
 // splits the bandwidth budget evenly across dimensions.
+//
+// The package offers three construction paths, from most to least
+// declarative: a serializable ProblemSpec (spec.go) for tooling and
+// services, functional options (options.go) for idiomatic Go callers, and
+// direct field assignment for full control. Long solves are cancellable
+// through the Context variants of Optimize/Evaluate, and Engine
+// (engine.go) layers a concurrent, cached service on top.
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -73,20 +81,29 @@ type Problem struct {
 	// equality would let PerfPerCostOpt collapse to arbitrarily small
 	// networks, since time×cost is monotone in the overall scale;
 	// PerfPerCostOpt instead reallocates the fixed budget toward cheaper
-	// tiers. Use SkipBudget + Extra for dollar-budget (iso-cost) designs.
+	// tiers. Use SkipBudget + a DollarBudget constraint for iso-cost
+	// designs.
 	BWBudget float64
 
 	// MinDimBW lower-bounds every dimension (default 0.1 GB/s) so the
 	// analytical 1/B terms stay finite.
 	MinDimBW float64
 
-	// Extra holds additional user constraints (dimension caps, ordering,
-	// pair sums, dollar budgets...). May be nil.
+	// Constraints holds declarative, serializable design constraints
+	// (dimension caps/floors, ordering, pair sums, dollar budgets...)
+	// applied on top of the budget row. Unlike Extra they survive a
+	// Problem → ProblemSpec round-trip.
+	Constraints []ConstraintSpec
+
+	// Extra holds additional user constraints as an opaque callback. It
+	// remains as an escape hatch for constraint shapes ConstraintSpec
+	// cannot express, but makes the problem non-serializable: Spec()
+	// fails while Extra is set. May be nil.
 	Extra func(c *opt.Constraints)
 
-	// SkipBudget drops the ΣB budget row entirely, leaving only MinDimBW
-	// and Extra. Used for iso-cost designs where the binding constraint
-	// is a dollar budget instead of a bandwidth budget.
+	// SkipBudget drops the ΣB budget row entirely, leaving only MinDimBW,
+	// Constraints, and Extra. Used for iso-cost designs where the binding
+	// constraint is a dollar budget instead of a bandwidth budget.
 	SkipBudget bool
 
 	// OptPolicy is the mapping policy the *optimizer* models with.
@@ -99,6 +116,13 @@ type Problem struct {
 
 	// Solver tunes the optimizer (zero = defaults).
 	Solver opt.Options
+
+	// sources records, per target, the declarative origin of the
+	// workload (preset name or transformer shape) when one is known, so
+	// Spec() can reconstruct a serializable description. Construction
+	// through ProblemSpec.Build or the workload options fills it; targets
+	// appended by hand fall back to preset-name matching.
+	sources []WorkloadSpec
 }
 
 // NewProblem builds a Problem with the paper's defaults: A100 compute,
@@ -114,24 +138,57 @@ func NewProblem(net *topology.Network, budget float64, targets ...*workload.Work
 		MinDimBW: 0.1,
 	}
 	for _, w := range targets {
-		p.Targets = append(p.Targets, Target{Workload: w, Weight: 1})
+		p.AddTarget(w, 1)
 	}
 	return p
 }
 
+// New builds a Problem from the paper's defaults plus functional options
+// (options.go): workloads via WithWorkload/WithPreset/WithTransformer,
+// then objective, loop, models, and declarative constraints.
+//
+//	p, err := core.New(net, 500,
+//	    core.WithPreset("GPT-3"),
+//	    core.WithObjective(core.PerfPerCostOpt),
+//	    core.WithDimCap(4, 50))
+func New(net *topology.Network, budget float64, opts ...Option) (*Problem, error) {
+	p := NewProblem(net, budget)
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(p); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// AddTarget appends a weighted target workload, keeping the provenance
+// list aligned: preset-named workloads stay serializable, anything else is
+// recorded as opaque and rejected by Spec().
+func (p *Problem) AddTarget(w *workload.Workload, weight float64) {
+	p.Targets = append(p.Targets, Target{Workload: w, Weight: weight})
+	src := WorkloadSpec{}
+	if w != nil && isPresetWorkload(w.Name) {
+		src.Preset = w.Name
+	}
+	p.sources = append(p.sources, src)
+}
+
 // Result is an evaluated bandwidth design point.
 type Result struct {
-	BW topology.BWConfig
+	BW topology.BWConfig `json:"bw"`
 	// Times holds per-target iteration times (seconds), evaluated under
 	// the Actual mapping policy.
-	Times []float64
+	Times []float64 `json:"times"`
 	// WeightedTime is the weight-averaged iteration time.
-	WeightedTime float64
+	WeightedTime float64 `json:"weighted_time"`
 	// Cost is the network dollar cost.
-	Cost float64
+	Cost float64 `json:"cost"`
 	// Utilization is the average network BW utilization of the first
 	// target (Fig. 10's metric).
-	Utilization float64
+	Utilization float64 `json:"utilization"`
 }
 
 // PerfPerCost returns the performance-per-cost figure 1/(T·C).
@@ -163,9 +220,17 @@ func (p *Problem) validate() error {
 		return fmt.Errorf("core: budget %v GB/s cannot cover %d dims at the %v GB/s floor",
 			p.BWBudget, p.Net.NumDims(), minBW)
 	}
+	for _, c := range p.Constraints {
+		if err := c.Validate(p.Net.NumDims()); err != nil {
+			return err
+		}
+	}
 	for _, t := range p.Targets {
 		if t.Workload == nil {
 			return fmt.Errorf("core: nil target workload")
+		}
+		if t.Weight < 0 || math.IsNaN(t.Weight) {
+			return fmt.Errorf("core: target %s has invalid weight %v", t.Workload.Name, t.Weight)
 		}
 		if err := t.Workload.Validate(); err != nil {
 			return err
@@ -212,73 +277,131 @@ func (p *Problem) timeFuncs(policy timemodel.MappingPolicy) ([]func(topology.BWC
 	return fns, nil
 }
 
-// Evaluate prices an explicit bandwidth configuration (Actual policy).
-func (p *Problem) Evaluate(bw topology.BWConfig) (Result, error) {
+// Evaluator prices bandwidth design points for one validated Problem. It
+// validates the problem, resolves every target's parallelization mapping,
+// and caches the cost rates once at construction, so sweep hot loops pay
+// only the analytical model per point instead of re-validating the whole
+// problem each call. An Evaluator goes stale if its Problem is mutated.
+type Evaluator struct {
+	p     *Problem
+	iters []func(topology.BWConfig) (timemodel.Breakdown, error)
+	rates []float64
+	wsum  float64
+}
+
+// NewEvaluator validates the problem and hoists all per-problem work out
+// of the per-point path. Evaluation always uses the Actual mapping policy.
+func (p *Problem) NewEvaluator() (*Evaluator, error) {
 	if err := p.validate(); err != nil {
-		return Result{}, err
-	}
-	if err := bw.Validate(p.Net); err != nil {
-		return Result{}, err
+		return nil, err
 	}
 	est := p.estimator(timemodel.Actual)
-	res := Result{BW: bw.Clone(), Times: make([]float64, len(p.Targets))}
-	var wsum float64
+	e := &Evaluator{p: p, iters: make([]func(topology.BWConfig) (timemodel.Breakdown, error), len(p.Targets))}
 	for i, t := range p.Targets {
-		b, err := est.Iteration(t.Workload, bw)
+		f, err := est.Prepare(t.Workload)
 		if err != nil {
-			return Result{}, fmt.Errorf("core: target %s: %w", t.Workload.Name, err)
+			return nil, fmt.Errorf("core: target %s: %w", t.Workload.Name, err)
+		}
+		e.iters[i] = f
+		e.wsum += p.weight(i)
+	}
+	rates, err := cost.Rates(p.Cost, p.Net)
+	if err != nil {
+		return nil, err
+	}
+	e.rates = rates
+	return e, nil
+}
+
+// Evaluate prices an explicit bandwidth configuration.
+func (e *Evaluator) Evaluate(bw topology.BWConfig) (Result, error) {
+	res := Result{BW: bw.Clone(), Times: make([]float64, len(e.iters))}
+	for i, f := range e.iters {
+		b, err := f(bw)
+		if err != nil {
+			return Result{}, fmt.Errorf("core: target %s: %w", e.p.Targets[i].Workload.Name, err)
 		}
 		res.Times[i] = b.Total
-		res.WeightedTime += p.weight(i) * b.Total
-		wsum += p.weight(i)
+		res.WeightedTime += e.p.weight(i) * b.Total
 		if i == 0 {
 			res.Utilization = b.AvgUtilization()
 		}
 	}
-	res.WeightedTime /= wsum
-	c, err := cost.Network(p.Cost, p.Net, bw)
+	res.WeightedTime /= e.wsum
+	for d, r := range e.rates {
+		res.Cost += r * bw[d]
+	}
+	return res, nil
+}
+
+// Evaluate prices an explicit bandwidth configuration (Actual policy).
+func (p *Problem) Evaluate(bw topology.BWConfig) (Result, error) {
+	e, err := p.NewEvaluator()
 	if err != nil {
 		return Result{}, err
 	}
-	res.Cost = c
-	return res, nil
+	return e.Evaluate(bw)
+}
+
+// EvaluateContext is Evaluate, aborting early when ctx is done. A single
+// evaluation is fast; the context matters when callers batch many.
+func (p *Problem) EvaluateContext(ctx context.Context, bw topology.BWConfig) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, fmt.Errorf("core: evaluate canceled: %w", err)
+	}
+	return p.Evaluate(bw)
 }
 
 // EqualBW evaluates the workload-agnostic baseline: BWBudget split evenly.
 func (p *Problem) EqualBW() (Result, error) {
-	if err := p.validate(); err != nil {
+	e, err := p.NewEvaluator()
+	if err != nil {
 		return Result{}, err
 	}
-	return p.Evaluate(topology.EqualBW(p.BWBudget, p.Net.NumDims()))
+	return e.Evaluate(topology.EqualBW(p.BWBudget, p.Net.NumDims()))
 }
 
-// constraints assembles the solver constraint set.
-func (p *Problem) constraints() *opt.Constraints {
+// buildConstraints assembles the solver constraint set from the budget
+// row, the declarative constraint specs, and the Extra escape hatch.
+func (p *Problem) buildConstraints() (*opt.Constraints, error) {
 	n := p.Net.NumDims()
 	c := opt.NewConstraints(n).SetAllLower(p.minDimBW())
 	if !p.SkipBudget {
 		c.SumEquals(p.BWBudget)
 	}
+	for _, spec := range p.Constraints {
+		if err := spec.apply(c, p); err != nil {
+			return nil, err
+		}
+	}
 	if p.Extra != nil {
 		p.Extra(c)
 	}
-	return c
+	return c, nil
 }
 
 // Optimize searches for the bandwidth configuration maximizing the
 // problem's objective and returns it evaluated under the Actual policy.
 func (p *Problem) Optimize() (Result, error) {
-	if err := p.validate(); err != nil {
+	return p.OptimizeContext(context.Background())
+}
+
+// OptimizeContext is Optimize under a context: the solver polls ctx and
+// aborts with its error as soon as it is canceled or times out.
+func (p *Problem) OptimizeContext(ctx context.Context) (Result, error) {
+	eval, err := p.NewEvaluator()
+	if err != nil {
 		return Result{}, err
 	}
 	fns, err := p.timeFuncs(p.OptPolicy)
 	if err != nil {
 		return Result{}, err
 	}
-	costRates, err := cost.Rates(p.Cost, p.Net)
+	cons, err := p.buildConstraints()
 	if err != nil {
 		return Result{}, err
 	}
+	costRates := eval.rates
 	n := p.Net.NumDims()
 	var wsum float64
 	for i := range p.Targets {
@@ -315,12 +438,12 @@ func (p *Problem) Optimize() (Result, error) {
 
 	solverOpts := p.Solver
 	solverOpts.Convex = convex
-	prob := opt.Problem{N: n, Objective: objective, Cons: p.constraints()}
-	sol, err := opt.Minimize(prob, solverOpts)
+	prob := opt.Problem{N: n, Objective: objective, Cons: cons}
+	sol, err := opt.MinimizeContext(ctx, prob, solverOpts)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: %s solve failed: %w", p.Objective, err)
 	}
-	return p.Evaluate(topology.BWConfig(sol.X))
+	return eval.Evaluate(topology.BWConfig(sol.X))
 }
 
 // EqualBWForCost returns the EqualBW bandwidth per dimension that exactly

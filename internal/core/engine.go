@@ -1,0 +1,364 @@
+package core
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"libra/internal/topology"
+)
+
+// ErrBadSpec marks client-side errors — a spec that fails to build or
+// validate — so service layers can distinguish caller mistakes (HTTP 400)
+// from solver failures (HTTP 500).
+var ErrBadSpec = errors.New("core: invalid problem spec")
+
+// EngineConfig tunes the service layer. Zero values select defaults.
+type EngineConfig struct {
+	// Workers bounds concurrent solves (default GOMAXPROCS).
+	Workers int
+	// CacheSize bounds the LRU result cache in entries (default 512;
+	// negative disables caching).
+	CacheSize int
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 512
+	}
+	return c
+}
+
+// Engine is LIBRA's concurrent service layer: it optimizes and evaluates
+// ProblemSpecs under a bounded worker pool, deduplicates identical
+// in-flight requests (single-flight), and memoizes results in an LRU
+// cache keyed by the spec's canonical fingerprint. An Engine is safe for
+// concurrent use; create one per process and share it.
+type Engine struct {
+	cfg EngineConfig
+	sem chan struct{}
+
+	mu       sync.Mutex
+	cache    *lruCache
+	inflight map[string]*flight
+	hits     uint64
+	misses   uint64
+
+	baseCtx context.Context
+	stop    context.CancelFunc
+}
+
+// flight is one in-progress solve shared by every caller requesting the
+// same key. The solve is canceled once the last waiter walks away.
+type flight struct {
+	done    chan struct{}
+	res     EngineResult
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// NewEngine builds an Engine; Close releases it.
+func NewEngine(cfg EngineConfig) *Engine {
+	cfg = cfg.withDefaults()
+	ctx, stop := context.WithCancel(context.Background())
+	e := &Engine{
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.Workers),
+		inflight: map[string]*flight{},
+		baseCtx:  ctx,
+		stop:     stop,
+	}
+	if cfg.CacheSize > 0 {
+		e.cache = newLRUCache(cfg.CacheSize)
+	}
+	return e
+}
+
+// Close cancels every in-flight solve and rejects future work.
+func (e *Engine) Close() { e.stop() }
+
+// EngineResult is a service-layer answer: the evaluated design point plus
+// cache/timing metadata.
+type EngineResult struct {
+	Result      Result  `json:"result"`
+	Fingerprint string  `json:"fingerprint"`
+	Cached      bool    `json:"cached"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+}
+
+// EngineStats reports cache effectiveness and current load.
+type EngineStats struct {
+	Hits         uint64 `json:"hits"`
+	Misses       uint64 `json:"misses"`
+	CacheEntries int    `json:"cache_entries"`
+	InFlight     int    `json:"in_flight"`
+	Workers      int    `json:"workers"`
+}
+
+// Stats snapshots the engine counters.
+func (e *Engine) Stats() EngineStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	s := EngineStats{Hits: e.hits, Misses: e.misses, InFlight: len(e.inflight), Workers: e.cfg.Workers}
+	if e.cache != nil {
+		s.CacheEntries = e.cache.len()
+	}
+	return s
+}
+
+// prepare builds and fingerprints the spec once per request — the built
+// Problem is handed to the solve closure, so a cache miss does not pay a
+// second construction. Failures here are the caller's fault (ErrBadSpec).
+func (e *Engine) prepare(spec *ProblemSpec) (*Problem, string, error) {
+	p, err := spec.Build()
+	if err != nil {
+		return nil, "", fmt.Errorf("%w: %w", ErrBadSpec, err)
+	}
+	fp, err := p.Fingerprint()
+	if err != nil {
+		return nil, "", fmt.Errorf("%w: %w", ErrBadSpec, err)
+	}
+	return p, fp, nil
+}
+
+// Optimize solves the spec (or returns the memoized result), honoring ctx
+// for cancellation while waiting and while solving.
+func (e *Engine) Optimize(ctx context.Context, spec *ProblemSpec) (EngineResult, error) {
+	p, fp, err := e.prepare(spec)
+	if err != nil {
+		return EngineResult{}, err
+	}
+	return e.do(ctx, "optimize|"+fp, fp, func(ctx context.Context) (Result, error) {
+		return p.OptimizeContext(ctx)
+	})
+}
+
+// Evaluate prices an explicit bandwidth configuration for the spec.
+func (e *Engine) Evaluate(ctx context.Context, spec *ProblemSpec, bw topology.BWConfig) (EngineResult, error) {
+	p, fp, err := e.prepare(spec)
+	if err != nil {
+		return EngineResult{}, err
+	}
+	if err := bw.Validate(p.Net); err != nil {
+		return EngineResult{}, fmt.Errorf("%w: %w", ErrBadSpec, err)
+	}
+	var key strings.Builder
+	key.WriteString("evaluate|")
+	key.WriteString(fp)
+	for _, v := range bw {
+		key.WriteByte('|')
+		key.WriteString(strconv.FormatFloat(v, 'g', 17, 64))
+	}
+	return e.do(ctx, key.String(), fp, func(ctx context.Context) (Result, error) {
+		return p.EvaluateContext(ctx, bw)
+	})
+}
+
+// do runs one cached, single-flighted, worker-bounded operation.
+func (e *Engine) do(ctx context.Context, key, fp string, solve func(context.Context) (Result, error)) (EngineResult, error) {
+	if err := e.baseCtx.Err(); err != nil {
+		return EngineResult{}, fmt.Errorf("core: engine closed: %w", err)
+	}
+	e.mu.Lock()
+	if e.cache != nil {
+		if r, ok := e.cache.get(key); ok {
+			e.hits++
+			e.mu.Unlock()
+			r.Cached = true
+			return r, nil
+		}
+	}
+	if f, ok := e.inflight[key]; ok {
+		f.waiters++
+		e.mu.Unlock()
+		return e.wait(ctx, key, f)
+	}
+	e.misses++
+	solveCtx, cancel := context.WithCancel(e.baseCtx)
+	f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	e.inflight[key] = f
+	e.mu.Unlock()
+
+	go func() {
+		defer cancel()
+		var res EngineResult
+		var err error
+		select {
+		case e.sem <- struct{}{}:
+			start := time.Now()
+			var r Result
+			r, err = solve(solveCtx)
+			<-e.sem
+			res = EngineResult{Result: r, Fingerprint: fp, ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond)}
+		case <-solveCtx.Done():
+			err = solveCtx.Err()
+		}
+		e.mu.Lock()
+		delete(e.inflight, key)
+		if err == nil && e.cache != nil {
+			e.cache.add(key, res)
+		}
+		e.mu.Unlock()
+		f.res, f.err = res, err
+		close(f.done)
+	}()
+	return e.wait(ctx, key, f)
+}
+
+// wait blocks on a shared flight under the caller's context; the last
+// waiter to abandon a flight cancels its solve.
+func (e *Engine) wait(ctx context.Context, key string, f *flight) (EngineResult, error) {
+	select {
+	case <-f.done:
+		return f.res, f.err
+	case <-ctx.Done():
+		e.mu.Lock()
+		f.waiters--
+		abandon := f.waiters <= 0
+		e.mu.Unlock()
+		if abandon {
+			f.cancel()
+		}
+		return EngineResult{}, ctx.Err()
+	}
+}
+
+// BatchResult is one entry of a batch operation; failed entries carry the
+// error in place so one bad spec does not sink the batch.
+type BatchResult struct {
+	Index int `json:"index"`
+	EngineResult
+	Err   error  `json:"-"`
+	Error string `json:"error,omitempty"`
+}
+
+// OptimizeAll solves every spec concurrently under the worker pool and
+// returns results in input order.
+func (e *Engine) OptimizeAll(ctx context.Context, specs []*ProblemSpec) []BatchResult {
+	out := make([]BatchResult, len(specs))
+	var wg sync.WaitGroup
+	for i, s := range specs {
+		wg.Add(1)
+		go func(i int, s *ProblemSpec) {
+			defer wg.Done()
+			r, err := e.Optimize(ctx, s)
+			out[i] = BatchResult{Index: i, EngineResult: r, Err: err}
+			if err != nil {
+				out[i].Error = err.Error()
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	return out
+}
+
+// SweepRequest axes multiply against a base spec: every listed topology ×
+// budget × objective becomes one optimization. An empty axis keeps the
+// base spec's value.
+type SweepRequest struct {
+	Topologies []string  `json:"topologies,omitempty"`
+	Budgets    []float64 `json:"budgets,omitempty"`
+	Objectives []string  `json:"objectives,omitempty"`
+}
+
+// SweepPoint is one sweep cell: the derived coordinates plus the batch
+// outcome.
+type SweepPoint struct {
+	Topology   string  `json:"topology"`
+	BudgetGBps float64 `json:"budget_gbps"`
+	Objective  string  `json:"objective,omitempty"`
+	BatchResult
+}
+
+// Sweep explodes the request axes against the base spec and optimizes
+// every cell concurrently — the paper's §VI design-space sweeps as one
+// call. Point failures are reported per cell.
+func (e *Engine) Sweep(ctx context.Context, base *ProblemSpec, req SweepRequest) ([]SweepPoint, error) {
+	if base == nil {
+		return nil, fmt.Errorf("core: sweep needs a base spec")
+	}
+	topos := req.Topologies
+	if len(topos) == 0 {
+		topos = []string{base.Topology}
+	}
+	budgets := req.Budgets
+	if len(budgets) == 0 {
+		budgets = []float64{base.BudgetGBps}
+	}
+	objectives := req.Objectives
+	if len(objectives) == 0 {
+		objectives = []string{base.Objective}
+	}
+	var points []SweepPoint
+	var specs []*ProblemSpec
+	for _, t := range topos {
+		for _, b := range budgets {
+			for _, o := range objectives {
+				s := base.Clone()
+				s.Topology = t
+				s.BudgetGBps = b
+				s.Objective = o
+				specs = append(specs, s)
+				points = append(points, SweepPoint{Topology: t, BudgetGBps: b, Objective: o})
+			}
+		}
+	}
+	results := e.OptimizeAll(ctx, specs)
+	for i := range points {
+		points[i].BatchResult = results[i]
+	}
+	return points, ctx.Err()
+}
+
+// ---- LRU cache ----
+
+type lruEntry struct {
+	key string
+	res EngineResult
+}
+
+// lruCache is a minimal LRU of EngineResults; callers synchronize.
+type lruCache struct {
+	cap   int
+	order *list.List // front = most recent
+	items map[string]*list.Element
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, order: list.New(), items: map[string]*list.Element{}}
+}
+
+func (c *lruCache) len() int { return c.order.Len() }
+
+func (c *lruCache) get(key string) (EngineResult, bool) {
+	el, ok := c.items[key]
+	if !ok {
+		return EngineResult{}, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*lruEntry).res, true
+}
+
+func (c *lruCache) add(key string, res EngineResult) {
+	if el, ok := c.items[key]; ok {
+		el.Value.(*lruEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&lruEntry{key: key, res: res})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.items, last.Value.(*lruEntry).key)
+	}
+}

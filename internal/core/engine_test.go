@@ -1,0 +1,228 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"libra/internal/topology"
+)
+
+// smallSpec is a fast-solving instance for engine tests.
+func smallSpec(budget float64) *ProblemSpec {
+	return &ProblemSpec{
+		Topology:   "RI(4)_SW(8)",
+		Workloads:  []WorkloadSpec{{Preset: "Turing-NLG"}},
+		BudgetGBps: budget,
+		Solver:     &SolverSpec{Starts: 1, MaxIters: 50},
+	}
+}
+
+func TestEngineCacheHitMiss(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 2, CacheSize: 8})
+	defer e.Close()
+	ctx := context.Background()
+
+	r1, err := e.Optimize(ctx, smallSpec(300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Cached {
+		t.Error("first solve reported cached")
+	}
+	// The identical spec — even respelled — must hit.
+	respelled := smallSpec(300)
+	respelled.Objective = "perf"
+	start := time.Now()
+	r2, err := e.Optimize(ctx, respelled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Cached {
+		t.Error("repeat solve missed the cache")
+	}
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Errorf("cache hit took %v; want sub-millisecond-class latency", elapsed)
+	}
+	if r2.Result.WeightedTime != r1.Result.WeightedTime {
+		t.Errorf("cached result differs: %v vs %v", r2.Result.WeightedTime, r1.Result.WeightedTime)
+	}
+	// A different budget must miss.
+	r3, err := e.Optimize(ctx, smallSpec(400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Cached {
+		t.Error("different spec reported cached")
+	}
+	s := e.Stats()
+	if s.Hits != 1 || s.Misses != 2 {
+		t.Errorf("stats = %+v; want 1 hit, 2 misses", s)
+	}
+}
+
+func TestEngineEvaluateCacheKeyIncludesBW(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 2, CacheSize: 8})
+	defer e.Close()
+	ctx := context.Background()
+	spec := smallSpec(300)
+
+	a, err := e.Evaluate(ctx, spec, topology.EqualBW(300, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.Evaluate(ctx, spec, topology.BWConfig{200, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cached {
+		t.Error("distinct bandwidth vector hit the cache")
+	}
+	if a.Result.WeightedTime == b.Result.WeightedTime {
+		t.Error("distinct bandwidth vectors priced identically; key collision?")
+	}
+	c, err := e.Evaluate(ctx, spec, topology.EqualBW(300, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Cached {
+		t.Error("repeat evaluate missed the cache")
+	}
+}
+
+// Hammer one engine from many goroutines over overlapping specs; run
+// under -race this doubles as the concurrency-safety check.
+func TestEngineConcurrentSafety(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 4, CacheSize: 4})
+	defer e.Close()
+	ctx := context.Background()
+	budgets := []float64{200, 300, 400}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				r, err := e.Optimize(ctx, smallSpec(budgets[(g+i)%len(budgets)]))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if r.Result.WeightedTime <= 0 {
+					errs <- errors.New("non-positive iteration time")
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	s := e.Stats()
+	if s.Hits+s.Misses == 0 || s.InFlight != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+}
+
+func TestEngineOptimizeAllAndSweep(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 4, CacheSize: 32})
+	defer e.Close()
+	ctx := context.Background()
+
+	specs := []*ProblemSpec{smallSpec(200), smallSpec(300), {Topology: "bogus"}}
+	results := e.OptimizeAll(ctx, specs)
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	if results[0].Err != nil || results[1].Err != nil {
+		t.Fatalf("good specs failed: %v %v", results[0].Err, results[1].Err)
+	}
+	if results[2].Err == nil {
+		t.Fatal("bogus spec succeeded")
+	}
+
+	points, err := e.Sweep(ctx, smallSpec(300), SweepRequest{Budgets: []float64{200, 300, 400}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("%d sweep points", len(points))
+	}
+	for _, pt := range points {
+		if pt.Err != nil {
+			t.Fatalf("sweep point @%v: %v", pt.BudgetGBps, pt.Err)
+		}
+		if pt.Result.BW.Total() < pt.BudgetGBps*0.99 {
+			t.Errorf("sweep point @%v spent only %v GB/s", pt.BudgetGBps, pt.Result.BW.Total())
+		}
+	}
+	// The 300 GB/s cell was pre-warmed by OptimizeAll above.
+	found := false
+	for _, pt := range points {
+		if pt.BudgetGBps == 300 && pt.Cached {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("sweep did not reuse the cached 300 GB/s solve")
+	}
+}
+
+// A long solve must stop promptly when its context is canceled.
+func TestOptimizeContextCancellation(t *testing.T) {
+	// Many targets × many starts × many iterations: seconds of work.
+	spec := &ProblemSpec{
+		Topology:   "4D-4K",
+		Workloads:  []WorkloadSpec{{Preset: "GPT-3"}, {Preset: "MSFT-1T"}, {Preset: "Turing-NLG"}},
+		BudgetGBps: 500,
+		Objective:  "perf-per-cost",
+		Solver:     &SolverSpec{Starts: 64, MaxIters: 5000},
+	}
+	p, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = p.OptimizeContext(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v; want context.Canceled", err)
+	}
+	if elapsed > 2*time.Second {
+		t.Errorf("cancellation took %v; solver is not polling the context", elapsed)
+	}
+}
+
+// Engine.Optimize must propagate a waiting caller's cancellation.
+func TestEngineCancellationWhileWaiting(t *testing.T) {
+	e := NewEngine(EngineConfig{Workers: 1, CacheSize: 8})
+	defer e.Close()
+	spec := &ProblemSpec{
+		Topology:   "4D-4K",
+		Workloads:  []WorkloadSpec{{Preset: "GPT-3"}, {Preset: "MSFT-1T"}},
+		BudgetGBps: 500,
+		Objective:  "perf-per-cost",
+		Solver:     &SolverSpec{Starts: 64, MaxIters: 5000},
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := e.Optimize(ctx, spec)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v; want deadline exceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Errorf("engine held the caller %v past its deadline", elapsed)
+	}
+}

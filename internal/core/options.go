@@ -1,0 +1,208 @@
+package core
+
+import (
+	"fmt"
+
+	"libra/internal/compute"
+	"libra/internal/cost"
+	"libra/internal/opt"
+	"libra/internal/timemodel"
+	"libra/internal/workload"
+)
+
+// Option configures a Problem during construction with New (or later with
+// Apply). Options are the idiomatic Go construction path; ProblemSpec is
+// the declarative one — every option has a spec counterpart, so problems
+// built from options remain serializable.
+type Option func(*Problem) error
+
+// Apply runs options against an existing problem, returning the first
+// error. It lets the paper-default NewProblem path opt into the same
+// vocabulary: NewProblem(net, budget, w).Apply(WithDimCap(4, 50)).
+func (p *Problem) Apply(opts ...Option) (*Problem, error) {
+	for _, o := range opts {
+		if o == nil {
+			continue
+		}
+		if err := o(p); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+// WithObjective selects PerfOpt or PerfPerCostOpt.
+func WithObjective(o Objective) Option {
+	return func(p *Problem) error {
+		if o != PerfOpt && o != PerfPerCostOpt {
+			return fmt.Errorf("core: unknown objective %v", o)
+		}
+		p.Objective = o
+		return nil
+	}
+}
+
+// WithLoop selects the training loop (Fig. 5).
+func WithLoop(l timemodel.Loop) Option {
+	return func(p *Problem) error {
+		if l != timemodel.NoOverlap && l != timemodel.TPDPOverlap {
+			return fmt.Errorf("core: unknown training loop %v", l)
+		}
+		p.Loop = l
+		return nil
+	}
+}
+
+// WithCompute replaces the A100 compute model.
+func WithCompute(m compute.Model) Option {
+	return func(p *Problem) error {
+		if err := m.Validate(); err != nil {
+			return err
+		}
+		p.Compute = m
+		return nil
+	}
+}
+
+// WithCostTable replaces the Table I cost model.
+func WithCostTable(t cost.Table) Option {
+	return func(p *Problem) error {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		p.Cost = t
+		return nil
+	}
+}
+
+// WithMinDimBW sets the per-dimension bandwidth floor (GB/s).
+func WithMinDimBW(gbps float64) Option {
+	return func(p *Problem) error {
+		if !(gbps > 0) {
+			return fmt.Errorf("core: dimension floor must be positive, got %v", gbps)
+		}
+		p.MinDimBW = gbps
+		return nil
+	}
+}
+
+// WithOptPolicy sets the optimizer-side mapping policy.
+func WithOptPolicy(policy timemodel.MappingPolicy) Option {
+	return func(p *Problem) error {
+		p.OptPolicy = policy
+		return nil
+	}
+}
+
+// WithInNetwork marks switch-offloaded dimensions, innermost first.
+func WithInNetwork(offloaded ...bool) Option {
+	return func(p *Problem) error {
+		if p.Net != nil && len(offloaded) != p.Net.NumDims() {
+			return fmt.Errorf("core: %d in-network flags for a %dD network", len(offloaded), p.Net.NumDims())
+		}
+		p.InNetwork = append([]bool(nil), offloaded...)
+		return nil
+	}
+}
+
+// WithSolver tunes the optimizer.
+func WithSolver(o opt.Options) Option {
+	return func(p *Problem) error {
+		p.Solver = o
+		return nil
+	}
+}
+
+// WithSkipBudget drops the ΣB budget row; pair with WithDollarBudget for
+// the paper's iso-cost designs.
+func WithSkipBudget() Option {
+	return func(p *Problem) error {
+		p.SkipBudget = true
+		return nil
+	}
+}
+
+// WithWorkload adds a target workload at weight 1.
+func WithWorkload(w *workload.Workload) Option {
+	return WithWeightedWorkload(w, 1)
+}
+
+// WithWeightedWorkload adds a target workload with a relative weight.
+func WithWeightedWorkload(w *workload.Workload, weight float64) Option {
+	return func(p *Problem) error {
+		if w == nil {
+			return fmt.Errorf("core: nil target workload")
+		}
+		if weight < 0 {
+			return fmt.Errorf("core: workload %s has negative weight %v", w.Name, weight)
+		}
+		p.AddTarget(w, weight)
+		return nil
+	}
+}
+
+// WithPreset adds a Table II workload by name, instantiated on the
+// problem network's NPU count, at weight 1.
+func WithPreset(name string) Option {
+	return WithWeightedPreset(name, 1)
+}
+
+// WithWeightedPreset adds a Table II workload by name with a weight.
+func WithWeightedPreset(name string, weight float64) Option {
+	return func(p *Problem) error {
+		if p.Net == nil {
+			return fmt.Errorf("core: workload preset %q needs the network first", name)
+		}
+		w, err := workload.Preset(name, p.Net.NPUs())
+		if err != nil {
+			return err
+		}
+		p.AddTarget(w, weight)
+		return nil
+	}
+}
+
+// WithTransformer adds a custom transformer workload from its declarative
+// shape, keeping the problem serializable.
+func WithTransformer(t TransformerSpec, weight float64) Option {
+	return func(p *Problem) error {
+		if p.Net == nil {
+			return fmt.Errorf("core: transformer workload needs the network first")
+		}
+		w, src, err := WorkloadSpec{Transformer: &t}.build(p.Net.NPUs())
+		if err != nil {
+			return err
+		}
+		p.Targets = append(p.Targets, Target{Workload: w, Weight: weight})
+		p.sources = append(p.sources, src)
+		return nil
+	}
+}
+
+// WithConstraint appends one declarative design constraint.
+func WithConstraint(c ConstraintSpec) Option {
+	return func(p *Problem) error {
+		if p.Net != nil {
+			if err := c.Validate(p.Net.NumDims()); err != nil {
+				return err
+			}
+		}
+		p.Constraints = append(p.Constraints, c)
+		return nil
+	}
+}
+
+// WithDimCap caps dimension dim (1-based) at gbps.
+func WithDimCap(dim int, gbps float64) Option { return WithConstraint(DimCap(dim, gbps)) }
+
+// WithDimFloor floors dimension dim (1-based) at gbps.
+func WithDimFloor(dim int, gbps float64) Option { return WithConstraint(DimFloor(dim, gbps)) }
+
+// WithOrderedDims requires B_hi ≥ B_lo (1-based dimensions).
+func WithOrderedDims(hi, lo int) Option { return WithConstraint(OrderedDims(hi, lo)) }
+
+// WithPairSum pins B_a + B_b = gbps (1-based dimensions).
+func WithPairSum(a, b int, gbps float64) Option { return WithConstraint(PairSum(a, b, gbps)) }
+
+// WithDollarBudget bounds network dollars under the problem's cost table.
+func WithDollarBudget(dollars float64) Option { return WithConstraint(DollarBudget(dollars)) }

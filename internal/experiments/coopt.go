@@ -7,7 +7,6 @@ import (
 	"libra/internal/compute"
 	"libra/internal/core"
 	"libra/internal/cost"
-	"libra/internal/opt"
 	"libra/internal/sim"
 	"libra/internal/tacos"
 	"libra/internal/themis"
@@ -59,12 +58,17 @@ func groupStudy(id, title string, names []string) (*Table, error) {
 	designNames := append(append([]string{}, names...), "Group-Opt")
 	for _, w := range ws {
 		p := core.NewProblem(net, budget, w)
-		eq, err := p.EqualBW()
+		// One validated evaluator for the whole cross-evaluation loop.
+		ev, err := p.NewEvaluator()
+		if err != nil {
+			return nil, err
+		}
+		eq, err := ev.Evaluate(topology.EqualBW(budget, net.NumDims()))
 		if err != nil {
 			return nil, err
 		}
 		for _, dn := range designNames {
-			r, err := p.Evaluate(designs[dn])
+			r, err := ev.Evaluate(designs[dn])
 			if err != nil {
 				return nil, err
 			}
@@ -132,10 +136,6 @@ func Fig19Themis() (*Table, error) {
 		return nil, err
 	}
 	table := cost.Default()
-	rates, err := cost.Rates(table, net)
-	if err != nil {
-		return nil, err
-	}
 	cfg := sim.TrainingConfig{Net: net, Compute: compute.A100(), Loop: timemodel.NoOverlap, Chunks: 16}
 
 	evalThemis := func(bw topology.BWConfig) (time, dollars float64, err error) {
@@ -164,7 +164,7 @@ func Fig19Themis() (*Table, error) {
 	}
 	p := core.NewProblem(net, 0, w)
 	p.SkipBudget = true
-	p.Extra = func(c *opt.Constraints) { c.WeightedSumAtMost(rates, dollars) }
+	p.Constraints = []core.ConstraintSpec{core.DollarBudget(dollars)}
 	rLibra, err := p.Optimize()
 	if err != nil {
 		return nil, err

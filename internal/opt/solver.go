@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -62,6 +63,13 @@ type Result struct {
 // Nelder-Mead polish. For convex problems the first converged start is
 // returned.
 func Minimize(p Problem, o Options) (Result, error) {
+	return MinimizeContext(context.Background(), p, o)
+}
+
+// MinimizeContext is Minimize under a context: the solve polls ctx between
+// iterations and returns ctx.Err() (wrapped) as soon as the context is
+// canceled or its deadline passes, discarding any partial progress.
+func MinimizeContext(ctx context.Context, p Problem, o Options) (Result, error) {
 	if p.N < 1 || p.Objective == nil || p.Cons == nil {
 		return Result{}, fmt.Errorf("opt: problem needs N ≥ 1, an objective, and constraints")
 	}
@@ -77,11 +85,14 @@ func Minimize(p Problem, o Options) (Result, error) {
 
 	best := Result{F: math.Inf(1)}
 	for si, s := range seeds {
-		x, f, conv := projectedGradient(p, s, o)
+		x, f, conv := projectedGradient(ctx, p, s, o)
 		// Polish with direct search from the PGD endpoint.
-		x2, f2 := nelderMead(p, x, o)
+		x2, f2 := nelderMead(ctx, p, x, o)
 		if f2 < f {
 			x, f = x2, f2
+		}
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("opt: solve canceled: %w", err)
 		}
 		if f < best.F {
 			best = Result{X: x, F: f, Converged: conv}
@@ -213,7 +224,7 @@ func numGrad(f func([]float64) float64, x []float64) []float64 {
 
 // projectedGradient runs monotone projected gradient descent with
 // backtracking line search from a feasible start.
-func projectedGradient(p Problem, start []float64, o Options) (x []float64, f float64, converged bool) {
+func projectedGradient(ctx context.Context, p Problem, start []float64, o Options) (x []float64, f float64, converged bool) {
 	grad := p.Grad
 	if grad == nil {
 		grad = func(x []float64) []float64 { return numGrad(p.Objective, x) }
@@ -223,6 +234,9 @@ func projectedGradient(p Problem, start []float64, o Options) (x []float64, f fl
 	step := 1.0
 	stall := 0
 	for iter := 0; iter < o.MaxIters; iter++ {
+		if ctx.Err() != nil {
+			return x, f, false
+		}
 		g := grad(x)
 		gn := norm2(g)
 		if gn == 0 {
@@ -260,7 +274,7 @@ func projectedGradient(p Problem, start []float64, o Options) (x []float64, f fl
 // nelderMead polishes a point with a penalized Nelder-Mead direct search;
 // constraint violations are penalized quadratically, and the returned
 // point is re-projected into the feasible set.
-func nelderMead(p Problem, start []float64, o Options) ([]float64, float64) {
+func nelderMead(ctx context.Context, p Problem, start []float64, o Options) ([]float64, float64) {
 	n := p.N
 	mu := 1e6 * math.Max(1, math.Abs(p.Objective(start)))
 	pen := func(x []float64) float64 {
@@ -299,6 +313,9 @@ func nelderMead(p Problem, start []float64, o Options) ([]float64, float64) {
 		}
 	}
 	for iter := 0; iter < 400*n; iter++ {
+		if ctx.Err() != nil {
+			break
+		}
 		order()
 		if math.Abs(fs[n]-fs[0]) <= o.Tol*(math.Abs(fs[0])+1e-12) {
 			break

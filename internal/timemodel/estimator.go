@@ -85,17 +85,32 @@ func (b Breakdown) AvgUtilization() float64 {
 
 // Iteration estimates one training iteration of w under bandwidth bw.
 func (e *Estimator) Iteration(w *workload.Workload, bw topology.BWConfig) (Breakdown, error) {
-	if err := bw.Validate(e.Net); err != nil {
-		return Breakdown{}, err
-	}
-	if err := w.Validate(); err != nil {
-		return Breakdown{}, err
-	}
-	maps, err := MapStrategy(e.Net, w.Strategy, e.Policy)
+	f, err := e.Prepare(w)
 	if err != nil {
 		return Breakdown{}, err
 	}
-	return e.iterate(w, bw, maps), nil
+	return f(bw)
+}
+
+// Prepare validates w and resolves its parallelization mapping once,
+// returning a closure that prices design points with only per-point
+// bandwidth validation left on the hot path. Sweeps that evaluate one
+// workload across many bandwidth vectors should prepare once and call the
+// closure per point.
+func (e *Estimator) Prepare(w *workload.Workload) (func(bw topology.BWConfig) (Breakdown, error), error) {
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	maps, err := MapStrategy(e.Net, w.Strategy, e.Policy)
+	if err != nil {
+		return nil, err
+	}
+	return func(bw topology.BWConfig) (Breakdown, error) {
+		if err := bw.Validate(e.Net); err != nil {
+			return Breakdown{}, err
+		}
+		return e.iterate(w, bw, maps), nil
+	}, nil
 }
 
 // commCost prices one collective call, accumulating per-dim traffic/busy.

@@ -78,6 +78,23 @@ const (
 	Pod
 )
 
+// ParseTier parses a tier name ("Chiplet", "Package", "Node", "Pod"),
+// case-insensitively.
+func ParseTier(s string) (Tier, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "chiplet":
+		return Chiplet, nil
+	case "package":
+		return Package, nil
+	case "node":
+		return Node, nil
+	case "pod":
+		return Pod, nil
+	default:
+		return 0, fmt.Errorf("topology: unknown tier %q (want Chiplet, Package, Node, or Pod)", s)
+	}
+}
+
 // String returns the tier name.
 func (t Tier) String() string {
 	switch t {

@@ -19,6 +19,20 @@
 //	result, _ := problem.Optimize()
 //	fmt.Println(result.BW) // optimized GB/s per dimension
 //
+// Problems can equivalently be assembled with functional options,
+//
+//	p, _ := libra.New(net, 500,
+//	    libra.WithPreset("GPT-3"),
+//	    libra.WithObjective(libra.PerfPerCostOpt),
+//	    libra.WithDimCap(4, 50))
+//	r, _ := p.OptimizeContext(ctx) // cancellable
+//
+// or described declaratively as a serializable ProblemSpec (JSON), which
+// round-trips through Problem and fingerprints canonically for caching.
+// Engine layers a concurrent service on top: a bounded worker pool, an
+// LRU result cache keyed by spec fingerprint, and batch/sweep APIs —
+// cmd/libra-serve exposes it over HTTP.
+//
 // The package root re-exports the user-facing surface; implementation
 // lives under internal/: topology (network shapes and graphs), workload
 // (the Table II model zoo and a parametric transformer generator),
@@ -183,6 +197,169 @@ func NewProblem(net *Network, budgetGBps float64, targets ...*Workload) *Problem
 func EqualBWForCost(t CostTable, net *Network, dollars float64) (BWConfig, error) {
 	return core.EqualBWForCost(t, net, dollars)
 }
+
+// ---- Functional options ----
+
+// Option configures a Problem during construction with New (or later with
+// Problem.Apply).
+type Option = core.Option
+
+// New builds a Problem from the paper's defaults plus functional options:
+// workloads via WithPreset/WithWorkload/WithTransformer, then objective,
+// loop, models, and declarative constraints.
+func New(net *Network, budgetGBps float64, opts ...Option) (*Problem, error) {
+	return core.New(net, budgetGBps, opts...)
+}
+
+// WithObjective selects PerfOpt or PerfPerCostOpt.
+func WithObjective(o Objective) Option { return core.WithObjective(o) }
+
+// WithLoop selects the training loop (Fig. 5).
+func WithLoop(l timemodel.Loop) Option { return core.WithLoop(l) }
+
+// WithCompute replaces the A100 compute model.
+func WithCompute(m ComputeModel) Option { return core.WithCompute(m) }
+
+// WithCostTable replaces the Table I cost model.
+func WithCostTable(t CostTable) Option { return core.WithCostTable(t) }
+
+// WithMinDimBW sets the per-dimension bandwidth floor (GB/s).
+func WithMinDimBW(gbps float64) Option { return core.WithMinDimBW(gbps) }
+
+// WithSolver tunes the optimizer.
+func WithSolver(o SolverOptions) Option { return core.WithSolver(o) }
+
+// WithSkipBudget drops the ΣB budget row; pair with WithDollarBudget for
+// iso-cost designs.
+func WithSkipBudget() Option { return core.WithSkipBudget() }
+
+// WithWorkload adds a target workload at weight 1.
+func WithWorkload(w *Workload) Option { return core.WithWorkload(w) }
+
+// WithWeightedWorkload adds a target workload with a relative weight.
+func WithWeightedWorkload(w *Workload, weight float64) Option {
+	return core.WithWeightedWorkload(w, weight)
+}
+
+// WithPreset adds a Table II workload by name at weight 1, instantiated
+// on the problem network's NPU count.
+func WithPreset(name string) Option { return core.WithPreset(name) }
+
+// WithWeightedPreset adds a Table II workload by name with a weight.
+func WithWeightedPreset(name string, weight float64) Option {
+	return core.WithWeightedPreset(name, weight)
+}
+
+// WithTransformer adds a custom transformer workload from its declarative
+// shape, keeping the problem serializable.
+func WithTransformer(t TransformerSpec, weight float64) Option {
+	return core.WithTransformer(t, weight)
+}
+
+// WithConstraint appends one declarative design constraint.
+func WithConstraint(c ConstraintSpec) Option { return core.WithConstraint(c) }
+
+// WithDimCap caps dimension dim (1-based) at gbps.
+func WithDimCap(dim int, gbps float64) Option { return core.WithDimCap(dim, gbps) }
+
+// WithDimFloor floors dimension dim (1-based) at gbps.
+func WithDimFloor(dim int, gbps float64) Option { return core.WithDimFloor(dim, gbps) }
+
+// WithOrderedDims requires B_hi ≥ B_lo (1-based dimensions).
+func WithOrderedDims(hi, lo int) Option { return core.WithOrderedDims(hi, lo) }
+
+// WithPairSum pins B_a + B_b = gbps (1-based dimensions).
+func WithPairSum(a, b int, gbps float64) Option { return core.WithPairSum(a, b, gbps) }
+
+// WithDollarBudget bounds network dollars under the problem's cost table.
+func WithDollarBudget(dollars float64) Option { return core.WithDollarBudget(dollars) }
+
+// ---- Declarative specs ----
+
+// ProblemSpec is a fully serializable (JSON) description of an
+// optimization instance; Build materializes it, Problem.Spec reverses it,
+// and Fingerprint keys the Engine cache.
+type ProblemSpec = core.ProblemSpec
+
+// WorkloadSpec declares one weighted target workload (preset name or
+// inline transformer shape).
+type WorkloadSpec = core.WorkloadSpec
+
+// TransformerSpec is a declarative transformer workload: architecture
+// shape plus HP-(TP[, PP], DP) strategy.
+type TransformerSpec = core.TransformerSpec
+
+// ConstraintSpec is one declarative linear design constraint (1-based
+// dimensions).
+type ConstraintSpec = core.ConstraintSpec
+
+// ComputeSpec / CostSpec / SolverSpec mirror the model types as JSON.
+type (
+	ComputeSpec = core.ComputeSpec
+	CostSpec    = core.CostSpec
+	SolverSpec  = core.SolverSpec
+)
+
+// SolverOptions tunes the constrained optimizer.
+type SolverOptions = opt.Options
+
+// Evaluator prices design points for a validated Problem with per-problem
+// work (validation, mapping resolution, cost rates) hoisted out of the
+// per-point path.
+type Evaluator = core.Evaluator
+
+// ParseSpec decodes a ProblemSpec from JSON, rejecting unknown fields.
+func ParseSpec(data []byte) (*ProblemSpec, error) { return core.ParseSpec(data) }
+
+// ParseObjective reads an objective key ("perf", "perf-per-cost").
+func ParseObjective(s string) (Objective, error) { return core.ParseObjective(s) }
+
+// ParseLoop reads a training-loop key ("no-overlap", "tp-dp-overlap").
+func ParseLoop(s string) (timemodel.Loop, error) { return core.ParseLoop(s) }
+
+// Declarative constraint constructors.
+var (
+	DimCap            = core.DimCap
+	DimFloor          = core.DimFloor
+	OrderedDims       = core.OrderedDims
+	PairSum           = core.PairSum
+	SumAtMost         = core.SumAtMost
+	DollarBudget      = core.DollarBudget
+	WeightedSumAtMost = core.WeightedSumAtMost
+)
+
+// ---- The Engine service layer ----
+
+// Engine is the concurrent service layer: bounded worker pool, LRU result
+// cache keyed by spec fingerprint, single-flight deduplication, and
+// batch/sweep APIs. cmd/libra-serve exposes it over HTTP.
+type Engine = core.Engine
+
+// EngineConfig tunes the Engine (workers, cache size).
+type EngineConfig = core.EngineConfig
+
+// EngineResult is a service-layer answer with cache/timing metadata.
+type EngineResult = core.EngineResult
+
+// EngineStats reports cache effectiveness and current load.
+type EngineStats = core.EngineStats
+
+// BatchResult is one entry of a batch operation.
+type BatchResult = core.BatchResult
+
+// SweepRequest and SweepPoint drive Engine.Sweep — topology × budget ×
+// objective grids against a base spec.
+type (
+	SweepRequest = core.SweepRequest
+	SweepPoint   = core.SweepPoint
+)
+
+// NewEngine builds an Engine; Close releases it.
+func NewEngine(cfg EngineConfig) *Engine { return core.NewEngine(cfg) }
+
+// ErrBadSpec marks client-side spec errors from Engine operations, so
+// service layers can split caller mistakes from solver failures.
+var ErrBadSpec = core.ErrBadSpec
 
 // ---- Collectives and simulation ----
 

@@ -1,6 +1,7 @@
 package libra_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -102,6 +103,48 @@ func TestFacadeSimAndCoDesign(t *testing.T) {
 	tr, err := libra.ThemisSchedule(libra.AllReduce, 64e6, net, bw, 4)
 	if err != nil || tr.Makespan <= 0 {
 		t.Errorf("ThemisSchedule = %v, %v", tr, err)
+	}
+}
+
+// The redesigned construction paths — functional options, ProblemSpec,
+// and the Engine — must agree with the classic path end to end.
+func TestFacadeOptionsSpecEngine(t *testing.T) {
+	net := libra.MustParseTopology("RI(4)_SW(8)")
+	p, err := libra.New(net, 300,
+		libra.WithPreset("Turing-NLG"),
+		libra.WithObjective(libra.PerfOpt),
+		libra.WithDimCap(2, 200),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := p.OptimizeContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.BW[1] > 200+1e-6 {
+		t.Errorf("dim cap ignored: %v", r.BW)
+	}
+
+	spec, err := p.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := libra.NewEngine(libra.EngineConfig{Workers: 2, CacheSize: 8})
+	defer engine.Close()
+	er, err := engine.Optimize(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(er.Result.WeightedTime-r.WeightedTime) > 1e-12*r.WeightedTime {
+		t.Errorf("engine result %v != direct result %v", er.Result.WeightedTime, r.WeightedTime)
+	}
+	hit, err := engine.Optimize(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit.Cached {
+		t.Error("repeat optimize missed the engine cache")
 	}
 }
 
