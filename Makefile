@@ -1,0 +1,46 @@
+# Developer entry points. CI (.github/workflows/ci.yml) runs the same
+# commands; keep them in sync.
+
+SHELL := /bin/bash
+
+GO        ?= go
+BENCHARGS ?= -bench=. -benchtime=500ms -run='^$$' -timeout 30m
+# Sim/model-side benchmarks that never touch the solver hot paths; their
+# median ratio normalizes machine-speed differences in bench-check.
+ANCHORS   ?= BenchmarkAnalyticalCollectiveTime,BenchmarkIterationEstimate,BenchmarkTable1CostModel,BenchmarkPipelineSim64Chunks,BenchmarkNPULevelSim,BenchmarkThemisSchedule,BenchmarkTacosSynthesis
+# Core-count-sensitive benchmarks: reported, not gated (their ns/op
+# scales with the host's cores, which the anchors cannot cancel).
+SKIPGATE  ?= BenchmarkMinimizeParallel,BenchmarkEngineOptimizeParallel,BenchmarkFrontier
+
+.PHONY: build test race lint bench bench-baseline bench-check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+lint:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+
+# bench prints the benchmark suite; bench-baseline regenerates the
+# committed baseline the CI bench job gates against. Regenerate it on the
+# machine class you care about after intentional performance changes.
+bench:
+	$(GO) test $(BENCHARGS)
+
+bench-baseline:
+	$(GO) test $(BENCHARGS) | $(GO) run ./cmd/benchdiff parse -out BENCH_baseline.json
+	@echo "wrote BENCH_baseline.json"
+
+# bench-check is exactly what CI runs: measure, snapshot to BENCH_ci.json,
+# and fail on >25% regression vs the committed baseline (anchor-normalized
+# so machine-speed differences cancel without masking suite-wide
+# regressions).
+bench-check:
+	set -o pipefail; $(GO) test $(BENCHARGS) | $(GO) run ./cmd/benchdiff parse -out BENCH_ci.json
+	$(GO) run ./cmd/benchdiff compare -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 0.25 -anchors "$(ANCHORS)" -skip "$(SKIPGATE)"

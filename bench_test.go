@@ -117,6 +117,39 @@ func BenchmarkPerfOptSolve(b *testing.B) {
 	}
 }
 
+// BenchmarkMinimizeSequential / BenchmarkMinimizeParallel compare the
+// multistart solver's two execution paths on the nonconvex perf-per-cost
+// shape (convex PerfOpt early-exits after one start, leaving nothing to
+// parallelize). Results are bit-identical by construction; on a 4+ core
+// machine the parallel path should run the 12 starts ≥2x faster.
+func minimizeBenchProblem(workers int) *libra.Problem {
+	net := topology.FourD4K()
+	w, err := workload.MSFT1T(net.NPUs())
+	if err != nil {
+		panic(err)
+	}
+	p := libra.NewProblem(net, 500, w)
+	p.Objective = libra.PerfPerCostOpt
+	p.Solver = libra.SolverOptions{Starts: 12, Workers: workers}
+	return p
+}
+
+func BenchmarkMinimizeSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := minimizeBenchProblem(1).Optimize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinimizeParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := minimizeBenchProblem(0).Optimize(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkPerfPerCostSolve(b *testing.B) {
 	net := topology.FourD4K()
 	w, err := workload.MSFT1T(net.NPUs())
@@ -181,6 +214,26 @@ func BenchmarkEngineCacheHit(b *testing.B) {
 		}
 		if !r.Cached {
 			b.Fatal("cache miss on identical spec")
+		}
+	}
+}
+
+// BenchmarkFrontier runs a 5-point budget frontier per iteration with the
+// cache disabled, so every point costs a real solve — the frontier
+// subsystem's end-to-end hot path.
+func BenchmarkFrontier(b *testing.B) {
+	e := libra.NewEngine(libra.EngineConfig{CacheSize: -1})
+	defer e.Close()
+	ctx := context.Background()
+	spec := engineBenchSpec(0)
+	req := libra.FrontierRequest{BudgetMin: 200, BudgetMax: 1000, BudgetSteps: 5, SkipEqualBW: true}
+	for i := 0; i < b.N; i++ {
+		res, err := libra.Frontier(ctx, e, spec, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Frontier) == 0 {
+			b.Fatal("empty frontier")
 		}
 	}
 }

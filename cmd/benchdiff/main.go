@@ -1,0 +1,294 @@
+// Command benchdiff turns `go test -bench` output into a JSON baseline
+// and gates benchmark regressions against it — the comparison step of the
+// CI bench job.
+//
+//	go test -bench=. -benchtime=500ms -run='^$' | benchdiff parse -out BENCH_ci.json
+//	benchdiff compare -baseline BENCH_baseline.json -current BENCH_ci.json \
+//	    -threshold 0.25 -normalize
+//
+// parse reads benchmark text (stdin or -in), strips the GOMAXPROCS name
+// suffix so runs from machines with different core counts share names,
+// and writes {"unit": "ns/op", "benchmarks": {name: ns}}.
+//
+// compare loads two parse outputs and fails (exit 1) when any benchmark
+// regresses by more than -threshold (fractional; 0.25 = 25%), or when a
+// baseline benchmark is missing from the current run (a rename or a
+// crashed-out run must not silently shrink the gate — regenerate the
+// baseline instead). With -normalize, per-benchmark ratios are divided by
+// the median ratio first, canceling uniform machine-speed differences
+// between the baseline host and the CI runner so only relative
+// regressions trip the gate. Pass -anchors with a comma-separated list of
+// benchmark names to take that median over only those benchmarks: anchors
+// should avoid the hot paths under test, so a genuine regression uniform
+// across the rest of the suite cannot normalize itself away. Pass -skip
+// with benchmarks to exclude from gating entirely — core-count-sensitive
+// benchmarks (parallel solver/engine paths) scale with the host's cores,
+// which single-threaded anchors cannot cancel, so gating them across
+// hosts with different core counts would only measure the hardware.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// report is the JSON schema shared by parse and compare.
+type report struct {
+	Unit       string             `json:"unit"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fatal(fmt.Errorf("usage: benchdiff parse|compare [flags]"))
+	}
+	switch os.Args[1] {
+	case "parse":
+		fatal(runParse(os.Args[2:]))
+	case "compare":
+		fatal(runCompare(os.Args[2:]))
+	default:
+		fatal(fmt.Errorf("unknown subcommand %q (want parse or compare)", os.Args[1]))
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+// benchLine matches one result line: name, iterations, ns/op.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.e+]+) ns/op`)
+
+func runParse(args []string) error {
+	fs := flag.NewFlagSet("parse", flag.ExitOnError)
+	in := fs.String("in", "", "benchmark text file (default stdin)")
+	out := fs.String("out", "", "output JSON file (default stdout)")
+	fs.Parse(args)
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	type entry struct {
+		name string
+		ns   float64
+	}
+	var entries []entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		entries = append(entries, entry{name: m[1], ns: ns})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no benchmark lines found")
+	}
+
+	// Go appends "-GOMAXPROCS" to every name when GOMAXPROCS > 1. Detect
+	// the run-wide suffix (every name carries the same one) and strip it,
+	// so baselines and CI runs from machines with different core counts
+	// compare by bare name. Names like ".../chunks-64" are safe: they only
+	// lose their true "-N" when every other name coincidentally ends in
+	// the same "-N", which the unanimity check prevents.
+	suffix := commonSuffix(entries[0].name)
+	for _, e := range entries {
+		if commonSuffix(e.name) != suffix {
+			suffix = ""
+			break
+		}
+	}
+	res := report{Unit: "ns/op", Benchmarks: map[string]float64{}}
+	for _, e := range entries {
+		name := strings.TrimSuffix(e.name, suffix)
+		if prev, dup := res.Benchmarks[name]; dup {
+			// Repeated benchmarks (e.g. -count > 1): keep the fastest.
+			if e.ns < prev {
+				res.Benchmarks[name] = e.ns
+			}
+			continue
+		}
+		res.Benchmarks[name] = e.ns
+	}
+
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if *out == "" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(*out, data, 0o644)
+}
+
+// commonSuffix returns the "-N" tail of a benchmark name, or "".
+var suffixRE = regexp.MustCompile(`-\d+$`)
+
+func commonSuffix(name string) string {
+	return suffixRE.FindString(name)
+}
+
+func loadReport(path string) (report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return report{}, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return report{}, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Benchmarks) == 0 {
+		return report{}, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return r, nil
+}
+
+func runCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	basePath := fs.String("baseline", "BENCH_baseline.json", "baseline JSON (benchdiff parse output)")
+	curPath := fs.String("current", "BENCH_ci.json", "current JSON (benchdiff parse output)")
+	threshold := fs.Float64("threshold", 0.25, "fail when a benchmark slows down by more than this fraction")
+	normalize := fs.Bool("normalize", false, "divide ratios by the median ratio (cancels uniform machine-speed differences)")
+	anchors := fs.String("anchors", "", "comma-separated benchmark names whose median ratio normalizes the rest (implies -normalize)")
+	skip := fs.String("skip", "", "comma-separated benchmark names excluded from the regression and missing-benchmark gates (reported informationally)")
+	fs.Parse(args)
+
+	skipped := map[string]bool{}
+	for _, name := range strings.Split(*skip, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			skipped[name] = true
+		}
+	}
+
+	base, err := loadReport(*basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadReport(*curPath)
+	if err != nil {
+		return err
+	}
+
+	var names, missing []string
+	for name := range base.Benchmarks {
+		if _, ok := cur.Benchmarks[name]; ok {
+			names = append(names, name)
+		} else if !skipped[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(names) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", *basePath, *curPath)
+	}
+	sort.Strings(names)
+	sort.Strings(missing)
+
+	ratios := make(map[string]float64, len(names))
+	all := make([]float64, 0, len(names))
+	for _, name := range names {
+		b := base.Benchmarks[name]
+		if b <= 0 {
+			continue
+		}
+		r := cur.Benchmarks[name] / b
+		ratios[name] = r
+		if !skipped[name] {
+			all = append(all, r)
+		}
+	}
+	scale := 1.0
+	switch {
+	case *anchors != "":
+		var anchored []float64
+		for _, name := range strings.Split(*anchors, ",") {
+			name = strings.TrimSpace(name)
+			if r, ok := ratios[name]; ok {
+				anchored = append(anchored, r)
+			} else {
+				fmt.Printf("warning: anchor %q not present in both runs; ignoring\n", name)
+			}
+		}
+		if len(anchored) == 0 {
+			return fmt.Errorf("none of the -anchors benchmarks are present in both runs")
+		}
+		scale = median(anchored)
+		fmt.Printf("normalizing by median anchor ratio %.3f (%d anchors)\n", scale, len(anchored))
+	case *normalize:
+		scale = median(all)
+		fmt.Printf("normalizing by median ratio %.3f (current host vs baseline host)\n", scale)
+	}
+
+	var regressions []string
+	fmt.Printf("%-44s %14s %14s %8s\n", "benchmark", "baseline ns", "current ns", "ratio")
+	for _, name := range names {
+		r, ok := ratios[name]
+		if !ok {
+			continue
+		}
+		adj := r / scale
+		mark := ""
+		switch {
+		case skipped[name]:
+			mark = "  (skipped)"
+		case adj > 1+*threshold:
+			mark = "  << REGRESSION"
+			regressions = append(regressions, fmt.Sprintf("%s: %.2fx (threshold %.2fx)", name, adj, 1+*threshold))
+		}
+		fmt.Printf("%-44s %14.0f %14.0f %7.2fx%s\n", name, base.Benchmarks[name], cur.Benchmarks[name], adj, mark)
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("%-44s %14s %14.0f    (new)\n", name, "-", cur.Benchmarks[name])
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("%d baseline benchmark(s) missing from the current run (renamed, deleted, or the run crashed; regenerate the baseline with `make bench-baseline` if intentional):\n  %s",
+			len(missing), strings.Join(missing, "\n  "))
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark regression(s):\n  %s",
+			len(regressions), strings.Join(regressions, "\n  "))
+	}
+	fmt.Println("no regressions")
+	return nil
+}
+
+func median(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -12,6 +12,10 @@
 //	                    "sweep": {"topologies": [...],
 //	                              "budgets": [...],
 //	                              "objectives": [...]}} → {"points": [SweepPoint]}
+//	POST /v1/frontier  {"spec": ProblemSpec,
+//	                    "frontier": {"budgets": [...] or
+//	                                 "budget_min"/"budget_max"/"budget_steps",
+//	                                 "cap_dim"/"caps_gbps"}} → FrontierResult
 //	GET  /v1/stats                                      → EngineStats
 //	GET  /healthz                                       → ok
 //
@@ -56,6 +60,7 @@ func main() {
 	mux.HandleFunc("/v1/optimize", s.handleOptimize)
 	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/frontier", s.handleFrontier)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -166,6 +171,32 @@ func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, struct {
 		Points []libra.SweepPoint `json:"points"`
 	}{points})
+}
+
+func (s *server) handleFrontier(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	var req struct {
+		Spec     json.RawMessage       `json:"spec"`
+		Frontier libra.FrontierRequest `json:"frontier"`
+	}
+	if err := strictUnmarshal(data, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	spec, err := parseSpecField(req.Spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := libra.Frontier(r.Context(), s.engine, spec, req.Frontier)
+	if err != nil {
+		writeError(w, solveStatus(r, err), err)
+		return
+	}
+	writeJSON(w, res)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

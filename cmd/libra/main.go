@@ -9,6 +9,13 @@
 //	libra -preset 3D-4K -workloads MSFT-1T -budget 300 -cap 3=50 -loop overlap
 //	libra -spec examples/spec.json
 //	libra -spec examples/spec.json -json
+//
+// The -frontier mode sweeps the bandwidth budget instead of solving one
+// point, printing the cost–performance Pareto frontier (explicit list or
+// min:max:steps grid):
+//
+//	libra -preset 4D-4K -workloads MSFT-1T -frontier 250:1000:4
+//	libra -spec examples/spec.json -frontier 300,500,1000 -json
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,6 +47,7 @@ func main() {
 		floors    = flag.String("floor", "", "per-dimension floors dim=GBps, comma-separated (1-based dims)")
 		timeout   = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 		asJSON    = flag.Bool("json", false, "emit the result as JSON instead of the text report")
+		front     = flag.String("frontier", "", "sweep the budget and print the Pareto frontier: min:max:steps or a comma-separated budget list")
 	)
 	flag.Parse()
 
@@ -54,6 +63,11 @@ func main() {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
+	}
+
+	if *front != "" {
+		fatalIf(runFrontier(ctx, spec, *front, *asJSON))
+		return
 	}
 
 	eq, err := p.EqualBW()
@@ -144,6 +158,82 @@ func buildSpec(specPath, topo, preset, workloads, weights string, budget float64
 	}
 	spec.Constraints = cliutil.ConstraintsFromPairs(capPairs, floorPairs)
 	return spec, nil
+}
+
+// runFrontier sweeps the budget axis and prints the Pareto frontier. An
+// in-process Engine backs the sweep, so duplicate budgets in the list are
+// answered once.
+func runFrontier(ctx context.Context, spec *libra.ProblemSpec, axis string, asJSON bool) error {
+	req, err := parseFrontierAxis(axis)
+	if err != nil {
+		return err
+	}
+	engine := libra.NewEngine(libra.EngineConfig{})
+	defer engine.Close()
+	res, err := libra.Frontier(ctx, engine, spec, req)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res)
+	}
+	fmt.Printf("%-14s %-34s %12s %14s %14s %7s\n",
+		"budget (GB/s)", "LIBRA BW per dim (GB/s)", "cost ($M)", "iter time (s)", "EqualBW (s)", "pareto")
+	eqTimes := map[float64]float64{}
+	for _, p := range res.EqualBW {
+		if p.Err == nil {
+			eqTimes[p.BudgetGBps] = p.Result.WeightedTime
+		}
+	}
+	for _, p := range res.Points {
+		if p.Err != nil {
+			fmt.Printf("%-14.0f error: %v\n", p.BudgetGBps, p.Error)
+			continue
+		}
+		mark := ""
+		if p.Pareto {
+			mark = "*"
+		}
+		eq := "-"
+		if t, ok := eqTimes[p.BudgetGBps]; ok {
+			eq = fmt.Sprintf("%14.6f", t)
+		}
+		fmt.Printf("%-14.0f %-34s %12.2f %14.6f %14s %7s\n",
+			p.BudgetGBps, p.Result.BW.String(), p.Result.Cost/1e6, p.Result.WeightedTime, eq, mark)
+	}
+	fmt.Printf("\nPareto frontier: %d of %d points (%d solves, %d cache hits, %.0f ms)\n",
+		len(res.Frontier), len(res.Points), res.Solves, res.CacheHits, res.ElapsedMS)
+	return nil
+}
+
+// parseFrontierAxis reads min:max:steps or a comma-separated budget list.
+func parseFrontierAxis(s string) (libra.FrontierRequest, error) {
+	if strings.Contains(s, ":") {
+		parts := strings.Split(s, ":")
+		if len(parts) != 3 {
+			return libra.FrontierRequest{}, fmt.Errorf("frontier grid %q: want min:max:steps", s)
+		}
+		lo, err := strconv.ParseFloat(parts[0], 64)
+		if err != nil {
+			return libra.FrontierRequest{}, err
+		}
+		hi, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return libra.FrontierRequest{}, err
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return libra.FrontierRequest{}, err
+		}
+		return libra.FrontierRequest{BudgetMin: lo, BudgetMax: hi, BudgetSteps: n}, nil
+	}
+	budgets, err := cliutil.ParseFloats(s)
+	if err != nil {
+		return libra.FrontierRequest{}, err
+	}
+	return libra.FrontierRequest{Budgets: budgets}, nil
 }
 
 func fatalIf(err error) { cliutil.Fatal("libra", err) }

@@ -21,7 +21,12 @@ var ErrBadSpec = errors.New("core: invalid problem spec")
 
 // EngineConfig tunes the service layer. Zero values select defaults.
 type EngineConfig struct {
-	// Workers bounds concurrent solves (default GOMAXPROCS).
+	// Workers bounds concurrent solves (default GOMAXPROCS). Each solve's
+	// multistart additionally parallelizes internally (opt.Options.Workers,
+	// also GOMAXPROCS by default), so a saturated engine oversubscribes
+	// the CPU; the Go scheduler time-slices this fine, and an idle engine
+	// still finishes a lone request on every core. Deliberately not
+	// spec-controllable — worker counts never change results.
 	Workers int
 	// CacheSize bounds the LRU result cache in entries (default 512;
 	// negative disables caching).

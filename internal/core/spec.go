@@ -129,16 +129,40 @@ func (c *CostSpec) table() (cost.Table, error) {
 	return t, nil
 }
 
-// SolverSpec mirrors the tunable opt.Options fields as JSON.
+// SolverSpec mirrors the tunable opt.Options fields as JSON. Execution
+// tuning that cannot change the result (opt.Options.Workers — multistart
+// is deterministic) is deliberately absent: specs describe the problem,
+// and including worker counts would fracture the fingerprint cache.
 type SolverSpec struct {
 	MaxIters int     `json:"max_iters,omitempty"`
 	Tol      float64 `json:"tol,omitempty"`
 	Starts   int     `json:"starts,omitempty"`
 	Seed     int64   `json:"seed,omitempty"`
+	// Strategy selects the per-start local search: "projected-gradient"
+	// (default) or "coordinate-descent".
+	Strategy string `json:"strategy,omitempty"`
 }
 
-func (s *SolverSpec) options() opt.Options {
-	return opt.Options{MaxIters: s.MaxIters, Tol: s.Tol, Starts: s.Starts, Seed: s.Seed}
+func (s *SolverSpec) options() (opt.Options, error) {
+	strat, err := opt.ParseStrategy(s.Strategy)
+	if err != nil {
+		return opt.Options{}, err
+	}
+	return opt.Options{MaxIters: s.MaxIters, Tol: s.Tol, Starts: s.Starts, Seed: s.Seed, Strategy: strat}, nil
+}
+
+// strategyKey canonicalizes the strategy for serialization: aliases
+// ("cd", "pgd") normalize, unknown strategies fail, and the default
+// projected-gradient spells as the empty string, like every other enum.
+func strategyKey(s opt.Strategy) (string, error) {
+	strat, err := opt.ParseStrategy(string(s))
+	if err != nil {
+		return "", err
+	}
+	if strat == opt.StrategyCoordinateDescent {
+		return string(opt.StrategyCoordinateDescent), nil
+	}
+	return "", nil
 }
 
 // ---- Declarative constraints ----
@@ -474,7 +498,9 @@ func (s *ProblemSpec) Build() (*Problem, error) {
 		}
 	}
 	if s.Solver != nil {
-		p.Solver = s.Solver.options()
+		if p.Solver, err = s.Solver.options(); err != nil {
+			return nil, err
+		}
 	}
 	if len(s.Workloads) == 0 {
 		return nil, fmt.Errorf("core: spec has no workloads")
@@ -570,8 +596,12 @@ func (p *Problem) Spec() (*ProblemSpec, error) {
 		}
 		s.Cost = cs
 	}
-	if o := p.Solver; o.MaxIters != 0 || o.Tol != 0 || o.Starts != 0 || o.Seed != 0 {
-		s.Solver = &SolverSpec{MaxIters: o.MaxIters, Tol: o.Tol, Starts: o.Starts, Seed: o.Seed}
+	skey, err := strategyKey(p.Solver.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	if o := p.Solver; o.MaxIters != 0 || o.Tol != 0 || o.Starts != 0 || o.Seed != 0 || skey != "" {
+		s.Solver = &SolverSpec{MaxIters: o.MaxIters, Tol: o.Tol, Starts: o.Starts, Seed: o.Seed, Strategy: skey}
 	}
 	for i, t := range p.Targets {
 		ws, err := p.targetSpec(i)

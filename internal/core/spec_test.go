@@ -169,6 +169,79 @@ func TestSpecFingerprintCanonicalization(t *testing.T) {
 	}
 }
 
+// Solver strategy keys must canonicalize: the default projected-gradient
+// spells as an absent strategy, short forms normalize, and unknown
+// strategies fail Build.
+func TestSpecSolverStrategy(t *testing.T) {
+	mk := func(strategy string) *ProblemSpec {
+		return &ProblemSpec{
+			Topology:   "3D-512",
+			Workloads:  []WorkloadSpec{{Preset: "GPT-3"}},
+			BudgetGBps: 400,
+			Solver:     &SolverSpec{Seed: 3, Strategy: strategy},
+		}
+	}
+	p, err := mk("cd").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Solver.Strategy != opt.StrategyCoordinateDescent {
+		t.Fatalf("strategy = %q", p.Solver.Strategy)
+	}
+	s, err := p.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Solver == nil || s.Solver.Strategy != "coordinate-descent" {
+		t.Errorf("round-tripped solver = %+v", s.Solver)
+	}
+
+	// "pgd" and the empty default are the same instance.
+	fpDefault, err := mk("").Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpPGD, err := mk("pgd").Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpCD, err := mk("cd").Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpDefault != fpPGD {
+		t.Errorf("pgd and default fingerprint differently: %s vs %s", fpPGD, fpDefault)
+	}
+	if fpCD == fpDefault {
+		t.Error("coordinate descent shares the default fingerprint")
+	}
+
+	if _, err := mk("annealing").Build(); err == nil {
+		t.Error("unknown strategy should fail Build")
+	}
+
+	// An alias set directly on the problem (bypassing Build's
+	// normalization) must still serialize canonically, and an invalid
+	// strategy must fail Spec() instead of silently dropping to the
+	// default.
+	p2, err := mk("").Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2.Solver.Strategy = "cd"
+	s2, err := p2.Spec()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Solver == nil || s2.Solver.Strategy != "coordinate-descent" {
+		t.Errorf("alias 'cd' serialized as %+v", s2.Solver)
+	}
+	p2.Solver.Strategy = "nope"
+	if _, err := p2.Spec(); err == nil {
+		t.Error("invalid strategy should fail Spec")
+	}
+}
+
 // ParseSpec must reject unknown fields (typo protection).
 func TestParseSpecRejectsUnknownFields(t *testing.T) {
 	if _, err := ParseSpec([]byte(`{"topology":"4D-4K","wrkloads":[{"preset":"GPT-3"}]}`)); err == nil {

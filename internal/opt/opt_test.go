@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -321,6 +322,204 @@ func TestMinimizeDeterministic(t *testing.T) {
 	}
 	if r1.F != r2.F || normDiff(r1.X, r2.X) != 0 {
 		t.Errorf("same seed gave different answers: %v vs %v", r1, r2)
+	}
+}
+
+// perfPerCostProblem is the nonconvex multistart archetype used by the
+// determinism tests: enough structure that different starts land in
+// different basins.
+func perfPerCostProblem(n int) Problem {
+	return Problem{
+		N: n,
+		Objective: func(x []float64) float64 {
+			t, cost := 0.0, 0.0
+			for i := range x {
+				if x[i] <= 0.01 {
+					return math.Inf(1)
+				}
+				t += float64(10*(n-i)) / x[i]
+				cost += float64(1+3*i) * x[i]
+			}
+			return t * cost
+		},
+		Cons: NewConstraints(n).SumAtMost(100).SetAllLower(0.05),
+	}
+}
+
+// Parallel multistart must return bit-identical Result fields to the
+// sequential path for a fixed seed, for both strategies, convex or not.
+func TestMinimizeParallelMatchesSequential(t *testing.T) {
+	for _, strategy := range []Strategy{StrategyProjectedGradient, StrategyCoordinateDescent} {
+		for _, convex := range []bool{false, true} {
+			for _, seed := range []int64{1, 7, 42} {
+				base := Options{Seed: seed, Starts: 10, Convex: convex, Strategy: strategy}
+				seq := base
+				seq.Workers = 1
+				par := base
+				par.Workers = 8
+				p := perfPerCostProblem(3)
+				r1, err := Minimize(p, seq)
+				if err != nil {
+					t.Fatalf("%s convex=%v seed=%d sequential: %v", strategy, convex, seed, err)
+				}
+				r2, err := Minimize(p, par)
+				if err != nil {
+					t.Fatalf("%s convex=%v seed=%d parallel: %v", strategy, convex, seed, err)
+				}
+				if r1.F != r2.F || normDiff(r1.X, r2.X) != 0 || r1.Converged != r2.Converged {
+					t.Errorf("%s convex=%v seed=%d: parallel diverged: %+v vs %+v", strategy, convex, seed, r1, r2)
+				}
+				if !convex && r1.Starts != r2.Starts {
+					t.Errorf("%s seed=%d: start counts differ: %d vs %d", strategy, seed, r1.Starts, r2.Starts)
+				}
+			}
+		}
+	}
+}
+
+// The convex early exit must report the same Starts count either way: the
+// parallel path computes later starts speculatively but may not let them
+// into the result.
+func TestMinimizeParallelConvexEarlyExit(t *testing.T) {
+	p := Problem{
+		N: 2,
+		Objective: func(x []float64) float64 {
+			return (x[0]-3)*(x[0]-3) + (x[1]-4)*(x[1]-4)
+		},
+		Cons: NewConstraints(2).SumEquals(5).SetAllLower(0),
+	}
+	seq, err := Minimize(p, Options{Convex: true, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Minimize(p, Options{Convex: true, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Starts != par.Starts || seq.F != par.F || normDiff(seq.X, par.X) != 0 {
+		t.Errorf("convex early exit diverged: %+v vs %+v", seq, par)
+	}
+}
+
+func TestMinimizeParallelCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	p := perfPerCostProblem(3)
+	if _, err := MinimizeContext(ctx, p, Options{Workers: 4}); err == nil {
+		t.Fatal("canceled context should error")
+	}
+}
+
+// Coordinate descent must solve the discrete-transfer-friendly archetypes
+// the projected-gradient path already passes.
+func TestCoordinateDescentFindsOptimum(t *testing.T) {
+	v1, v2, B := 30.0, 10.0, 100.0
+	p := Problem{
+		N: 2,
+		Objective: func(x []float64) float64 {
+			if x[0] <= 0 || x[1] <= 0 {
+				return math.Inf(1)
+			}
+			return math.Max(v1/x[0], v2/x[1])
+		},
+		Cons: NewConstraints(2).SumEquals(B).SetAllLower(0.01),
+	}
+	res, err := Minimize(p, Options{Strategy: StrategyCoordinateDescent, MaxIters: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantF := (v1 + v2) / B
+	if !approx(res.F, wantF, 1e-2) {
+		t.Errorf("objective = %v, want %v (x = %v)", res.F, wantF, res.X)
+	}
+}
+
+// Coordinate descent must respect caps and ordering via re-projection.
+func TestCoordinateDescentHonorsConstraints(t *testing.T) {
+	p := perfPerCostProblem(3)
+	p.Cons.VarAtMost(0, 20).Ordered(1, 2)
+	res, err := Minimize(p, Options{Strategy: StrategyCoordinateDescent})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Cons.Feasible(res.X, 1e-6) {
+		t.Errorf("coordinate descent left the feasible set: %v (violation %v)", res.X, p.Cons.Violation(res.X))
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]Strategy{
+		"":                   StrategyAuto,
+		"projected-gradient": StrategyProjectedGradient,
+		"pgd":                StrategyProjectedGradient,
+		"coordinate-descent": StrategyCoordinateDescent,
+		"cd":                 StrategyCoordinateDescent,
+	}
+	for in, want := range cases {
+		got, err := ParseStrategy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseStrategy("simulated-annealing"); err == nil {
+		t.Error("unknown strategy should error")
+	}
+}
+
+// Zero-value and sentinel option handling: zeros select defaults, the
+// sentinels select the literal values, negatives in count fields error.
+func TestOptionsZeroValuesAndSentinels(t *testing.T) {
+	o, err := Options{}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.MaxIters != 600 || o.Tol != 1e-9 || o.Starts != 8 || o.Seed != 1 || o.Workers < 1 {
+		t.Errorf("defaults = %+v", o)
+	}
+	o, err = Options{Tol: TolExact, Seed: SeedZero}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Tol != 0 {
+		t.Errorf("TolExact should select exactly-zero tolerance, got %v", o.Tol)
+	}
+	if o.Seed != 0 {
+		t.Errorf("SeedZero should select the literal seed 0, got %v", o.Seed)
+	}
+	for _, bad := range []Options{{MaxIters: -1}, {Starts: -2}, {Workers: -1}, {Strategy: "nope"}} {
+		if _, err := bad.withDefaults(); err == nil {
+			t.Errorf("%+v should be rejected", bad)
+		}
+	}
+	// Alias spellings must normalize, not silently fall through to the
+	// default strategy.
+	o, err = Options{Strategy: "cd"}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Strategy != StrategyCoordinateDescent {
+		t.Errorf("alias 'cd' normalized to %q, want %q", o.Strategy, StrategyCoordinateDescent)
+	}
+	p := perfPerCostProblem(2)
+	if _, err := Minimize(p, Options{Starts: -1}); err == nil {
+		t.Error("Minimize should reject negative Starts")
+	}
+}
+
+// An exactly-zero seed must be usable and deterministic, and distinct
+// from the default seed's start set.
+func TestSeedZeroIsDeterministic(t *testing.T) {
+	p := perfPerCostProblem(3)
+	r1, err := Minimize(p, Options{Seed: SeedZero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Minimize(p, Options{Seed: SeedZero})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.F != r2.F || normDiff(r1.X, r2.X) != 0 {
+		t.Errorf("SeedZero gave different answers: %+v vs %+v", r1, r2)
 	}
 }
 

@@ -5,49 +5,101 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 )
 
 // Problem is a constrained minimization over an n-vector.
 type Problem struct {
 	N int
 	// Objective must be finite on the feasible set; +Inf outside is fine.
+	// Unless Options.Workers is 1, multistart runs concurrently, so the
+	// objective (and Grad) must be safe for concurrent calls — pure
+	// functions of x, as every closure in this repository is.
 	Objective func(x []float64) float64
 	// Grad is optional; nil uses central finite differences.
 	Grad func(x []float64) []float64
 	Cons *Constraints
 }
 
-// Options tunes the solver. Zero values select sensible defaults.
+// Sentinel option values. The zero value of an Options field selects the
+// documented default, so "the default" and "explicitly zero" collide for
+// Tol and Seed; these sentinels say "literally zero" unambiguously.
+const (
+	// TolExact requests an exactly-zero improvement tolerance (any
+	// negative Tol does; this constant is the readable spelling).
+	TolExact = -1.0
+	// SeedZero requests the literal PRNG seed 0 (plain Seed: 0 selects
+	// the default seed, 1).
+	SeedZero = math.MinInt64
+)
+
+// Options tunes the solver. Zero values select the documented defaults;
+// negative counts are rejected by Minimize. Fields whose zero value is
+// also a meaningful setting (Tol, Seed) have sentinel spellings above.
 type Options struct {
-	// MaxIters bounds projected-gradient iterations per start (default 600).
+	// MaxIters bounds local-search iterations per start (default 600).
 	MaxIters int
-	// Tol is the relative objective-improvement stopping tolerance
-	// (default 1e-9).
+	// Tol is the relative objective-improvement stopping tolerance.
+	// 0 selects the default 1e-9; negative values (use TolExact) select
+	// an exactly-zero tolerance.
 	Tol float64
 	// Starts is the multistart count (default 8). Starts are
 	// deterministic: heuristic seeds first, then seeded-random points.
 	Starts int
-	// Seed drives the deterministic PRNG for random starts (default 1).
+	// Seed drives the deterministic PRNG for random starts. 0 selects
+	// the default seed 1; use SeedZero for the literal seed 0.
 	Seed int64
 	// Convex declares the objective convex, enabling single-start early
-	// exit once projected gradient converges.
+	// exit once the local search converges.
 	Convex bool
+	// Workers bounds the goroutines running starts concurrently:
+	// 0 selects GOMAXPROCS, 1 forces the sequential path. Whatever the
+	// worker count, the result is bit-identical to the sequential solve
+	// for a fixed seed.
+	Workers int
+	// Strategy selects the per-start local search (default
+	// StrategyProjectedGradient).
+	Strategy Strategy
 }
 
-func (o Options) withDefaults() Options {
+func (o Options) withDefaults() (Options, error) {
+	if o.MaxIters < 0 {
+		return o, fmt.Errorf("opt: negative MaxIters %d", o.MaxIters)
+	}
+	if o.Starts < 0 {
+		return o, fmt.Errorf("opt: negative Starts %d", o.Starts)
+	}
+	if o.Workers < 0 {
+		return o, fmt.Errorf("opt: negative Workers %d", o.Workers)
+	}
+	strat, err := ParseStrategy(string(o.Strategy))
+	if err != nil {
+		return o, err
+	}
+	o.Strategy = strat // normalize aliases ("cd", "pgd") to canonical keys
 	if o.MaxIters == 0 {
 		o.MaxIters = 600
 	}
-	if o.Tol == 0 {
+	switch {
+	case o.Tol < 0: // TolExact and friends
+		o.Tol = 0
+	case o.Tol == 0:
 		o.Tol = 1e-9
 	}
 	if o.Starts == 0 {
 		o.Starts = 8
 	}
-	if o.Seed == 0 {
+	switch o.Seed {
+	case SeedZero:
+		o.Seed = 0
+	case 0:
 		o.Seed = 1
 	}
-	return o
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	return o, nil
 }
 
 // Result reports the best point found.
@@ -58,10 +110,9 @@ type Result struct {
 	Converged bool
 }
 
-// Minimize solves the problem with deterministic multistart projected
-// gradient descent, refining the best candidates with a penalized
-// Nelder-Mead polish. For convex problems the first converged start is
-// returned.
+// Minimize solves the problem with deterministic multistart local search
+// (projected gradient + Nelder-Mead polish by default; see Strategy). For
+// convex problems the first converged start is returned.
 func Minimize(p Problem, o Options) (Result, error) {
 	return MinimizeContext(context.Background(), p, o)
 }
@@ -69,6 +120,10 @@ func Minimize(p Problem, o Options) (Result, error) {
 // MinimizeContext is Minimize under a context: the solve polls ctx between
 // iterations and returns ctx.Err() (wrapped) as soon as the context is
 // canceled or its deadline passes, discarding any partial progress.
+//
+// Starts run concurrently on up to Options.Workers goroutines, but result
+// selection replays the sequential order, so the returned X/F/Starts are
+// bit-identical to a Workers: 1 solve for the same seed.
 func MinimizeContext(ctx context.Context, p Problem, o Options) (Result, error) {
 	if p.N < 1 || p.Objective == nil || p.Cons == nil {
 		return Result{}, fmt.Errorf("opt: problem needs N ≥ 1, an objective, and constraints")
@@ -76,32 +131,137 @@ func MinimizeContext(ctx context.Context, p Problem, o Options) (Result, error) 
 	if p.Cons.N() != p.N {
 		return Result{}, fmt.Errorf("opt: constraints over %d variables for an %d-variable problem", p.Cons.N(), p.N)
 	}
-	o = o.withDefaults()
+	o, err := o.withDefaults()
+	if err != nil {
+		return Result{}, err
+	}
 
 	seeds := seedPoints(p, o)
 	if len(seeds) == 0 {
 		return Result{}, fmt.Errorf("opt: could not build any feasible start (empty feasible set?)")
 	}
 
-	best := Result{F: math.Inf(1)}
-	for si, s := range seeds {
-		x, f, conv := projectedGradient(ctx, p, s, o)
+	workers := o.Workers
+	if workers > len(seeds) {
+		workers = len(seeds)
+	}
+	if workers <= 1 {
+		return minimizeSequential(ctx, p, seeds, o)
+	}
+	return minimizeParallel(ctx, p, seeds, o, workers)
+}
+
+// startOutcome is the product of one multistart start: a locally-searched
+// point, its objective, and whether the search converged.
+type startOutcome struct {
+	x    []float64
+	f    float64
+	conv bool
+}
+
+// runStart performs the full per-start local search under the selected
+// strategy. It is a pure function of (p, start, o) — scheduling cannot
+// change its result — which is what makes parallel multistart
+// deterministic.
+func runStart(ctx context.Context, p Problem, start []float64, o Options) startOutcome {
+	switch o.Strategy {
+	case StrategyCoordinateDescent:
+		x, f, conv := coordinateDescent(ctx, p, start, o)
+		return startOutcome{x: x, f: f, conv: conv}
+	default: // StrategyProjectedGradient
+		x, f, conv := projectedGradient(ctx, p, start, o)
 		// Polish with direct search from the PGD endpoint.
 		x2, f2 := nelderMead(ctx, p, x, o)
 		if f2 < f {
 			x, f = x2, f2
 		}
+		return startOutcome{x: x, f: f, conv: conv}
+	}
+}
+
+// fold merges start si's outcome into the running best exactly as the
+// historical sequential loop did (strict improvement, first-come ties) and
+// reports whether the convex early exit fires. Both execution paths share
+// it, so their selection semantics cannot drift apart.
+func fold(best Result, out startOutcome, si int, o Options) (Result, bool) {
+	if out.f < best.F {
+		best = Result{X: out.x, F: out.f, Converged: out.conv}
+	}
+	best.Starts = si + 1
+	return best, o.Convex && out.conv
+}
+
+func minimizeSequential(ctx context.Context, p Problem, seeds [][]float64, o Options) (Result, error) {
+	best := Result{F: math.Inf(1)}
+	for si, s := range seeds {
+		out := runStart(ctx, p, s, o)
 		if err := ctx.Err(); err != nil {
 			return Result{}, fmt.Errorf("opt: solve canceled: %w", err)
 		}
-		if f < best.F {
-			best = Result{X: x, F: f, Converged: conv}
-		}
-		best.Starts = si + 1
-		if o.Convex && conv && si >= 0 {
+		var stop bool
+		if best, stop = fold(best, out, si, o); stop {
 			break
 		}
 	}
+	return finish(best)
+}
+
+// minimizeParallel fans the starts out over a bounded worker pool and
+// replays the sequential selection over the per-start outcomes in seed
+// order. Outcomes past a convex early exit are computed speculatively and
+// discarded; the shared context cancels whatever is still in flight.
+func minimizeParallel(ctx context.Context, p Problem, seeds [][]float64, o Options, workers int) (Result, error) {
+	runCtx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	// On return: cancel speculative in-flight starts first, then wait for
+	// the workers to drain (deferred calls run last-registered-first). No
+	// worker may outlive this call — callers are free to repurpose the
+	// objective closure as soon as we return.
+	defer wg.Wait()
+	defer cancel()
+
+	outcomes := make([]startOutcome, len(seeds))
+	done := make([]chan struct{}, len(seeds))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for si := range jobs {
+				outcomes[si] = runStart(runCtx, p, seeds[si], o)
+				close(done[si])
+			}
+		}()
+	}
+	go func() {
+		// Feed every seed: canceled starts drain in microseconds, so no
+		// select on runCtx is needed to keep this goroutine from leaking.
+		for si := range seeds {
+			jobs <- si
+		}
+		close(jobs)
+	}()
+
+	best := Result{F: math.Inf(1)}
+	for si := range seeds {
+		<-done[si]
+		// A consumed outcome always ran under a live context here: cancel
+		// only happens on return, after consumption stops.
+		if err := ctx.Err(); err != nil {
+			return Result{}, fmt.Errorf("opt: solve canceled: %w", err)
+		}
+		var stop bool
+		if best, stop = fold(best, outcomes[si], si, o); stop {
+			break
+		}
+	}
+	return finish(best)
+}
+
+func finish(best Result) (Result, error) {
 	if best.X == nil {
 		return Result{}, fmt.Errorf("opt: no start produced a finite objective")
 	}
@@ -110,7 +270,8 @@ func MinimizeContext(ctx context.Context, p Problem, o Options) (Result, error) 
 
 // seedPoints builds deterministic feasible starting points: the projected
 // center of the box/budget, projected per-variable emphasis points, and
-// seeded-random interior points.
+// seeded-random interior points. The PRNG is consumed fully before any
+// start runs, so the seed set is independent of execution order.
 func seedPoints(p Problem, o Options) [][]float64 {
 	n := p.N
 	c := p.Cons

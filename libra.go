@@ -44,6 +44,7 @@
 package libra
 
 import (
+	"context"
 	"io"
 
 	"libra/internal/collective"
@@ -51,6 +52,7 @@ import (
 	"libra/internal/core"
 	"libra/internal/cost"
 	"libra/internal/experiments"
+	"libra/internal/frontier"
 	"libra/internal/opt"
 	"libra/internal/sim"
 	"libra/internal/tacos"
@@ -300,8 +302,35 @@ type (
 	SolverSpec  = core.SolverSpec
 )
 
-// SolverOptions tunes the constrained optimizer.
+// SolverOptions tunes the constrained optimizer: multistart count, seed,
+// iteration/tolerance limits, worker parallelism (Workers: 0 = GOMAXPROCS,
+// 1 = sequential; results are bit-identical either way for a fixed seed),
+// and the per-start search strategy.
 type SolverOptions = opt.Options
+
+// SolverStrategy selects the per-start local search of the multistart
+// solver.
+type SolverStrategy = opt.Strategy
+
+// Solver strategies: projected gradient with Nelder-Mead polish (the
+// default continuous search) or discrete coordinate descent over BW
+// partitions (the paper's exhaustive-search flavor).
+const (
+	StrategyProjectedGradient = opt.StrategyProjectedGradient
+	StrategyCoordinateDescent = opt.StrategyCoordinateDescent
+)
+
+// Sentinel solver option values for settings whose zero value means "use
+// the default": TolExact requests an exactly-zero improvement tolerance,
+// SeedZero the literal PRNG seed 0.
+const (
+	TolExact = opt.TolExact
+	SeedZero = opt.SeedZero
+)
+
+// ParseSolverStrategy reads a strategy key ("projected-gradient"/"pgd",
+// "coordinate-descent"/"cd").
+func ParseSolverStrategy(s string) (SolverStrategy, error) { return opt.ParseStrategy(s) }
 
 // Evaluator prices design points for a validated Problem with per-problem
 // work (validation, mapping resolution, cost rates) hoisted out of the
@@ -360,6 +389,31 @@ func NewEngine(cfg EngineConfig) *Engine { return core.NewEngine(cfg) }
 // ErrBadSpec marks client-side spec errors from Engine operations, so
 // service layers can split caller mistakes from solver failures.
 var ErrBadSpec = core.ErrBadSpec
+
+// ---- Cost–performance frontiers ----
+
+// FrontierRequest describes a frontier sweep: a budget axis (explicit list
+// or min/max/steps grid) optionally crossed with per-dimension caps.
+type FrontierRequest = frontier.Request
+
+// FrontierPoint is one evaluated cell of a frontier sweep.
+type FrontierPoint = frontier.Point
+
+// FrontierResult is a computed frontier: all points, the Pareto-optimal
+// subset by ascending cost, and the EqualBW baseline curve.
+type FrontierResult = frontier.Result
+
+// FrontierSolver solves one derived spec of a frontier sweep; *Engine
+// satisfies it.
+type FrontierSolver = frontier.Solver
+
+// Frontier sweeps budgets (and optional caps) against the base spec
+// through the solver — typically an Engine, whose fingerprint cache
+// deduplicates repeated points — and returns the cost–performance Pareto
+// frontier with the EqualBW baseline priced by one shared Evaluator.
+func Frontier(ctx context.Context, s FrontierSolver, base *ProblemSpec, req FrontierRequest) (*FrontierResult, error) {
+	return frontier.Compute(ctx, s, base, req)
+}
 
 // ---- Collectives and simulation ----
 

@@ -148,6 +148,67 @@ func TestFacadeOptionsSpecEngine(t *testing.T) {
 	}
 }
 
+// Parallel multistart on a real LIBRA objective must return bit-identical
+// results to the sequential path — and, under -race, proves the timemodel
+// closures tolerate concurrent starts.
+func TestFacadeParallelSolveDeterminism(t *testing.T) {
+	net := libra.MustParseTopology("RI(4)_FC(8)_SW(16)")
+	for _, seed := range []int64{1, 9} {
+		mk := func(workers int) *libra.Problem {
+			p, err := libra.New(net, 400,
+				libra.WithPreset("GPT-3"),
+				libra.WithObjective(libra.PerfPerCostOpt),
+				libra.WithSolver(libra.SolverOptions{Seed: seed, Starts: 6, Workers: workers}),
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}
+		seq, err := mk(1).Optimize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := mk(4).Optimize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq.WeightedTime != par.WeightedTime || seq.Cost != par.Cost {
+			t.Errorf("seed %d: parallel diverged: %+v vs %+v", seed, seq, par)
+		}
+		for d := range seq.BW {
+			if seq.BW[d] != par.BW[d] {
+				t.Errorf("seed %d dim %d: BW %v != %v", seed, d, seq.BW[d], par.BW[d])
+			}
+		}
+	}
+}
+
+// The frontier facade must work end to end through an Engine.
+func TestFacadeFrontier(t *testing.T) {
+	engine := libra.NewEngine(libra.EngineConfig{})
+	defer engine.Close()
+	spec := &libra.ProblemSpec{
+		Topology:  "3D-512",
+		Workloads: []libra.WorkloadSpec{{Preset: "GPT-3"}},
+		Solver:    &libra.SolverSpec{Starts: 2, MaxIters: 60},
+	}
+	res, err := libra.Frontier(context.Background(), engine, spec,
+		libra.FrontierRequest{Budgets: []float64{250, 500}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 || len(res.Frontier) == 0 || len(res.EqualBW) != 2 {
+		t.Fatalf("frontier shape: %d points, %d pareto, %d baseline",
+			len(res.Points), len(res.Frontier), len(res.EqualBW))
+	}
+	for _, p := range res.Points {
+		if p.Err != nil {
+			t.Fatalf("budget %v: %v", p.BudgetGBps, p.Err)
+		}
+	}
+}
+
 func TestFacadeEqualBWForCost(t *testing.T) {
 	net := libra.MustParseTopology("RI(4)_FC(8)_RI(4)_SW(32)")
 	bw, err := libra.EqualBWForCost(libra.DefaultCostTable(), net, 15e6)
