@@ -12,10 +12,17 @@ ANCHORS   ?= BenchmarkAnalyticalCollectiveTime,BenchmarkIterationEstimate,Benchm
 # scales with the host's cores, which the anchors cannot cancel).
 SKIPGATE  ?= BenchmarkMinimizeParallel,BenchmarkEngineOptimizeParallel,BenchmarkFrontier
 
-.PHONY: build test race lint bench bench-baseline bench-check
+.PHONY: build build-examples test race lint bench bench-baseline bench-check
 
 build:
 	$(GO) build ./...
+
+# build-examples compiles every example program. `go build ./...` already
+# covers them, but CI calls this target explicitly so a module-layout
+# change that drops examples from the build can never let them rot
+# silently.
+build-examples:
+	$(GO) build ./examples/...
 
 test:
 	$(GO) test ./...

@@ -238,6 +238,39 @@ func BenchmarkFrontier(b *testing.B) {
 	}
 }
 
+// BenchmarkCoDesign runs a three-strategy §VI-E co-design study (MSFT-1T
+// on 4D-4K) per iteration: enumerate + memory-model + baseline pricing +
+// per-candidate optimize/EqualBW through the engine. Caching is disabled
+// and every parallelism lever pinned — one engine worker serializes the
+// candidates, and Starts:1 leaves the multistart solver nothing to fan
+// out (opt.Options.Workers follows GOMAXPROCS and is not spec-pinnable) —
+// so the measurement tracks the candidate-solve pipeline, not the host's
+// core count, keeping it anchor-normalizable and gateable by benchdiff.
+func BenchmarkCoDesign(b *testing.B) {
+	spec := &libra.CoDesignSpec{
+		Base: libra.ProblemSpec{
+			Topology:   "4D-4K",
+			BudgetGBps: 1000,
+			Workloads:  []libra.WorkloadSpec{{Preset: "MSFT-1T"}},
+			Solver:     &libra.SolverSpec{Starts: 1},
+		},
+		TPs: []int{32, 64, 128},
+	}
+	e := libra.NewEngine(libra.EngineConfig{Workers: 1, CacheSize: -1})
+	defer e.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := libra.CoDesign(ctx, e, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Best() == nil || len(rep.Candidates) != 3 {
+			b.Fatal("degenerate co-design report")
+		}
+	}
+}
+
 func BenchmarkPolyhedronProjection(b *testing.B) {
 	c := opt.NewConstraints(4).SumEquals(500).SetAllLower(0.1)
 	c.VarAtMost(3, 50).Ordered(0, 1)

@@ -208,13 +208,18 @@ func runCompare(args []string) error {
 		return fmt.Errorf("no common benchmarks between %s and %s", *basePath, *curPath)
 	}
 	sort.Strings(names)
-	sort.Strings(missing)
 
 	ratios := make(map[string]float64, len(names))
 	all := make([]float64, 0, len(names))
 	for _, name := range names {
 		b := base.Benchmarks[name]
 		if b <= 0 {
+			// A degenerate baseline entry cannot form a ratio; surfacing
+			// it as missing (unless explicitly -skip'd) keeps the gate
+			// from silently shrinking.
+			if !skipped[name] {
+				missing = append(missing, name+" (non-positive baseline)")
+			}
 			continue
 		}
 		r := cur.Benchmarks[name] / b
@@ -269,6 +274,7 @@ func runCompare(args []string) error {
 		}
 	}
 	if len(missing) > 0 {
+		sort.Strings(missing)
 		return fmt.Errorf("%d baseline benchmark(s) missing from the current run (renamed, deleted, or the run crashed; regenerate the baseline with `make bench-baseline` if intentional):\n  %s",
 			len(missing), strings.Join(missing, "\n  "))
 	}

@@ -16,6 +16,7 @@
 //	                    "frontier": {"budgets": [...] or
 //	                                 "budget_min"/"budget_max"/"budget_steps",
 //	                                 "cap_dim"/"caps_gbps"}} → FrontierResult
+//	POST /v1/codesign  CoDesignSpec                     → CoDesignReport
 //	GET  /v1/stats                                      → EngineStats
 //	GET  /healthz                                       → ok
 //
@@ -54,20 +55,8 @@ func main() {
 
 	engine := libra.NewEngine(libra.EngineConfig{Workers: *workers, CacheSize: *cache})
 	defer engine.Close()
-	s := &server{engine: engine, maxBody: *maxBody}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/optimize", s.handleOptimize)
-	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
-	mux.HandleFunc("/v1/sweep", s.handleSweep)
-	mux.HandleFunc("/v1/frontier", s.handleFrontier)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-
-	srv := &http.Server{Addr: *addr, Handler: mux}
+	srv := &http.Server{Addr: *addr, Handler: newMux(engine, *maxBody)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -86,6 +75,24 @@ func main() {
 type server struct {
 	engine  *libra.Engine
 	maxBody int64
+}
+
+// newMux wires the service routes onto a fresh mux — shared by main and
+// the end-to-end tests, so what httptest drives is exactly what ships.
+func newMux(engine *libra.Engine, maxBody int64) http.Handler {
+	s := &server{engine: engine, maxBody: maxBody}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/optimize", s.handleOptimize)
+	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("/v1/sweep", s.handleSweep)
+	mux.HandleFunc("/v1/frontier", s.handleFrontier)
+	mux.HandleFunc("/v1/codesign", s.handleCoDesign)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
 }
 
 func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
@@ -197,6 +204,24 @@ func (s *server) handleFrontier(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, res)
+}
+
+func (s *server) handleCoDesign(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	spec, err := libra.ParseCoDesignSpec(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := libra.CoDesign(r.Context(), s.engine, spec)
+	if err != nil {
+		writeError(w, solveStatus(r, err), err)
+		return
+	}
+	writeJSON(w, rep)
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {

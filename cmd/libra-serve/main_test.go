@@ -1,0 +1,121 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"libra"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	engine := libra.NewEngine(libra.EngineConfig{Workers: 4, CacheSize: 64})
+	t.Cleanup(engine.Close)
+	srv := httptest.NewServer(newMux(engine, 1<<20))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+const codesignBody = `{
+  "base": {
+    "topology": "RI(4)_SW(8)",
+    "budget_gbps": 300,
+    "workloads": [{"transformer": {
+      "name": "tiny", "num_layers": 4, "hidden": 512, "seq_len": 64,
+      "tp": 4, "minibatch": 8
+    }}]
+  },
+  "tps": [2, 4, 8]
+}`
+
+// The /v1/codesign endpoint end to end: POST a study, get a ranked
+// report. Concurrent identical requests exercise the engine's
+// single-flight/cache paths under -race.
+func TestCoDesignEndpoint(t *testing.T) {
+	srv := testServer(t)
+	var wg sync.WaitGroup
+	reports := make([]libra.CoDesignReport, 3)
+	errs := make([]error, 3)
+	for i := range reports {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			resp, err := http.Post(srv.URL+"/v1/codesign", "application/json", strings.NewReader(codesignBody))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			errs[i] = json.NewDecoder(resp.Body).Decode(&reports[i])
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	for i, rep := range reports {
+		if len(rep.Candidates) != 3 {
+			t.Fatalf("request %d: %d candidates", i, len(rep.Candidates))
+		}
+		for _, c := range rep.Candidates {
+			if c.Error != "" {
+				t.Fatalf("request %d: %s: %s", i, c.Strategy, c.Error)
+			}
+		}
+		if rep.Candidates[0].Optimized.WeightedTime != reports[0].Candidates[0].Optimized.WeightedTime {
+			t.Errorf("request %d diverged from request 0", i)
+		}
+		if rep.Baseline.EqualBW.WeightedTime <= 0 {
+			t.Errorf("request %d: baseline time %v", i, rep.Baseline.EqualBW.WeightedTime)
+		}
+	}
+}
+
+func TestCoDesignEndpointErrors(t *testing.T) {
+	srv := testServer(t)
+	post := func(body string) *http.Response {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/codesign", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { resp.Body.Close() })
+		return resp
+	}
+	// Unknown fields and unresolvable specs are the caller's fault: 400.
+	if resp := post(`{"base": {}, "bogus": 1}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field: status %d", resp.StatusCode)
+	}
+	if resp := post(`{"base": {"topology": "RI(4)_SW(8)", "budget_gbps": 100,
+		"workloads": [{"preset": "DLRM"}]}}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("non-transformer workload: status %d", resp.StatusCode)
+	}
+	var errBody struct {
+		Error string `json:"error"`
+	}
+	resp := post(`{"base": {"topology": "RI(4)_SW(8)", "budget_gbps": 100,
+		"workloads": [{"preset": "DLRM"}]}}`)
+	if err := json.NewDecoder(resp.Body).Decode(&errBody); err != nil || errBody.Error == "" {
+		t.Errorf("error body = %+v, %v", errBody, err)
+	}
+	// Non-POST is rejected.
+	getResp, err := http.Get(srv.URL + "/v1/codesign")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d", getResp.StatusCode)
+	}
+}

@@ -16,6 +16,17 @@
 //
 //	libra -preset 4D-4K -workloads MSFT-1T -frontier 250:1000:4
 //	libra -spec examples/spec.json -frontier 300,500,1000 -json
+//
+// The -codesign mode jointly optimizes the parallelization strategy and
+// the network (§VI-E): the single transformer workload is re-instantiated
+// under every candidate TP degree ("auto" enumerates all divisors of the
+// NPU count), each candidate's bandwidth co-optimized, and the joint
+// optima ranked. -mem filters memory-infeasible strategies; combining
+// with -frontier sweeps the budget axis into a co-design frontier:
+//
+//	libra -preset 4D-4K -workloads MSFT-1T -budget 1000 -codesign 8,16,32,64,128,256
+//	libra -preset 4D-4K -workloads MSFT-1T -budget 1000 -codesign auto -mem 80
+//	libra -preset 4D-4K -workloads MSFT-1T -codesign auto -frontier 250:1000:4
 package main
 
 import (
@@ -48,13 +59,12 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "abort the solve after this duration (0 = no limit)")
 		asJSON    = flag.Bool("json", false, "emit the result as JSON instead of the text report")
 		front     = flag.String("frontier", "", "sweep the budget and print the Pareto frontier: min:max:steps or a comma-separated budget list")
+		codesign  = flag.String("codesign", "", "co-design the parallelization strategy with the network: a comma-separated TP list or 'auto' (all divisors of the NPU count)")
+		memGB     = flag.Float64("mem", 0, "per-NPU memory capacity in GB for -codesign feasibility filtering (0 = unlimited, the paper's §VI-E CXL relaxation)")
 	)
 	flag.Parse()
 
 	spec, err := buildSpec(*specPath, *topo, *preset, *workloads, *weights, *budget, *objective, *loop, *caps, *floors)
-	fatalIf(err)
-
-	p, err := spec.Build()
 	fatalIf(err)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -65,10 +75,30 @@ func main() {
 		defer cancel()
 	}
 
+	if *codesign != "" {
+		// The -budget flag default (500) must not pin the study when the
+		// user gave only a budget axis: with the flag unset, frontier-mode
+		// ranking defaults to the axis maximum, exactly like a JSON spec
+		// posted to /v1/codesign without budget_gbps.
+		budgetSet := *specPath != ""
+		flag.Visit(func(f *flag.Flag) { budgetSet = budgetSet || f.Name == "budget" })
+		if !budgetSet && *front != "" {
+			spec.BudgetGBps = 0
+		}
+		fatalIf(runCoDesign(ctx, spec, *codesign, *memGB, *front, *asJSON))
+		return
+	}
+
+	// Frontier mode builds per-point problems itself (at the axis maximum
+	// when the spec carries no budget), so like -codesign it must branch
+	// before the single-point Build validates BudgetGBps.
 	if *front != "" {
 		fatalIf(runFrontier(ctx, spec, *front, *asJSON))
 		return
 	}
+
+	p, err := spec.Build()
+	fatalIf(err)
 
 	eq, err := p.EqualBW()
 	fatalIf(err)
@@ -206,6 +236,98 @@ func runFrontier(ctx context.Context, spec *libra.ProblemSpec, axis string, asJS
 	fmt.Printf("\nPareto frontier: %d of %d points (%d solves, %d cache hits, %.0f ms)\n",
 		len(res.Frontier), len(res.Points), res.Solves, res.CacheHits, res.ElapsedMS)
 	return nil
+}
+
+// runCoDesign runs the joint parallelization × network study. tps is
+// "auto" or a comma-separated TP list; front optionally adds the budget
+// axis (reusing the -frontier syntax) for the co-design frontier.
+func runCoDesign(ctx context.Context, base *libra.ProblemSpec, tps string, memGB float64, front string, asJSON bool) error {
+	cspec := &libra.CoDesignSpec{Base: *base, MemoryGB: memGB}
+	if tps != "auto" {
+		for _, s := range cliutil.SplitList(tps) {
+			tp, err := strconv.Atoi(s)
+			if err != nil {
+				return fmt.Errorf("codesign TP list: malformed degree %q", s)
+			}
+			cspec.TPs = append(cspec.TPs, tp)
+		}
+	}
+	if front != "" {
+		req, err := parseFrontierAxis(front)
+		if err != nil {
+			return err
+		}
+		if cspec.Budgets, err = req.BudgetAxis(); err != nil {
+			return err
+		}
+	}
+	engine := libra.NewEngine(libra.EngineConfig{})
+	defer engine.Close()
+	rep, err := libra.CoDesign(ctx, engine, cspec)
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	fmt.Printf("co-design on %s (%d NPUs) @ %.0f GB/s per NPU, global batch %d\n",
+		rep.Topology, rep.NPUs, rep.BudgetGBps, rep.GlobalBatch)
+	fmt.Printf("baseline: %s on EqualBW — %.4fs per iteration\n\n",
+		rep.Baseline.Strategy, rep.Baseline.EqualBW.WeightedTime)
+	fmt.Printf("%-16s %8s %14s %18s %-30s\n", "strategy", "mem(GB)", "EqualBW spdup", "co-design spdup", "co-designed BW")
+	for _, c := range rep.Candidates {
+		if c.Err != nil {
+			fmt.Printf("%-16s error: %v\n", c.Strategy, c.Error)
+			continue
+		}
+		eq := "-"
+		if c.EqualBW != nil {
+			eq = fmt.Sprintf("%.2fx", c.EqualBWSpeedupVsBaseline)
+		}
+		fmt.Printf("%-16s %8.1f %14s %17.2fx %-30s\n",
+			c.Strategy, c.MemoryGB, eq, c.SpeedupVsBaseline, c.Optimized.BW.String())
+	}
+	for _, s := range rep.Skipped {
+		fmt.Printf("%-16s skipped: %s\n", skipLabel(s), s.Reason)
+	}
+	if best := rep.Best(); best != nil {
+		fmt.Printf("\njoint optimum: %s with its co-designed network — %.2fx over the baseline\n",
+			best.Strategy, best.SpeedupVsBaseline)
+	}
+	if len(rep.Frontier) > 0 {
+		fmt.Printf("\nco-design frontier (best strategy per budget):\n")
+		fmt.Printf("%-14s %-16s %-30s %12s %14s %7s\n",
+			"budget (GB/s)", "strategy", "BW per dim (GB/s)", "cost ($M)", "iter time (s)", "pareto")
+		for _, p := range rep.Frontier {
+			if p.Err != nil {
+				fmt.Printf("%-14.0f error: %v\n", p.BudgetGBps, p.Error)
+				continue
+			}
+			mark := ""
+			if p.Pareto {
+				mark = "*"
+			}
+			fmt.Printf("%-14.0f %-16s %-30s %12.2f %14.6f %7s\n",
+				p.BudgetGBps, p.Strategy, p.Result.BW.String(), p.Result.Cost/1e6, p.Result.WeightedTime, mark)
+		}
+	}
+	fmt.Printf("\n%d candidates, %d skipped (%d solves, %d cache hits, %.0f ms)\n",
+		len(rep.Candidates), len(rep.Skipped), rep.Solves, rep.CacheHits, rep.ElapsedMS)
+	return nil
+}
+
+// skipLabel renders a skipped strategy; grid cells that never resolved a
+// DP degree (TP×PP not dividing the NPU count) have no full HP-(...) form.
+func skipLabel(s libra.CoDesignSkipped) string {
+	if s.Strategy.DP > 0 {
+		return s.Strategy.String()
+	}
+	if s.Strategy.PPOr1() > 1 {
+		return fmt.Sprintf("TP=%d, PP=%d", s.Strategy.TP, s.Strategy.PP)
+	}
+	return fmt.Sprintf("TP=%d", s.Strategy.TP)
 }
 
 // parseFrontierAxis reads min:max:steps or a comma-separated budget list.

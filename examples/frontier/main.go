@@ -97,14 +97,17 @@ func main() {
 				fmt.Printf("%-14.0f error: %v\n", p.BudgetGBps, p.Error)
 				continue
 			}
-			eq := res.EqualBW[i]
 			mark := ""
 			if p.Pareto {
 				mark = "*"
 			}
-			fmt.Printf("%-14.0f %10.2f %14.6f %14.6f %8.2fx %7s\n",
-				p.BudgetGBps, p.Result.Cost/1e6, p.Result.WeightedTime,
-				eq.Result.WeightedTime, eq.Result.WeightedTime/p.Result.WeightedTime, mark)
+			eqTime, speedup := "-", "-"
+			if eq := res.EqualBW[i]; eq.Err == nil {
+				eqTime = fmt.Sprintf("%14.6f", eq.Result.WeightedTime)
+				speedup = fmt.Sprintf("%8.2fx", eq.Result.WeightedTime/p.Result.WeightedTime)
+			}
+			fmt.Printf("%-14.0f %10.2f %14.6f %14s %9s %7s\n",
+				p.BudgetGBps, p.Result.Cost/1e6, p.Result.WeightedTime, eqTime, speedup, mark)
 		}
 		fmt.Printf("frontier: %d of %d points pareto-optimal (%d solves, %d cache hits, %.0f ms)\n\n",
 			len(res.Frontier), len(res.Points), res.Solves, res.CacheHits, res.ElapsedMS)

@@ -89,6 +89,36 @@ type TransformerSpec struct {
 	Microbatches int `json:"microbatches,omitempty"`
 }
 
+// Normalized fills the spec's defaulted fields for an npus-NPU system:
+// TP defaults to 1, Minibatch to the paper's per-replica default, DP to
+// covering the remaining NPUs (failing when TP×PP does not divide them),
+// and an empty Name to the derived "transformer-LxHy" form. Both the
+// spec build path and strategy-sweeping layers (internal/codesign) resolve
+// through here, so the defaulting rules exist exactly once.
+func (t TransformerSpec) Normalized(npus int) (TransformerSpec, error) {
+	out := t
+	if out.TP < 1 {
+		out.TP = 1
+	}
+	if out.Minibatch < 1 {
+		out.Minibatch = workload.DefaultMinibatch
+	}
+	pp := out.PP
+	if pp < 1 {
+		pp = 1
+	}
+	if out.DP < 1 {
+		if npus%(out.TP*pp) != 0 {
+			return TransformerSpec{}, fmt.Errorf("core: transformer TP=%d PP=%d does not divide %d NPUs", out.TP, pp, npus)
+		}
+		out.DP = npus / (out.TP * pp)
+	}
+	if out.Name == "" {
+		out.Name = fmt.Sprintf("transformer-L%d-H%d", out.NumLayers, out.Hidden)
+	}
+	return out, nil
+}
+
 // ComputeSpec mirrors compute.Model as JSON.
 type ComputeSpec struct {
 	Name            string  `json:"name,omitempty"`
@@ -405,6 +435,14 @@ func resolveTopology(name string, tiers []string) (*topology.Network, error) {
 	return net, nil
 }
 
+// Network resolves the spec's topology (preset name or block notation,
+// plus tier overrides) without materializing the whole problem — the hook
+// strategy-enumeration layers (internal/codesign) use to learn the NPU
+// count before per-candidate workloads exist.
+func (s *ProblemSpec) Network() (*topology.Network, error) {
+	return resolveTopology(s.Topology, s.Tiers)
+}
+
 // build materializes the workload spec on an npus-NPU system and returns
 // the normalized provenance recorded on the problem.
 func (ws WorkloadSpec) build(npus int) (*workload.Workload, WorkloadSpec, error) {
@@ -418,34 +456,16 @@ func (ws WorkloadSpec) build(npus int) (*workload.Workload, WorkloadSpec, error)
 		}
 		return w, WorkloadSpec{Preset: ws.Preset}, nil
 	case ws.Transformer != nil:
-		t := *ws.Transformer
-		if t.TP < 1 {
-			t.TP = 1
-		}
-		if t.Minibatch < 1 {
-			t.Minibatch = workload.DefaultMinibatch
-		}
-		pp := t.PP
-		if pp < 1 {
-			pp = 1
-		}
-		if t.DP < 1 {
-			if npus%(t.TP*pp) != 0 {
-				return nil, WorkloadSpec{}, fmt.Errorf("core: transformer TP=%d PP=%d does not divide %d NPUs", t.TP, pp, npus)
-			}
-			t.DP = npus / (t.TP * pp)
+		t, err := ws.Transformer.Normalized(npus)
+		if err != nil {
+			return nil, WorkloadSpec{}, err
 		}
 		cfg := workload.TransformerConfig{
 			Name: t.Name, NumLayers: t.NumLayers, Hidden: t.Hidden,
 			SeqLen: t.SeqLen, VocabSize: t.VocabSize,
 		}
-		if cfg.Name == "" {
-			cfg.Name = fmt.Sprintf("transformer-L%d-H%d", t.NumLayers, t.Hidden)
-			t.Name = cfg.Name
-		}
 		strat := workload.Strategy{TP: t.TP, PP: t.PP, DP: t.DP}
 		var w *workload.Workload
-		var err error
 		if t.Microbatches > 0 {
 			if strat.PP < 1 {
 				strat.PP = 1

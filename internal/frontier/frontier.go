@@ -58,6 +58,13 @@ type Request struct {
 // a small JSON body could exhaust memory before the Solver throttles it.
 const MaxPoints = 4096
 
+// BudgetAxis resolves the budget axis to an explicit list: Budgets
+// verbatim when set, otherwise the inclusive BudgetMin..BudgetMax grid of
+// BudgetSteps points — validated and MaxPoints-bounded either way. Callers
+// that consume the axis outside a frontier computation (the CLI's
+// -codesign mode) share this expansion so the grid semantics exist once.
+func (r Request) BudgetAxis() ([]float64, error) { return r.budgets() }
+
 // budgets resolves the budget axis.
 func (r Request) budgets() ([]float64, error) {
 	if len(r.Budgets) > 0 {
@@ -145,8 +152,7 @@ func Compute(ctx context.Context, s Solver, base *core.ProblemSpec, req Request)
 		return nil, fmt.Errorf("%w: %d frontier points exceed the %d-point limit", core.ErrBadSpec, n, MaxPoints)
 	}
 
-	// Build the base problem once: it validates the spec up front and
-	// prepares the one Evaluator shared by every baseline point. The
+	// Build the base problem once: it validates the spec up front. The
 	// largest budget is used so a single infeasibly-small grid point
 	// fails per-point below instead of sinking the whole frontier.
 	maxBudget := budgets[0]
@@ -164,9 +170,15 @@ func Compute(ctx context.Context, s Solver, base *core.ProblemSpec, req Request)
 	if d := req.CapDim; d > 0 && d > baseProblem.Net.NumDims() {
 		return nil, fmt.Errorf("%w: cap_dim %d out of range 1..%d", core.ErrBadSpec, d, baseProblem.Net.NumDims())
 	}
-	eval, err := baseProblem.NewEvaluator()
-	if err != nil {
-		return nil, fmt.Errorf("%w: %w", core.ErrBadSpec, err)
+	// The one Evaluator shared by every baseline point (its preparation
+	// is budget-independent). Prepared only when the curve is wanted —
+	// SkipEqualBW callers like codesign's budget sweeps would otherwise
+	// pay a full per-target mapping preparation as pure setup overhead.
+	var eval *core.Evaluator
+	if !req.SkipEqualBW {
+		if eval, err = baseProblem.NewEvaluator(); err != nil {
+			return nil, fmt.Errorf("%w: %w", core.ErrBadSpec, err)
+		}
 	}
 
 	start := time.Now()
@@ -225,7 +237,7 @@ func Compute(ctx context.Context, s Solver, base *core.ProblemSpec, req Request)
 		}
 	}
 
-	markPareto(res.Points)
+	MarkPareto(res.Points)
 	for _, p := range res.Points {
 		if p.Pareto {
 			res.Frontier = append(res.Frontier, p)
@@ -242,10 +254,12 @@ func Compute(ctx context.Context, s Solver, base *core.ProblemSpec, req Request)
 	return res, nil
 }
 
-// markPareto flags the points of the (cost, time)-minimizing Pareto set.
+// MarkPareto flags the points of the (cost, time)-minimizing Pareto set.
 // A point is dominated when another succeeds with cost and time both no
 // worse and at least one strictly better; duplicated optima all survive.
-func markPareto(points []Point) {
+// Exported so composing subsystems (internal/codesign's co-design
+// frontier) can re-mark merged point sets with identical semantics.
+func MarkPareto(points []Point) {
 	for i := range points {
 		if points[i].Err != nil {
 			continue

@@ -216,7 +216,7 @@ func TestMarkPareto(t *testing.T) {
 		mk(10, 5), // duplicate optimum: survives
 		{Err: errors.New("boom")},
 	}
-	markPareto(pts)
+	MarkPareto(pts)
 	want := []bool{true, true, false, false, true, true, false}
 	for i, w := range want {
 		if pts[i].Pareto != w {

@@ -1,0 +1,88 @@
+package workload
+
+import "fmt"
+
+// DefaultNPUMemoryGB is the per-NPU capacity of the A100-80GB the paper's
+// compute model is calibrated to — the value to pass as a feasibility cap
+// when no specific device is being modeled. It is never applied
+// implicitly: an unset capacity means unlimited (the §VI-E relaxation).
+const DefaultNPUMemoryGB = 80.0
+
+// MemoryFootprint is the per-NPU training-memory breakdown of a workload
+// under a parallelization strategy, in bytes. It follows the standard
+// Megatron + ZeRO accounting the paper's §VI-E memory argument rests on:
+// fp16 weights and gradients, fp32 Adam state (master weight + two
+// moments), and checkpointed layer-boundary activations.
+type MemoryFootprint struct {
+	// WeightsBytes holds the fp16 model shard: 2 bytes per parameter held
+	// locally (params / (TP·PP)).
+	WeightsBytes float64 `json:"weights_bytes"`
+	// GradBytes holds the fp16 gradient shard. ZeRO-2 partitions gradients
+	// across the DP group, so this is 2·localParams/DP.
+	GradBytes float64 `json:"grad_bytes"`
+	// OptimizerBytes holds the sharded Adam state: fp32 master weight plus
+	// two fp32 moments (12 bytes per parameter), ZeRO-partitioned DP-ways.
+	OptimizerBytes float64 `json:"optimizer_bytes"`
+	// ActivationBytes holds the checkpointed activations: one fp16
+	// sequence-parallel layer-input tensor (minibatch·seq·hidden/TP) per
+	// locally held layer.
+	ActivationBytes float64 `json:"activation_bytes"`
+}
+
+// TotalBytes sums the footprint components.
+func (f MemoryFootprint) TotalBytes() float64 {
+	return f.WeightsBytes + f.GradBytes + f.OptimizerBytes + f.ActivationBytes
+}
+
+// TotalGB reports the footprint in GB (1e9 bytes, matching GB/s elsewhere).
+func (f MemoryFootprint) TotalGB() float64 { return f.TotalBytes() / 1e9 }
+
+// Fits reports whether the footprint fits a per-NPU capacity of capGB.
+// capGB ≤ 0 means unlimited — the paper's §VI-E CXL/CPU-extended-memory
+// relaxation, under which every strategy is admissible.
+func (f MemoryFootprint) Fits(capGB float64) bool {
+	if capGB <= 0 {
+		return true
+	}
+	return f.TotalBytes() <= capGB*1e9
+}
+
+// TransformerFootprint models the per-NPU memory a Megatron + ZeRO-2
+// transformer occupies under a strategy with the given per-replica
+// minibatch:
+//
+//   - localParams = ceil(L/PP)/L · params/TP parameters per NPU — the
+//     fullest pipeline stage's share, so a capacity check never admits a
+//     strategy whose worst stage overflows (= params/(TP·PP) when PP
+//     divides L);
+//   - weights 2·localParams (fp16), gradients 2·localParams/DP and Adam
+//     state 12·localParams/DP (both ZeRO-partitioned across DP);
+//   - activations: ceil(L/PP) locally held layers, each checkpointing one
+//     fp16 minibatch·seq·hidden tensor sharded TP-ways (sequence-parallel
+//     activation checkpointing).
+//
+// The same strategy that shrinks communication therefore grows memory:
+// low-TP strategies hold more parameters per NPU, which is exactly why the
+// paper's default MSFT-1T configuration is HP-(128, 32) and why §VI-E must
+// relax the memory constraint to explore the rest of the strategy space.
+func TransformerFootprint(cfg TransformerConfig, s Strategy, minibatch int) (MemoryFootprint, error) {
+	if err := cfg.Validate(); err != nil {
+		return MemoryFootprint{}, err
+	}
+	if err := s.Validate(); err != nil {
+		return MemoryFootprint{}, err
+	}
+	if minibatch < 1 {
+		return MemoryFootprint{}, fmt.Errorf("workload: transformer %q minibatch %d must be ≥ 1", cfg.Name, minibatch)
+	}
+	tp, dp := float64(s.TP), float64(s.DP)
+	layersHeld := (cfg.NumLayers + s.PPOr1() - 1) / s.PPOr1()
+	local := cfg.Params() * float64(layersHeld) / float64(cfg.NumLayers) / tp
+	tokens := float64(minibatch) * float64(cfg.SeqLen)
+	return MemoryFootprint{
+		WeightsBytes:    bytesFP16 * local,
+		GradBytes:       bytesFP16 * local / dp,
+		OptimizerBytes:  12 * local / dp,
+		ActivationBytes: float64(layersHeld) * tokens * float64(cfg.Hidden) * bytesFP16 / tp,
+	}, nil
+}

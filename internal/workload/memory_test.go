@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTransformerFootprintMath(t *testing.T) {
+	cfg := TransformerConfig{Name: "tiny", NumLayers: 4, Hidden: 100, SeqLen: 10}
+	f, err := TransformerFootprint(cfg, Strategy{TP: 2, DP: 4}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// params = 12·4·100² = 480000; local = params/TP = 240000.
+	if want := 480000.0; f.WeightsBytes != want {
+		t.Errorf("weights = %v, want %v", f.WeightsBytes, want)
+	}
+	if want := 2 * 240000.0 / 4; f.GradBytes != want {
+		t.Errorf("grads = %v, want %v", f.GradBytes, want)
+	}
+	if want := 12 * 240000.0 / 4; f.OptimizerBytes != want {
+		t.Errorf("optimizer = %v, want %v", f.OptimizerBytes, want)
+	}
+	// 4 layers held, 80 tokens, sharded TP=2: 4·80·100·2/2.
+	if want := 32000.0; f.ActivationBytes != want {
+		t.Errorf("activations = %v, want %v", f.ActivationBytes, want)
+	}
+	sum := f.WeightsBytes + f.GradBytes + f.OptimizerBytes + f.ActivationBytes
+	if f.TotalBytes() != sum {
+		t.Errorf("TotalBytes = %v, want %v", f.TotalBytes(), sum)
+	}
+	if !approx(f.TotalGB(), sum/1e9, 1e-12) {
+		t.Errorf("TotalGB = %v", f.TotalGB())
+	}
+}
+
+func TestTransformerFootprintPipelineSharding(t *testing.T) {
+	cfg := TransformerConfig{Name: "tiny", NumLayers: 8, Hidden: 64, SeqLen: 16}
+	flat, err := TransformerFootprint(cfg, Strategy{TP: 2, DP: 8}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp, err := TransformerFootprint(cfg, Strategy{TP: 2, PP: 4, DP: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PP=4 quarters the held parameters and layers...
+	if !approx(pp.WeightsBytes, flat.WeightsBytes/4, 1e-12) {
+		t.Errorf("PP weights = %v, want %v", pp.WeightsBytes, flat.WeightsBytes/4)
+	}
+	if !approx(pp.ActivationBytes, flat.ActivationBytes/4, 1e-12) {
+		t.Errorf("PP activations = %v, want %v", pp.ActivationBytes, flat.ActivationBytes/4)
+	}
+	// ...but the ZeRO shards span a 4× smaller DP group: /4 params × 4 DP.
+	if !approx(pp.OptimizerBytes, flat.OptimizerBytes, 1e-12) {
+		t.Errorf("PP optimizer = %v, want %v", pp.OptimizerBytes, flat.OptimizerBytes)
+	}
+}
+
+// When PP does not divide the layer count, the footprint must account
+// the fullest stage (ceil(L/PP) layers), not the average: a capacity
+// check may never admit a strategy whose worst stage overflows.
+func TestTransformerFootprintWorstStage(t *testing.T) {
+	cfg := TransformerConfig{Name: "odd", NumLayers: 10, Hidden: 64, SeqLen: 16}
+	f, err := TransformerFootprint(cfg, Strategy{TP: 1, PP: 4, DP: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fullest stage holds ceil(10/4) = 3 of 10 layers → 0.3·params, not
+	// the average params/4.
+	if want := cfg.Params() * 0.3 * bytesFP16; !approx(f.WeightsBytes, want, 1e-12) {
+		t.Errorf("worst-stage weights = %v, want %v", f.WeightsBytes, want)
+	}
+}
+
+func TestTransformerFootprintErrors(t *testing.T) {
+	good := TransformerConfig{Name: "t", NumLayers: 2, Hidden: 8, SeqLen: 4}
+	if _, err := TransformerFootprint(TransformerConfig{}, Strategy{TP: 1, DP: 1}, 1); err == nil {
+		t.Error("degenerate config should error")
+	}
+	if _, err := TransformerFootprint(good, Strategy{TP: 0, DP: 1}, 1); err == nil {
+		t.Error("bad strategy should error")
+	}
+	if _, err := TransformerFootprint(good, Strategy{TP: 1, DP: 1}, 0); err == nil {
+		t.Error("minibatch 0 should error")
+	}
+}
+
+func TestMemoryFootprintFits(t *testing.T) {
+	f := MemoryFootprint{WeightsBytes: 60e9, OptimizerBytes: 20e9}
+	if !f.Fits(0) || !f.Fits(-1) {
+		t.Error("non-positive capacity must mean unlimited (the §VI-E CXL relaxation)")
+	}
+	if !f.Fits(80) {
+		t.Error("80 GB footprint should fit exactly 80 GB")
+	}
+	if f.Fits(79) {
+		t.Error("80 GB footprint must not fit 79 GB")
+	}
+}
+
+// The paper's §VI-E memory argument: on 4096 NPUs with the global batch
+// held fixed, MSFT-1T's default HP-(128, 32) fits an A100-80GB while
+// low-TP strategies (which concentrate parameters per NPU) do not —
+// that is why the default exists and why §VI-E must relax memory to
+// explore the rest of the strategy space.
+func TestMSFT1TMemoryFeasibilityPattern(t *testing.T) {
+	const npus = 4096
+	footprint := func(tp int) MemoryFootprint {
+		t.Helper()
+		w, err := MSFT1TWithTP(npus, tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := TransformerFootprint(MSFT1TConfig, w.Strategy, w.Minibatch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	if f := footprint(128); !f.Fits(DefaultNPUMemoryGB) {
+		t.Errorf("default HP-(128, 32) needs %.1f GB, should fit %v GB", f.TotalGB(), DefaultNPUMemoryGB)
+	}
+	if f := footprint(8); f.Fits(DefaultNPUMemoryGB) {
+		t.Errorf("HP-(8, 512) needs only %.1f GB; expected memory-infeasible", f.TotalGB())
+	}
+	// Footprint shrinks monotonically as TP spreads the parameters.
+	prev := math.Inf(1)
+	for _, tp := range []int{8, 32, 128} {
+		gb := footprint(tp).TotalGB()
+		if gb >= prev {
+			t.Errorf("TP=%d footprint %.1f GB did not shrink (prev %.1f GB)", tp, gb, prev)
+		}
+		prev = gb
+	}
+}
+
+func TestStrategyPPEdgeCases(t *testing.T) {
+	// PP=0 is the "no pipelining" zero value: valid, treated as 1.
+	s := Strategy{TP: 4, DP: 8}
+	if err := s.Validate(); err != nil {
+		t.Errorf("PP=0 strategy rejected: %v", err)
+	}
+	if s.PPOr1() != 1 || s.NPUs() != 32 {
+		t.Errorf("PPOr1 = %d, NPUs = %d", s.PPOr1(), s.NPUs())
+	}
+	if (Strategy{TP: 4, PP: -1, DP: 8}).Validate() == nil {
+		t.Error("PP=-1 should be rejected")
+	}
+	withPP := Strategy{TP: 4, PP: 2, DP: 8}
+	if err := withPP.Validate(); err != nil {
+		t.Errorf("PP=2 strategy rejected: %v", err)
+	}
+	if withPP.NPUs() != 64 {
+		t.Errorf("PP=2 NPUs = %d, want 64", withPP.NPUs())
+	}
+	if got := withPP.String(); got != "HP-(4, 2, 8)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestMSFT1TWithTPEdgeCases(t *testing.T) {
+	// TP not dividing the NPU count fails loudly.
+	if _, err := MSFT1TWithTP(4096, 24); err == nil {
+		t.Error("TP=24 on 4096 NPUs should error")
+	}
+	// TP exceeding the NPU count cannot divide it either.
+	if _, err := MSFT1TWithTP(128, 256); err == nil {
+		t.Error("TP > NPUs should error")
+	}
+	// Zero NPUs leaves a degenerate DP=0 strategy behind.
+	if _, err := MSFT1TWithTP(0, 1); err == nil {
+		t.Error("0 NPUs should error")
+	}
+	// Fixed global batch: per-replica minibatch clamps to ≥ 1 when DP
+	// outgrows the global batch (TP=1 on 256 NPUs → batch 64 over DP 256).
+	w, err := MSFT1TWithTP(256, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Minibatch != 1 {
+		t.Errorf("minibatch = %d, want clamp to 1", w.Minibatch)
+	}
+	// The un-clamped region scales minibatch ∝ TP at fixed global batch.
+	a, err := MSFT1TWithTP(4096, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MSFT1TWithTP(4096, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Minibatch*2 != b.Minibatch {
+		t.Errorf("minibatch should double with TP: %d vs %d", a.Minibatch, b.Minibatch)
+	}
+}

@@ -28,7 +28,14 @@ var (
 	MSFT1TConfig = TransformerConfig{Name: "MSFT-1T", NumLayers: 128, Hidden: 25600, SeqLen: 1024, VocabSize: 50257}
 )
 
-func hybrid(cfg TransformerConfig, tp, npus int) (*Workload, error) {
+// hybridPreset builds a transformer preset under its Table II default
+// strategy, resolving the shape through TransformerPresetConfig so the
+// preset table exists exactly once.
+func hybridPreset(name string, npus int) (*Workload, error) {
+	cfg, tp, err := TransformerPresetConfig(name)
+	if err != nil {
+		return nil, err
+	}
 	if npus%tp != 0 {
 		return nil, fmt.Errorf("workload: %s needs TP=%d to divide %d NPUs", cfg.Name, tp, npus)
 	}
@@ -36,13 +43,13 @@ func hybrid(cfg TransformerConfig, tp, npus int) (*Workload, error) {
 }
 
 // TuringNLG builds the 17B Turing-NLG workload (Table II: TP=1, pure DP).
-func TuringNLG(npus int) (*Workload, error) { return hybrid(TuringNLGConfig, TuringNLGTP, npus) }
+func TuringNLG(npus int) (*Workload, error) { return hybridPreset("Turing-NLG", npus) }
 
 // GPT3 builds the 175B GPT-3 workload (Table II: TP=16).
-func GPT3(npus int) (*Workload, error) { return hybrid(GPT3Config, GPT3TP, npus) }
+func GPT3(npus int) (*Workload, error) { return hybridPreset("GPT-3", npus) }
 
 // MSFT1T builds the 1T-parameter MSFT-1T workload (Table II: TP=128).
-func MSFT1T(npus int) (*Workload, error) { return hybrid(MSFT1TConfig, MSFT1TTP, npus) }
+func MSFT1T(npus int) (*Workload, error) { return hybridPreset("MSFT-1T", npus) }
 
 // MSFT1TWithTP builds MSFT-1T under an alternative HP-(tp, npus/tp)
 // strategy — the Fig. 21 network × parallelization co-design study. The
@@ -56,7 +63,7 @@ func MSFT1T(npus int) (*Workload, error) { return hybrid(MSFT1TConfig, MSFT1TTP,
 // grows with the replica batch (∝ TP) while DP gradient traffic shrinks
 // (∝ 1/TP), peaking training throughput at a mid-range strategy.
 func MSFT1TWithTP(npus, tp int) (*Workload, error) {
-	if npus%tp != 0 {
+	if npus < 1 || tp < 1 || npus%tp != 0 {
 		return nil, fmt.Errorf("workload: TP=%d does not divide %d NPUs", tp, npus)
 	}
 	globalBatch := DefaultMinibatch * npus / MSFT1TTP
@@ -71,6 +78,24 @@ func MSFT1TWithTP(npus, tp int) (*Workload, error) {
 	}
 	w.Name = fmt.Sprintf("MSFT-1T/HP-(%d,%d)", tp, dp)
 	return w, nil
+}
+
+// TransformerPresetConfig resolves a Table II transformer preset to its
+// architecture shape and default tensor-parallel degree — the handle the
+// co-design subsystem needs to re-instantiate the model under alternative
+// strategies. Non-transformer presets (DLRM, ResNet-50) and unknown names
+// fail: their parallelization is structural, not sweepable.
+func TransformerPresetConfig(name string) (TransformerConfig, int, error) {
+	switch name {
+	case "Turing-NLG":
+		return TuringNLGConfig, TuringNLGTP, nil
+	case "GPT-3":
+		return GPT3Config, GPT3TP, nil
+	case "MSFT-1T":
+		return MSFT1TConfig, MSFT1TTP, nil
+	default:
+		return TransformerConfig{}, 0, fmt.Errorf("workload: preset %q is not a strategy-sweepable transformer (want Turing-NLG, GPT-3, or MSFT-1T)", name)
+	}
 }
 
 // DLRMParams is Table II's DLRM size: 57M parameters in the MLP layers.

@@ -85,10 +85,13 @@ type Layer struct {
 // each pipeline stage, PP-way stage-sharded, and the dataset DP-way
 // split, occupying TP×PP×DP NPUs. PP == 0 means no pipeline parallelism
 // (treated as 1).
+// The zero values carry "not set" through JSON: a report entry for a
+// strategy that never resolved (e.g. a TP×PP grid cell that does not
+// divide the NPU count) elides DP rather than emitting an invalid dp: 0.
 type Strategy struct {
-	TP int
-	DP int
-	PP int
+	TP int `json:"tp,omitempty"`
+	DP int `json:"dp,omitempty"`
+	PP int `json:"pp,omitempty"`
 }
 
 // PPOr1 returns the pipeline degree, treating the zero value as 1.

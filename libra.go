@@ -47,6 +47,7 @@ import (
 	"context"
 	"io"
 
+	"libra/internal/codesign"
 	"libra/internal/collective"
 	"libra/internal/compute"
 	"libra/internal/core"
@@ -135,6 +136,22 @@ func NewTransformer(cfg TransformerConfig, s Strategy, minibatch int) (*Workload
 // extension).
 func NewTransformerPP(cfg TransformerConfig, s Strategy, minibatch, microbatches int) (*Workload, error) {
 	return workload.TransformerPP(cfg, s, minibatch, microbatches)
+}
+
+// MemoryFootprint is a per-NPU training-memory breakdown (fp16 weights
+// and ZeRO-sharded gradients/optimizer state, checkpointed activations).
+type MemoryFootprint = workload.MemoryFootprint
+
+// DefaultNPUMemoryGB is the A100-80GB capacity — the value to pass as a
+// CoDesignSpec.MemoryGB feasibility cap when no specific device is being
+// modeled; it is never applied implicitly (unset means unlimited).
+const DefaultNPUMemoryGB = workload.DefaultNPUMemoryGB
+
+// TransformerFootprint models the per-NPU memory a Megatron + ZeRO-2
+// transformer occupies under a strategy — the feasibility predicate the
+// co-design subsystem filters candidate strategies with.
+func TransformerFootprint(cfg TransformerConfig, s Strategy, minibatch int) (MemoryFootprint, error) {
+	return workload.TransformerFootprint(cfg, s, minibatch)
 }
 
 // WorkloadPreset builds a Table II workload by name.
@@ -414,6 +431,51 @@ type FrontierSolver = frontier.Solver
 func Frontier(ctx context.Context, s FrontierSolver, base *ProblemSpec, req FrontierRequest) (*FrontierResult, error) {
 	return frontier.Compute(ctx, s, base, req)
 }
+
+// ---- Parallelization × network co-design ----
+
+// CoDesignSpec describes a joint parallelization-strategy × network-BW
+// co-design study (§VI-E): a base ProblemSpec whose single transformer
+// workload is re-instantiated under every memory-feasible HP-(TP, PP, DP)
+// factorization of the NPU count. Serializable and canonically
+// fingerprinted like ProblemSpec.
+type CoDesignSpec = codesign.Spec
+
+// CoDesignReport is a computed co-design study: the reference baseline,
+// every candidate ranked by co-designed iteration time, the skipped
+// (infeasible) strategies, and — in budget-axis mode — the co-design
+// frontier.
+type CoDesignReport = codesign.Report
+
+// CoDesignBaseline is the reference strategy priced on EqualBW.
+type CoDesignBaseline = codesign.Baseline
+
+// CoDesignCandidate is one evaluated strategy of a co-design study.
+type CoDesignCandidate = codesign.Candidate
+
+// CoDesignSkipped is a strategy rejected before solving, with the reason.
+type CoDesignSkipped = codesign.Skipped
+
+// CoDesignFrontierPoint is the best strategy at one budget of the
+// co-design frontier.
+type CoDesignFrontierPoint = codesign.FrontierPoint
+
+// CoDesignSolver answers the per-candidate specs of a co-design study;
+// *Engine satisfies it.
+type CoDesignSolver = codesign.Solver
+
+// CoDesign runs a joint parallelization × network study through the
+// solver — typically an Engine, whose fingerprint cache deduplicates
+// repeated candidates: enumerate memory-feasible strategies, co-optimize
+// each candidate's bandwidth concurrently, and rank the joint optima.
+// cmd/libra-serve exposes it as POST /v1/codesign.
+func CoDesign(ctx context.Context, s CoDesignSolver, spec *CoDesignSpec) (*CoDesignReport, error) {
+	return codesign.Compute(ctx, s, spec)
+}
+
+// ParseCoDesignSpec decodes a CoDesignSpec from JSON, rejecting unknown
+// fields.
+func ParseCoDesignSpec(data []byte) (*CoDesignSpec, error) { return codesign.ParseSpec(data) }
 
 // ---- Collectives and simulation ----
 

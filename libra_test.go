@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"libra"
+	"libra/internal/workload"
 )
 
 // The quickstart from the package docs must work end-to-end.
@@ -206,6 +207,108 @@ func TestFacadeFrontier(t *testing.T) {
 		if p.Err != nil {
 			t.Fatalf("budget %v: %v", p.BudgetGBps, p.Err)
 		}
+	}
+}
+
+// The co-design subsystem on the paper's §VI-E scenario (MSFT-1T on
+// 4D-4K at 1000 GB/s) must reproduce the classic per-strategy loop —
+// workload.MSFT1TWithTP + Problem.Optimize, what examples/paracoopt did
+// before the port — bit-identically: same joint optimum, same bandwidth
+// vector, same baseline.
+func TestFacadeCoDesignReproducesParacoopt(t *testing.T) {
+	net, err := libra.PresetTopology("4D-4K")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const budget = 1000.0
+	tps := []int{8, 16, 32, 64, 128, 256}
+
+	// Classic path.
+	baseW, err := workload.MSFT1TWithTP(net.NPUs(), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := libra.NewProblem(net, budget, baseW).EqualBW()
+	if err != nil {
+		t.Fatal(err)
+	}
+	type classic struct {
+		eq, opt libra.Result
+	}
+	direct := map[int]classic{}
+	bestTP, bestTime := 0, math.Inf(1)
+	for _, tp := range tps {
+		w, err := workload.MSFT1TWithTP(net.NPUs(), tp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := libra.NewProblem(net, budget, w)
+		eq, err := p.EqualBW()
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := p.Optimize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct[tp] = classic{eq, r}
+		if r.WeightedTime < bestTime {
+			bestTP, bestTime = tp, r.WeightedTime
+		}
+	}
+
+	// Co-design subsystem path.
+	engine := libra.NewEngine(libra.EngineConfig{})
+	defer engine.Close()
+	rep, err := libra.CoDesign(context.Background(), engine, &libra.CoDesignSpec{
+		Base: libra.ProblemSpec{
+			Topology:   "4D-4K",
+			BudgetGBps: budget,
+			Workloads:  []libra.WorkloadSpec{{Preset: "MSFT-1T"}},
+		},
+		TPs: tps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Baseline.Strategy.TP != 128 || rep.Baseline.EqualBW.WeightedTime != base.WeightedTime {
+		t.Errorf("baseline = %v @ %v, want HP-(128, 32) @ %v",
+			rep.Baseline.Strategy, rep.Baseline.EqualBW.WeightedTime, base.WeightedTime)
+	}
+	if len(rep.Candidates) != len(tps) {
+		t.Fatalf("%d candidates, want %d", len(rep.Candidates), len(tps))
+	}
+	for _, c := range rep.Candidates {
+		if c.Err != nil {
+			t.Fatalf("%s: %v", c.Strategy, c.Err)
+		}
+		want, ok := direct[c.Strategy.TP]
+		if !ok {
+			t.Fatalf("unexpected candidate %s", c.Strategy)
+		}
+		if c.Optimized.WeightedTime != want.opt.WeightedTime {
+			t.Errorf("TP=%d optimized time %v != classic %v",
+				c.Strategy.TP, c.Optimized.WeightedTime, want.opt.WeightedTime)
+		}
+		if c.EqualBW == nil || c.EqualBW.WeightedTime != want.eq.WeightedTime {
+			t.Errorf("TP=%d EqualBW diverged from classic path", c.Strategy.TP)
+		}
+		for d := range c.Optimized.BW {
+			if c.Optimized.BW[d] != want.opt.BW[d] {
+				t.Errorf("TP=%d dim %d: BW %v != classic %v",
+					c.Strategy.TP, d, c.Optimized.BW[d], want.opt.BW[d])
+			}
+		}
+	}
+	best := rep.Best()
+	if best == nil || best.Strategy.TP != bestTP || best.Optimized.WeightedTime != bestTime {
+		t.Fatalf("joint optimum %v @ %v, classic loop found TP=%d @ %v",
+			best.Strategy, best.Optimized.WeightedTime, bestTP, bestTime)
+	}
+	// The paper's interior peak: the joint optimum is neither the lowest
+	// nor the highest TP, and beats the baseline strategy's co-design.
+	if bestTP == tps[0] || bestTP == tps[len(tps)-1] || bestTP == 128 {
+		t.Errorf("joint optimum TP=%d; expected an interior, non-default peak", bestTP)
 	}
 }
 
