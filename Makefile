@@ -12,7 +12,15 @@ ANCHORS   ?= BenchmarkAnalyticalCollectiveTime,BenchmarkIterationEstimate,Benchm
 # scales with the host's cores, which the anchors cannot cancel).
 SKIPGATE  ?= BenchmarkMinimizeParallel,BenchmarkEngineOptimizeParallel,BenchmarkFrontier
 
-.PHONY: build build-examples test race lint bench bench-baseline bench-check
+# Coverage gate: per-package statement floor over internal/... from one
+# merged cross-package profile. Fuzz smoke: every native fuzz target gets
+# a short budget on each push so the corpora stay exercised.
+COVERFLOOR ?= 70
+FUZZTIME   ?= 10s
+FUZZPKGS   ?= ./internal/core ./internal/codesign ./internal/validate
+
+.PHONY: build build-examples test race lint bench bench-baseline bench-check \
+	cover fuzz-smoke validate validate-baseline validate-check
 
 build:
 	$(GO) build ./...
@@ -51,3 +59,34 @@ bench-baseline:
 bench-check:
 	set -o pipefail; $(GO) test $(BENCHARGS) | $(GO) run ./cmd/benchdiff parse -out BENCH_ci.json
 	$(GO) run ./cmd/benchdiff compare -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 0.25 -anchors "$(ANCHORS)" -skip "$(SKIPGATE)"
+
+# cover enforces the per-package statement-coverage floor over
+# internal/... from one merged cross-package profile.
+cover:
+	$(GO) test -count=1 -coverprofile=cover.out -coverpkg=./internal/... ./...
+	$(GO) run ./cmd/covercheck -profile cover.out -prefix libra/internal/ -floor $(COVERFLOOR)
+
+# fuzz-smoke runs every native fuzz target briefly ($(FUZZTIME) each);
+# `go test -fuzz` takes one package at a time.
+fuzz-smoke:
+	@for pkg in $(FUZZPKGS); do \
+		echo "fuzzing $$pkg"; \
+		$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime $(FUZZTIME) $$pkg || exit 1; \
+	done
+
+# validate runs the analytical-vs-simulator conformance matrix and fails
+# when any scenario diverges beyond the committed tolerance.
+validate:
+	$(GO) run ./cmd/libra -validate
+
+# validate-baseline regenerates the committed golden divergence report.
+# Re-run after intentional estimator or simulator changes and commit the
+# result.
+validate-baseline:
+	$(GO) run ./cmd/libra -validate -baseline VALIDATION_baseline.json
+
+# validate-check is exactly what CI runs: regenerate the report and fail
+# on any divergence drift from the committed baseline (or any tolerance
+# violation).
+validate-check:
+	$(GO) run ./cmd/libra -validate -check VALIDATION_baseline.json

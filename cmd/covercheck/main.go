@@ -1,0 +1,154 @@
+// Command covercheck gates per-package statement coverage from a Go
+// cover profile. CI runs the full test suite with
+// -coverpkg=./internal/... and fails the build when any internal package
+// falls below the floor — so new subsystems cannot land untested and
+// existing ones cannot silently rot.
+//
+//	go test -coverprofile=cover.out -coverpkg=./internal/... ./...
+//	go run ./cmd/covercheck -profile cover.out -prefix libra/internal/ -floor 70
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// pkgCover accumulates statement counts for one package.
+type pkgCover struct {
+	statements int
+	covered    int
+}
+
+func (p pkgCover) percent() float64 {
+	if p.statements == 0 {
+		return 100
+	}
+	return 100 * float64(p.covered) / float64(p.statements)
+}
+
+func main() {
+	var (
+		profile = flag.String("profile", "cover.out", "cover profile written by go test -coverprofile")
+		prefix  = flag.String("prefix", "libra/internal/", "gate only packages with this import-path prefix")
+		floor   = flag.Float64("floor", 70, "minimum per-package statement coverage in percent")
+		skip    = flag.String("skip", "", "comma-separated package import paths exempt from the floor")
+	)
+	flag.Parse()
+
+	pkgs, err := parseProfile(*profile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "covercheck:", err)
+		os.Exit(1)
+	}
+	skipped := map[string]bool{}
+	for _, s := range strings.Split(*skip, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			skipped[s] = true
+		}
+	}
+
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	fmt.Printf("%-40s %10s %10s %8s\n", "package", "covered", "stmts", "percent")
+	for _, name := range names {
+		if !strings.HasPrefix(name, *prefix) {
+			continue
+		}
+		c := pkgs[name]
+		status := ""
+		switch {
+		case skipped[name]:
+			status = "  (exempt)"
+		case c.percent() < *floor:
+			status = fmt.Sprintf("  BELOW FLOOR %.0f%%", *floor)
+			failed = true
+		}
+		fmt.Printf("%-40s %10d %10d %7.1f%%%s\n", name, c.covered, c.statements, c.percent(), status)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "covercheck: coverage below the %.0f%% per-package floor\n", *floor)
+		os.Exit(1)
+	}
+}
+
+// parseProfile reads a cover profile ("mode:" header then
+// "file.go:s.c,e.c numStmts hitCount" lines) and aggregates statement
+// coverage per package directory. Blocks that appear multiple times
+// (covered by several test binaries) count as covered if any run hit
+// them.
+func parseProfile(name string) (map[string]pkgCover, error) {
+	f, err := os.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	type blockKey struct {
+		file string
+		span string
+	}
+	type blockVal struct {
+		statements int
+		hits       int
+	}
+	blocks := map[blockKey]blockVal{}
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "mode:") {
+			continue
+		}
+		colon := strings.LastIndex(text, ":")
+		if colon < 0 {
+			return nil, fmt.Errorf("%s:%d: malformed profile line %q", name, line, text)
+		}
+		file := text[:colon]
+		rest := strings.Fields(text[colon+1:])
+		if len(rest) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed profile line %q", name, line, text)
+		}
+		stmts, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad statement count: %v", name, line, err)
+		}
+		hits, err := strconv.Atoi(rest[2])
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: bad hit count: %v", name, line, err)
+		}
+		k := blockKey{file: file, span: rest[0]}
+		v := blocks[k]
+		v.statements = stmts
+		v.hits += hits
+		blocks[k] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	pkgs := map[string]pkgCover{}
+	for k, v := range blocks {
+		pkg := path.Dir(k.file)
+		c := pkgs[pkg]
+		c.statements += v.statements
+		if v.hits > 0 {
+			c.covered += v.statements
+		}
+		pkgs[pkg] = c
+	}
+	return pkgs, nil
+}

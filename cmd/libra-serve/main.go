@@ -17,6 +17,8 @@
 //	                                 "budget_min"/"budget_max"/"budget_steps",
 //	                                 "cap_dim"/"caps_gbps"}} → FrontierResult
 //	POST /v1/codesign  CoDesignSpec                     → CoDesignReport
+//	POST /v1/validate  ValidateSpec (or empty body
+//	                   for the default matrix)          → ValidationReport
 //	GET  /v1/stats                                      → EngineStats
 //	GET  /healthz                                       → ok
 //
@@ -87,6 +89,7 @@ func newMux(engine *libra.Engine, maxBody int64) http.Handler {
 	mux.HandleFunc("/v1/sweep", s.handleSweep)
 	mux.HandleFunc("/v1/frontier", s.handleFrontier)
 	mux.HandleFunc("/v1/codesign", s.handleCoDesign)
+	mux.HandleFunc("/v1/validate", s.handleValidate)
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
@@ -217,6 +220,27 @@ func (s *server) handleCoDesign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	rep, err := libra.CoDesign(r.Context(), s.engine, spec)
+	if err != nil {
+		writeError(w, solveStatus(r, err), err)
+		return
+	}
+	writeJSON(w, rep)
+}
+
+func (s *server) handleValidate(w http.ResponseWriter, r *http.Request) {
+	data, ok := s.readBody(w, r)
+	if !ok {
+		return
+	}
+	spec := &libra.ValidateSpec{}
+	if len(bytes.TrimSpace(data)) > 0 {
+		var err error
+		if spec, err = libra.ParseValidateSpec(data); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	rep, err := libra.Validate(r.Context(), s.engine, spec)
 	if err != nil {
 		writeError(w, solveStatus(r, err), err)
 		return

@@ -82,6 +82,62 @@ func TestCoDesignEndpoint(t *testing.T) {
 	}
 }
 
+// The /v1/validate endpoint end to end: POST a narrowed conformance
+// matrix, get verdicts; an empty body runs the default matrix; repeated
+// requests hit the engine cache.
+func TestValidateEndpoint(t *testing.T) {
+	srv := testServer(t)
+	body := `{"topologies": ["3D-Torus"], "workloads": ["DLRM"], "collectives": ["ar", "a2a"]}`
+	post := func(payload string) libra.ValidationReport {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/validate", "application/json", strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var rep libra.ValidationReport
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := post(body)
+	if rep.Evaluated == 0 || rep.Failed != 0 {
+		t.Fatalf("evaluated %d, failed %d", rep.Evaluated, rep.Failed)
+	}
+	if !rep.Pass {
+		t.Fatalf("narrowed matrix failed: mean %v max %v worst %s", rep.MeanAbsRelErr, rep.MaxAbsRelErr, rep.WorstID)
+	}
+	for _, sc := range rep.Scenarios {
+		if !sc.Skipped && sc.Error == "" && !sc.Within {
+			t.Errorf("%s: outside tolerance (rel err %v)", sc.ID, sc.RelErr)
+		}
+	}
+	again := post(body)
+	if again.CacheHits != again.Evaluated || again.Solves != 0 {
+		t.Errorf("second request: %d solves, %d hits, want all cached", again.Solves, again.CacheHits)
+	}
+
+	// An empty body runs the default matrix.
+	def := post("")
+	if len(def.Scenarios) <= len(rep.Scenarios) {
+		t.Errorf("default matrix (%d scenarios) should dwarf the narrowed one (%d)", len(def.Scenarios), len(rep.Scenarios))
+	}
+
+	// Bad specs are the caller's fault: 400.
+	resp, err := http.Post(srv.URL+"/v1/validate", "application/json", strings.NewReader(`{"collectives": ["broadcast"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown collective: status %d", resp.StatusCode)
+	}
+}
+
 func TestCoDesignEndpointErrors(t *testing.T) {
 	srv := testServer(t)
 	post := func(body string) *http.Response {

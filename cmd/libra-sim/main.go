@@ -10,81 +10,115 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"os"
 	"strings"
 
 	"libra"
 	"libra/internal/cliutil"
+	"libra/internal/validate"
 )
 
 func main() {
+	cliutil.Fatal("libra-sim", run(os.Args[1:], os.Stdout))
+}
+
+// run executes one simulation request, writing the report to w. It is
+// main minus the process plumbing, so the golden-output test drives the
+// exact code the binary ships.
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("libra-sim", flag.ContinueOnError)
+	// Parse failures surface exactly once (via the returned error);
+	// -h/-help prints usage to w and succeeds.
+	fs.SetOutput(io.Discard)
 	var (
-		topo      = flag.String("topology", "", "network in block notation")
-		preset    = flag.String("preset", "3D-Torus", "named Table III topology")
-		bwFlag    = flag.String("bw", "", "per-dimension GB/s, comma-separated (default: EqualBW 300)")
-		opFlag    = flag.String("op", "allreduce", "collective: allreduce, reducescatter, allgather, alltoall")
-		bytesFlag = flag.Float64("bytes", 1e9, "collective payload in bytes")
-		chunks    = flag.Int("chunks", 64, "chunk count")
-		scheduler = flag.String("scheduler", "baseline", "baseline, themis, or tacos")
+		topo      = fs.String("topology", "", "network in block notation")
+		preset    = fs.String("preset", "3D-Torus", "named Table III topology")
+		bwFlag    = fs.String("bw", "", "per-dimension GB/s, comma-separated (default: EqualBW 300)")
+		opFlag    = fs.String("op", "allreduce", "collective: allreduce, reducescatter, allgather, alltoall")
+		bytesFlag = fs.Float64("bytes", 1e9, "collective payload in bytes")
+		chunks    = fs.Int("chunks", 64, "chunk count")
+		scheduler = fs.String("scheduler", "baseline", "baseline, themis, or tacos")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			fs.SetOutput(w)
+			fs.Usage()
+			return nil
+		}
+		return err
+	}
 
 	// The -preset default stands in for "neither flag given".
 	if *topo != "" {
 		*preset = ""
 	}
 	net, err := cliutil.ResolveNetwork(*topo, *preset, "3D-Torus")
-	fatalIf(err)
+	if err != nil {
+		return err
+	}
 
 	bw := libra.EqualBW(300, net.NumDims())
 	if *bwFlag != "" {
-		bw, err = cliutil.ParseBW(*bwFlag, net.NumDims())
-		fatalIf(err)
+		if bw, err = cliutil.ParseBW(*bwFlag, net.NumDims()); err != nil {
+			return err
+		}
 	}
 
 	op, err := cliutil.ParseCollectiveOp(*opFlag)
-	fatalIf(err)
+	if err != nil {
+		return err
+	}
+	cc := validate.CollectiveCase{Net: net, Op: op, Bytes: *bytesFlag, BW: bw, Chunks: *chunks}
 
-	fmt.Printf("network:  %s (%d NPUs)\n", net.Name(), net.NPUs())
-	fmt.Printf("bw:       %s\n", bw.String())
-	fmt.Printf("op:       %v, %.3g bytes, %d chunks, scheduler %s\n\n", op, *bytesFlag, *chunks, *scheduler)
+	fmt.Fprintf(w, "network:  %s (%d NPUs)\n", net.Name(), net.NPUs())
+	fmt.Fprintf(w, "bw:       %s\n", bw.String())
+	fmt.Fprintf(w, "op:       %v, %.3g bytes, %d chunks, scheduler %s\n\n", op, *bytesFlag, *chunks, *scheduler)
 
-	analytic := libra.CollectiveTime(op, *bytesFlag, net, bw)
-	fmt.Printf("analytical bound:   %.6f s\n", analytic)
+	fmt.Fprintf(w, "analytical bound:   %.6f s\n", cc.Analytical())
 
 	switch strings.ToLower(*scheduler) {
 	case "baseline":
-		r, err := libra.SimulateCollective(op, *bytesFlag, net, bw, *chunks)
-		fatalIf(err)
-		fmt.Printf("simulated makespan: %.6f s\n", r.Makespan)
-		fmt.Printf("avg utilization:    %.1f%%\n", 100*r.AvgUtilization())
+		r, err := cc.Pipeline()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "simulated makespan: %.6f s\n", r.Makespan)
+		fmt.Fprintf(w, "avg utilization:    %.1f%%\n", 100*r.AvgUtilization())
 		for d := 0; d < net.NumDims(); d++ {
-			fmt.Printf("  dim %d utilization: %.1f%%\n", d+1, 100*r.DimUtilization(d))
+			fmt.Fprintf(w, "  dim %d utilization: %.1f%%\n", d+1, 100*r.DimUtilization(d))
 		}
 	case "themis":
-		r, err := libra.ThemisSchedule(op, *bytesFlag, net, bw, *chunks)
-		fatalIf(err)
-		fmt.Printf("themis makespan:    %.6f s\n", r.Makespan)
-		fmt.Printf("avg utilization:    %.1f%%\n", 100*r.AvgUtilization())
+		r, err := cc.Themis()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "themis makespan:    %.6f s\n", r.Makespan)
+		fmt.Fprintf(w, "avg utilization:    %.1f%%\n", 100*r.AvgUtilization())
 	case "tacos":
 		if op != libra.AllReduce && op != libra.AllGather {
-			fatalIf(fmt.Errorf("tacos synthesizes allgather/allreduce only"))
+			return fmt.Errorf("tacos synthesizes allgather/allreduce only")
 		}
 		if op == libra.AllGather {
 			s, err := libra.TacosAllGather(net, bw, *bytesFlag, *chunks)
-			fatalIf(err)
-			fmt.Printf("tacos makespan:     %.6f s (%d sends, %.1f%% link util)\n",
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "tacos makespan:     %.6f s (%d sends, %.1f%% link util)\n",
 				s.Makespan, s.Sends, 100*s.AvgLinkUtilization)
 		} else {
 			t, s, err := libra.TacosAllReduceTime(net, bw, *bytesFlag, *chunks)
-			fatalIf(err)
-			fmt.Printf("tacos makespan:     %.6f s (AG phase: %d sends, %.1f%% link util)\n",
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "tacos makespan:     %.6f s (AG phase: %d sends, %.1f%% link util)\n",
 				t, s.Sends, 100*s.AvgLinkUtilization)
 		}
 	default:
-		fatalIf(fmt.Errorf("unknown scheduler %q", *scheduler))
+		return fmt.Errorf("unknown scheduler %q", *scheduler)
 	}
+	return nil
 }
-
-func fatalIf(err error) { cliutil.Fatal("libra-sim", err) }

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// TestRunGolden locks the binary's report output byte-for-byte: the
+// scenario construction is shared with examples/simulate and the
+// conformance matrix (validate.CollectiveCase), so drift in any consumer
+// shows up here. Regenerate with `go test ./cmd/libra-sim -update`.
+func TestRunGolden(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"baseline", []string{"-preset", "3D-Torus", "-bw", "100,100,100", "-op", "allreduce", "-bytes", "1e9", "-chunks", "8"}},
+		{"themis", []string{"-preset", "3D-Torus", "-bw", "260,10,30", "-op", "allreduce", "-bytes", "1e9", "-chunks", "8", "-scheduler", "themis"}},
+		{"alltoall", []string{"-topology", "RI(2)_FC(4)", "-op", "alltoall", "-bytes", "1e8", "-chunks", "4"}},
+		{"tacos", []string{"-preset", "3D-Torus", "-bw", "100,100,100", "-op", "allgather", "-bytes", "1e9", "-chunks", "2", "-scheduler", "tacos"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(tc.args, &buf); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(buf.Bytes(), want) {
+				t.Fatalf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, buf.Bytes(), want)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{"-op", "broadcast"},
+		{"-scheduler", "sideways"},
+		{"-preset", "not-a-preset"},
+		{"-bw", "1,2"}, // wrong dimension count for 3D-Torus
+		{"-scheduler", "tacos", "-op", "alltoall"},
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v: expected an error", args)
+		}
+	}
+}
+
+// -h prints usage and succeeds (flag.ErrHelp is not a failure).
+func TestRunHelp(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-h"}, &buf); err != nil {
+		t.Fatalf("-h: %v", err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("-topology")) {
+		t.Fatalf("usage not printed:\n%s", buf.Bytes())
+	}
+}

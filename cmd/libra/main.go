@@ -27,9 +27,21 @@
 //	libra -preset 4D-4K -workloads MSFT-1T -budget 1000 -codesign 8,16,32,64,128,256
 //	libra -preset 4D-4K -workloads MSFT-1T -budget 1000 -codesign auto -mem 80
 //	libra -preset 4D-4K -workloads MSFT-1T -codesign auto -frontier 250:1000:4
+//
+// The -validate mode runs the analytical-vs-simulator conformance matrix
+// (workloads × topologies × training loops plus raw collectives per
+// simulator path) and exits non-zero when any evaluated scenario — or the
+// aggregate mean — diverges beyond the tolerance. -baseline/-check
+// write/verify the committed golden divergence report:
+//
+//	libra -validate
+//	libra -validate -tolerance 0.05 -json
+//	libra -validate -baseline VALIDATION_baseline.json
+//	libra -validate -check VALIDATION_baseline.json
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
@@ -61,11 +73,12 @@ func main() {
 		front     = flag.String("frontier", "", "sweep the budget and print the Pareto frontier: min:max:steps or a comma-separated budget list")
 		codesign  = flag.String("codesign", "", "co-design the parallelization strategy with the network: a comma-separated TP list or 'auto' (all divisors of the NPU count)")
 		memGB     = flag.Float64("mem", 0, "per-NPU memory capacity in GB for -codesign feasibility filtering (0 = unlimited, the paper's §VI-E CXL relaxation)")
+		validate  = flag.Bool("validate", false, "run the analytical-vs-simulator conformance matrix instead of solving")
+		tolerance = flag.Float64("tolerance", 0, "per-scenario |relative error| gate for -validate (0 = the committed default)")
+		baseline  = flag.String("baseline", "", "with -validate: write the stable baseline report (VALIDATION_baseline.json form) to this file")
+		check     = flag.String("check", "", "with -validate: regenerate the baseline report and fail unless it is byte-identical to this committed file")
 	)
 	flag.Parse()
-
-	spec, err := buildSpec(*specPath, *topo, *preset, *workloads, *weights, *budget, *objective, *loop, *caps, *floors)
-	fatalIf(err)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -74,6 +87,14 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+
+	if *validate {
+		fatalIf(runValidate(ctx, *tolerance, *baseline, *check, *asJSON))
+		return
+	}
+
+	spec, err := buildSpec(*specPath, *topo, *preset, *workloads, *weights, *budget, *objective, *loop, *caps, *floors)
+	fatalIf(err)
 
 	if *codesign != "" {
 		// The -budget flag default (500) must not pin the study when the
@@ -316,6 +337,92 @@ func runCoDesign(ctx context.Context, base *libra.ProblemSpec, tps string, memGB
 	fmt.Printf("\n%d candidates, %d skipped (%d solves, %d cache hits, %.0f ms)\n",
 		len(rep.Candidates), len(rep.Skipped), rep.Solves, rep.CacheHits, rep.ElapsedMS)
 	return nil
+}
+
+// runValidate executes the default conformance matrix (the analytical
+// estimator cross-checked against the event-driven simulators) and gates
+// on the tolerance verdicts: a failing matrix exits non-zero so CI can
+// call this directly. -baseline writes the stable report form; -check
+// regenerates it and fails on any byte of drift from the committed file.
+func runValidate(ctx context.Context, tolerance float64, baselinePath, checkPath string, asJSON bool) error {
+	engine := libra.NewEngine(libra.EngineConfig{})
+	defer engine.Close()
+	spec := &libra.ValidateSpec{Tolerance: tolerance}
+	rep, err := libra.Validate(ctx, engine, spec)
+	if err != nil {
+		return err
+	}
+
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			return err
+		}
+	} else {
+		printValidation(rep)
+	}
+
+	if baselinePath != "" || checkPath != "" {
+		data, err := json.MarshalIndent(rep.Baseline(), "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if baselinePath != "" {
+			if err := os.WriteFile(baselinePath, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "libra: wrote %s\n", baselinePath)
+		}
+		if checkPath != "" {
+			want, err := os.ReadFile(checkPath)
+			if err != nil {
+				return err
+			}
+			if !bytes.Equal(data, want) {
+				return fmt.Errorf("validation drift: regenerated baseline differs from %s (re-run `make validate-baseline` after intentional model changes)", checkPath)
+			}
+			fmt.Fprintf(os.Stderr, "libra: baseline %s is up to date\n", checkPath)
+		}
+	}
+
+	if !rep.Pass {
+		return fmt.Errorf("conformance gate failed: mean |rel err| %.4f, max %.4f at %s (tolerance %.3f)",
+			rep.MeanAbsRelErr, rep.MaxAbsRelErr, rep.WorstID, rep.Tolerance)
+	}
+	return nil
+}
+
+// printValidation renders the conformance matrix as a text table.
+func printValidation(rep *libra.ValidationReport) {
+	fmt.Printf("analytical-vs-simulator conformance (tolerance %.3f)\n\n", rep.Tolerance)
+	fmt.Printf("%-52s %14s %14s %9s %9s %s\n", "scenario", "analytical (s)", "simulated (s)", "rel err", "dim err", "verdict")
+	for _, sc := range rep.Scenarios {
+		switch {
+		case sc.Skipped:
+			fmt.Printf("%-52s skipped: %s\n", sc.ID, sc.Reason)
+		case sc.Error != "":
+			fmt.Printf("%-52s error: %s\n", sc.ID, sc.Error)
+		default:
+			verdict := "ok"
+			if !sc.Within {
+				verdict = "DIVERGED"
+			}
+			fmt.Printf("%-52s %14.6f %14.6f %8.2f%% %8.2g %s\n",
+				sc.ID, sc.AnalyticalS, sc.SimulatedS, 100*sc.RelErr, sc.DimBusyMaxRelErr, verdict)
+		}
+	}
+	fmt.Printf("\n%d evaluated, %d skipped, %d failed; mean |rel err| %.2f%%, max %.2f%% (%s)\n",
+		rep.Evaluated, rep.Skipped, rep.Failed, 100*rep.MeanAbsRelErr, 100*rep.MaxAbsRelErr, rep.WorstID)
+	fmt.Printf("gate: %s (%d solves, %d cache hits, %.0f ms)\n", passLabel(rep.Pass), rep.Solves, rep.CacheHits, rep.ElapsedMS)
+}
+
+func passLabel(pass bool) string {
+	if pass {
+		return "PASS"
+	}
+	return "FAIL"
 }
 
 // skipLabel renders a skipped strategy; grid cells that never resolved a

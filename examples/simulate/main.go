@@ -3,25 +3,37 @@
 // dimension's timeline, showing how a starved dimension bottlenecks the
 // pipeline while a traffic-proportional allocation keeps every dimension
 // busy. Also contrasts the Themis runtime scheduler on the same inputs.
+//
+// Scenario construction goes through validate.CollectiveCase — the same
+// helper cmd/libra-sim and the conformance matrix use — so every consumer
+// prices the analytical bound and the simulators on identical inputs.
 package main
 
 import (
 	"fmt"
+	"io"
 	"log"
+	"os"
 	"strings"
 
 	"libra"
 	"libra/internal/collective"
 	"libra/internal/sim"
+	"libra/internal/validate"
 )
 
 func main() {
+	if err := run(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(w io.Writer) error {
 	net := libra.MustParseTopology("RI(4)_RI(4)_RI(4)")
-	mapping := collective.FullMapping(net)
 	const m = 1e9
 	const chunks = 4
 
-	tr := collective.Traffic(collective.AllReduce, m, mapping, 3)
+	tr := collective.Traffic(collective.AllReduce, m, collective.FullMapping(net), 3)
 	total := tr[0] + tr[1] + tr[2]
 	budget := 300.0
 	prop := libra.BWConfig{budget * tr[0] / total, budget * tr[1] / total, budget * tr[2] / total}
@@ -35,24 +47,26 @@ func main() {
 		{"(c) traffic-proportional", prop},
 	}
 	for _, c := range cases {
-		r, err := sim.SimulateCollective(collective.AllReduce, m, mapping, c.bw, chunks)
+		cc := validate.CollectiveCase{Net: net, Op: collective.AllReduce, Bytes: m, BW: c.bw, Chunks: chunks}
+		r, err := cc.Pipeline()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("%s   bw=%s   makespan=%.2fms   avg util=%.0f%%\n",
+		fmt.Fprintf(w, "%s   bw=%s   makespan=%.2fms   avg util=%.0f%%\n",
 			c.name, c.bw.String(), r.Makespan*1e3, 100*r.AvgUtilization())
-		drawTimeline(r)
+		drawTimeline(w, r)
 
-		th, err := libra.ThemisSchedule(libra.AllReduce, m, net, c.bw, chunks)
+		th, err := cc.Themis()
 		if err != nil {
-			log.Fatal(err)
+			return err
 		}
-		fmt.Printf("  with Themis scheduling: %.2fms (%.2fx)\n\n", th.Makespan*1e3, r.Makespan/th.Makespan)
+		fmt.Fprintf(w, "  with Themis scheduling: %.2fms (%.2fx)\n\n", th.Makespan*1e3, r.Makespan/th.Makespan)
 	}
+	return nil
 }
 
 // drawTimeline renders each dimension's busy intervals as an ASCII strip.
-func drawTimeline(r sim.PipelineResult) {
+func drawTimeline(w io.Writer, r sim.PipelineResult) {
 	const width = 72
 	for d := 0; d < len(r.DimBusy); d++ {
 		strip := []byte(strings.Repeat(".", width))
@@ -70,6 +84,6 @@ func drawTimeline(r sim.PipelineResult) {
 				strip[i] = mark
 			}
 		}
-		fmt.Printf("  dim %d |%s| %.0f%% busy\n", d+1, strip, 100*r.DimUtilization(d))
+		fmt.Fprintf(w, "  dim %d |%s| %.0f%% busy\n", d+1, strip, 100*r.DimUtilization(d))
 	}
 }

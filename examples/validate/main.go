@@ -1,0 +1,72 @@
+// Conformance validation (the paper's §V methodology): cross-check the
+// closed-form analytical time model against the event-driven simulators
+// over a scenario matrix, and read the divergence report.
+//
+// The walkthrough runs a narrowed matrix first (one topology, one
+// workload), then the full default matrix, and shows how the Engine's
+// cache answers overlapping scenarios for free — the property that makes
+// validation cheap enough to gate every push.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"libra"
+)
+
+func main() {
+	engine := libra.NewEngine(libra.EngineConfig{})
+	defer engine.Close()
+	ctx := context.Background()
+
+	// A narrowed matrix: the 64-NPU torus, DLRM, and two collectives.
+	small := &libra.ValidateSpec{
+		Topologies:  []string{"3D-Torus"},
+		Workloads:   []string{"DLRM"},
+		Collectives: []string{"allreduce", "alltoall"},
+	}
+	rep, err := libra.Validate(ctx, engine, small)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("narrowed matrix (tolerance %.0f%%):\n", 100*rep.Tolerance)
+	printScenarios(rep)
+
+	// The default matrix subsumes the narrowed one; its overlapping
+	// scenarios are served from the engine cache.
+	full, err := libra.Validate(ctx, engine, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndefault matrix: %d scenarios, %d evaluated, %d skipped\n",
+		len(full.Scenarios), full.Evaluated, full.Skipped)
+	fmt.Printf("mean |rel err| %.2f%%, max %.2f%% at %s\n",
+		100*full.MeanAbsRelErr, 100*full.MaxAbsRelErr, full.WorstID)
+	fmt.Printf("cache reuse from the narrowed run: %d of %d scenarios\n",
+		full.CacheHits, full.Evaluated)
+	fmt.Printf("gate: pass=%v\n", full.Pass)
+
+	// Skips are data, not silence: the report says exactly where the
+	// simulators cannot follow the analytical model.
+	fmt.Println("\nskip reasons:")
+	seen := map[string]bool{}
+	for _, sc := range full.Scenarios {
+		if sc.Skipped && !seen[sc.Reason] {
+			seen[sc.Reason] = true
+			fmt.Printf("  %s\n    e.g. %s\n", sc.Reason, sc.ID)
+		}
+	}
+}
+
+func printScenarios(rep *libra.ValidationReport) {
+	for _, sc := range rep.Scenarios {
+		if sc.Skipped {
+			fmt.Printf("  %-45s skipped: %s\n", sc.ID, sc.Reason)
+			continue
+		}
+		fmt.Printf("  %-45s analytical %.6fs  simulated %.6fs  rel err %+.2f%%  within=%v\n",
+			sc.ID, sc.AnalyticalS, sc.SimulatedS, 100*sc.RelErr, sc.Within)
+	}
+}

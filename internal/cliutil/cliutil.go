@@ -98,20 +98,10 @@ func ParseBW(s string, ndims int) (topology.BWConfig, error) {
 	return topology.BWConfig(vals), nil
 }
 
-// ParseCollectiveOp reads a collective name with its common short forms.
+// ParseCollectiveOp reads a collective name with its common short forms
+// (delegating to collective.ParseOp, which owns the vocabulary).
 func ParseCollectiveOp(s string) (collective.Op, error) {
-	switch strings.ToLower(s) {
-	case "allreduce", "ar":
-		return collective.AllReduce, nil
-	case "reducescatter", "rs":
-		return collective.ReduceScatter, nil
-	case "allgather", "ag":
-		return collective.AllGather, nil
-	case "alltoall", "a2a":
-		return collective.AllToAll, nil
-	default:
-		return 0, fmt.Errorf("unknown op %q", s)
-	}
+	return collective.ParseOp(s)
 }
 
 // LoadSpec reads and strictly decodes a ProblemSpec JSON file.

@@ -1,0 +1,72 @@
+package codesign
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSpec drives the co-design spec parser with arbitrary bytes:
+// parsing must never panic, accepted specs must survive a JSON
+// round-trip, and resolvable studies must fingerprint stably with an
+// idempotent canonical form.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"base": {"topology": "RI(4)_SW(8)", "budget_gbps": 300,
+		  "workloads": [{"transformer": {"name": "tiny", "num_layers": 4,
+		  "hidden": 512, "seq_len": 64, "tp": 4, "minibatch": 8}}]},
+		  "tps": [2, 4, 8]}`,
+		`{"base": {"topology": "4D-4K", "budget_gbps": 1000,
+		  "workloads": [{"preset": "MSFT-1T"}]},
+		  "tps": [64, 128], "memory_gb": 80}`,
+		`{"base": {"topology": "RI(2)_RI(2)_RI(2)", "budget_gbps": 100,
+		  "workloads": [{"transformer": {"num_layers": 4, "hidden": 16,
+		  "seq_len": 8, "tp": 2, "pp": 2, "dp": 2, "minibatch": 4, "microbatches": 2}}]},
+		  "pps": [1, 2], "global_batch": 8, "budgets": [50, 100], "skip_equal_bw": true}`,
+		`{"base": {"topology": "nope", "workloads": []}}`,
+		`{"tps": [0]}`,
+		`{"bogus": true}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		re, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("marshaled spec does not re-parse: %v\n%s", err, out)
+		}
+		canon, err := spec.MarshalCanonical()
+		if err != nil {
+			if _, err2 := re.MarshalCanonical(); err2 == nil {
+				t.Fatalf("round-trip made an unresolvable study resolvable:\n%s", out)
+			}
+			return
+		}
+		fp, err := spec.Fingerprint()
+		if err != nil {
+			t.Fatalf("resolvable study does not fingerprint: %v", err)
+		}
+		if refp, err := re.Fingerprint(); err != nil || refp != fp {
+			t.Fatalf("fingerprint not stable across Marshal→Parse: %q vs %q (%v)", fp, refp, err)
+		}
+		cspec, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not parse: %v\n%s", err, canon)
+		}
+		canon2, err := cspec.MarshalCanonical()
+		if err != nil {
+			t.Fatalf("canonical form does not re-canonicalize: %v\n%s", err, canon)
+		}
+		if string(canon) != string(canon2) {
+			t.Fatalf("canonicalization is not idempotent:\n%s\n%s", canon, canon2)
+		}
+	})
+}

@@ -21,6 +21,7 @@ package collective
 
 import (
 	"fmt"
+	"strings"
 
 	"libra/internal/topology"
 )
@@ -58,6 +59,44 @@ func (o Op) String() string {
 		return "Point-to-Point"
 	default:
 		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// Key returns the canonical lowercase spelling of the op used by CLI
+// flags, validation-scenario IDs, and spec JSON ("allreduce",
+// "reducescatter", "allgather", "alltoall", "pointtopoint").
+func (o Op) Key() string {
+	switch o {
+	case ReduceScatter:
+		return "reducescatter"
+	case AllGather:
+		return "allgather"
+	case AllReduce:
+		return "allreduce"
+	case AllToAll:
+		return "alltoall"
+	case PointToPoint:
+		return "pointtopoint"
+	default:
+		return fmt.Sprintf("op%d", int(o))
+	}
+}
+
+// ParseOp reads a collective name with its common short forms
+// ("allreduce"/"ar", "reducescatter"/"rs", "allgather"/"ag",
+// "alltoall"/"a2a"), case-insensitively.
+func ParseOp(s string) (Op, error) {
+	switch strings.ToLower(s) {
+	case "allreduce", "ar":
+		return AllReduce, nil
+	case "reducescatter", "rs":
+		return ReduceScatter, nil
+	case "allgather", "ag":
+		return AllGather, nil
+	case "alltoall", "a2a":
+		return AllToAll, nil
+	default:
+		return 0, fmt.Errorf("collective: unknown op %q", s)
 	}
 }
 

@@ -1,0 +1,193 @@
+package collective
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"libra/internal/topology"
+)
+
+// randMapping draws a random valid mapping on an ndims-dimensional
+// network: a random subset of dimensions (strictly increasing), each with
+// a random group size — including singleton groups, which must behave as
+// no-op stages.
+func randMapping(rng *rand.Rand, ndims int) Mapping {
+	var phases []Phase
+	for d := 0; d < ndims; d++ {
+		if rng.Float64() < 0.7 {
+			phases = append(phases, Phase{Dim: d, Group: 1 + rng.Intn(8)})
+		}
+	}
+	return Mapping{Phases: phases}
+}
+
+func randBW(rng *rand.Rand, ndims int) topology.BWConfig {
+	bw := make(topology.BWConfig, ndims)
+	for d := range bw {
+		bw[d] = 0.5 + 500*rng.Float64()
+	}
+	return bw
+}
+
+const propIters = 500
+
+// TestPropertyTrafficConservation: the multi-rail algorithm's defining
+// identity — an All-Reduce is exactly a Reduce-Scatter followed by an
+// All-Gather, dimension by dimension — must hold for every mapping.
+func TestPropertyTrafficConservation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < propIters; i++ {
+		ndims := 1 + rng.Intn(4)
+		mapping := randMapping(rng, ndims)
+		m := math.Exp(rng.Float64() * 20) // spans ~1 byte .. ~500 MB
+		rs := Traffic(ReduceScatter, m, mapping, ndims)
+		ag := Traffic(AllGather, m, mapping, ndims)
+		ar := Traffic(AllReduce, m, mapping, ndims)
+		for d := 0; d < ndims; d++ {
+			sum := rs[d] + ag[d]
+			if math.Abs(sum-ar[d]) > 1e-9*math.Max(sum, 1) {
+				t.Fatalf("case %d dim %d: RS %g + AG %g != AR %g (mapping %+v)",
+					i, d, rs[d], ag[d], ar[d], mapping.Phases)
+			}
+			// RS and AG are traffic-symmetric under the multi-rail model.
+			if rs[d] != ag[d] {
+				t.Fatalf("case %d dim %d: RS %g != AG %g", i, d, rs[d], ag[d])
+			}
+		}
+	}
+}
+
+// TestPropertyMonotoneInMessageSize: more bytes can never finish faster,
+// for any op, mapping, and bandwidth vector.
+func TestPropertyMonotoneInMessageSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ops := []Op{ReduceScatter, AllGather, AllReduce, AllToAll, PointToPoint}
+	for i := 0; i < propIters; i++ {
+		ndims := 1 + rng.Intn(4)
+		mapping := randMapping(rng, ndims)
+		bw := randBW(rng, ndims)
+		op := ops[rng.Intn(len(ops))]
+		m1 := math.Exp(rng.Float64() * 20)
+		m2 := m1 * (1 + rng.Float64()*10)
+		t1 := Time(op, m1, mapping, bw)
+		t2 := Time(op, m2, mapping, bw)
+		if t2 < t1 {
+			t.Fatalf("case %d: %v time shrank with size: %g bytes → %gs, %g bytes → %gs",
+				i, op, m1, t1, m2, t2)
+		}
+		// Traffic itself is linear in m.
+		tr1 := Traffic(op, m1, mapping, ndims)
+		tr2 := Traffic(op, m2, mapping, ndims)
+		for d := range tr1 {
+			if tr1[d] == 0 {
+				if tr2[d] != 0 {
+					t.Fatalf("case %d dim %d: zero traffic became nonzero", i, d)
+				}
+				continue
+			}
+			if r := tr2[d] / tr1[d]; math.Abs(r-m2/m1) > 1e-9*(m2/m1) {
+				t.Fatalf("case %d dim %d: traffic not linear in m (ratio %g, want %g)", i, d, r, m2/m1)
+			}
+		}
+	}
+}
+
+// TestPropertyTimeScaleInvariance: scaling every dimension's bandwidth by
+// k scales completion time by exactly 1/k — the homogeneity the optimizer
+// relies on when it reallocates a fixed budget.
+func TestPropertyTimeScaleInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ops := []Op{ReduceScatter, AllGather, AllReduce, AllToAll, PointToPoint}
+	for i := 0; i < propIters; i++ {
+		ndims := 1 + rng.Intn(4)
+		mapping := randMapping(rng, ndims)
+		bw := randBW(rng, ndims)
+		op := ops[rng.Intn(len(ops))]
+		m := math.Exp(rng.Float64() * 20)
+		k := math.Exp((rng.Float64() - 0.5) * 6) // ~1/20x .. ~20x
+		scaled := make(topology.BWConfig, ndims)
+		for d := range scaled {
+			scaled[d] = bw[d] * k
+		}
+		t1 := Time(op, m, mapping, bw)
+		t2 := Time(op, m, mapping, scaled)
+		if t1 == 0 {
+			if t2 != 0 {
+				t.Fatalf("case %d: zero time became nonzero under scaling", i)
+			}
+			continue
+		}
+		if math.Abs(t2*k-t1) > 1e-9*t1 {
+			t.Fatalf("case %d: %v time not scale-invariant: t(bw)=%g, k·t(k·bw)=%g (k=%g)",
+				i, op, t1, t2*k, k)
+		}
+	}
+}
+
+// TestPropertyNonNegativeFinite: traffic and time are non-negative and
+// finite for every randomized shape, including in-network offload
+// variants and the offload's defining inequality (offload never adds
+// traffic to an All-Reduce).
+func TestPropertyNonNegativeFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	ops := []Op{ReduceScatter, AllGather, AllReduce, AllToAll, PointToPoint}
+	for i := 0; i < propIters; i++ {
+		ndims := 1 + rng.Intn(4)
+		mapping := randMapping(rng, ndims)
+		bw := randBW(rng, ndims)
+		op := ops[rng.Intn(len(ops))]
+		m := math.Exp(rng.Float64() * 20)
+		offload := make([]bool, ndims)
+		for d := range offload {
+			offload[d] = rng.Intn(2) == 0
+		}
+		tr := Traffic(op, m, mapping, ndims)
+		inTr := InNetworkTraffic(op, m, mapping, ndims, offload)
+		for d := 0; d < ndims; d++ {
+			for name, v := range map[string]float64{"traffic": tr[d], "in-network traffic": inTr[d]} {
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("case %d dim %d: %s = %g (mapping %+v)", i, d, name, v, mapping.Phases)
+				}
+			}
+			if op == AllReduce && inTr[d] > tr[d]+1e-9*tr[d] {
+				t.Fatalf("case %d dim %d: in-network offload increased All-Reduce traffic (%g > %g)",
+					i, d, inTr[d], tr[d])
+			}
+		}
+		for name, v := range map[string]float64{
+			"time":            Time(op, m, mapping, bw),
+			"in-network time": TimeInNetwork(op, m, mapping, bw, offload),
+		} {
+			if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("case %d: %s = %g", i, name, v)
+			}
+		}
+	}
+}
+
+// TestPropertyStageTrafficSums: per-stage traffic (what the simulators
+// execute) must sum to the closed-form per-dimension totals (what the
+// optimizer prices) — the identity that makes sim-vs-analytical busy
+// times comparable at all.
+func TestPropertyStageTrafficSums(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ops := []Op{ReduceScatter, AllGather, AllReduce, AllToAll}
+	for i := 0; i < propIters; i++ {
+		ndims := 1 + rng.Intn(4)
+		mapping := randMapping(rng, ndims)
+		op := ops[rng.Intn(len(ops))]
+		m := math.Exp(rng.Float64() * 20)
+		sums := make([]float64, ndims)
+		for _, st := range Stages(op, mapping) {
+			sums[st.Dim] += StageTraffic(op, m, mapping, st)
+		}
+		tr := Traffic(op, m, mapping, ndims)
+		for d := 0; d < ndims; d++ {
+			if math.Abs(sums[d]-tr[d]) > 1e-9*math.Max(tr[d], 1e-300) {
+				t.Fatalf("case %d dim %d: stage sum %g != traffic %g (%v, mapping %+v)",
+					i, d, sums[d], tr[d], op, mapping.Phases)
+			}
+		}
+	}
+}

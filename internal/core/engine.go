@@ -62,14 +62,21 @@ type Engine struct {
 	stop    context.CancelFunc
 }
 
-// flight is one in-progress solve shared by every caller requesting the
-// same key. The solve is canceled once the last waiter walks away.
+// flight is one in-progress computation shared by every caller requesting
+// the same key. The work is canceled once the last waiter walks away.
 type flight struct {
 	done    chan struct{}
-	res     EngineResult
+	res     cacheEntry
 	err     error
 	waiters int
 	cancel  context.CancelFunc
+}
+
+// cacheEntry is what the LRU stores: an arbitrary immutable payload plus
+// the timing metadata the service layer reports.
+type cacheEntry struct {
+	value     any
+	elapsedMS float64
 }
 
 // NewEngine builds an Engine; Close releases it.
@@ -143,7 +150,7 @@ func (e *Engine) Optimize(ctx context.Context, spec *ProblemSpec) (EngineResult,
 	if err != nil {
 		return EngineResult{}, err
 	}
-	return e.do(ctx, "optimize|"+fp, fp, func(ctx context.Context) (Result, error) {
+	return e.doResult(ctx, "optimize|"+fp, fp, func(ctx context.Context) (Result, error) {
 		return p.OptimizeContext(ctx)
 	})
 }
@@ -164,29 +171,61 @@ func (e *Engine) Evaluate(ctx context.Context, spec *ProblemSpec, bw topology.BW
 		key.WriteByte('|')
 		key.WriteString(strconv.FormatFloat(v, 'g', 17, 64))
 	}
-	return e.do(ctx, key.String(), fp, func(ctx context.Context) (Result, error) {
+	return e.doResult(ctx, key.String(), fp, func(ctx context.Context) (Result, error) {
 		return p.EvaluateContext(ctx, bw)
 	})
 }
 
-// do runs one cached, single-flighted, worker-bounded operation.
-func (e *Engine) do(ctx context.Context, key, fp string, solve func(context.Context) (Result, error)) (EngineResult, error) {
+// Do runs an arbitrary keyed computation under the engine's machinery:
+// the bounded worker pool, single-flight deduplication of identical
+// concurrent keys, and the LRU result cache (sharing the hit/miss
+// accounting Stats reports). The returned value is the computation's
+// result — served from cache (cached == true) when the key was answered
+// before. Cached values are shared across callers, so compute must return
+// an immutable (or never-mutated) value. Subsystems with non-Result
+// payloads (internal/validate's conformance scenarios) run through here;
+// choose keys that fully determine the computation's inputs.
+func (e *Engine) Do(ctx context.Context, key string, compute func(context.Context) (any, error)) (value any, cached bool, err error) {
+	entry, cached, err := e.doShared(ctx, key, compute)
+	if err != nil {
+		return nil, false, err
+	}
+	return entry.value, cached, nil
+}
+
+// doResult adapts the generic machinery to the typed Result operations.
+func (e *Engine) doResult(ctx context.Context, key, fp string, solve func(context.Context) (Result, error)) (EngineResult, error) {
+	entry, cached, err := e.doShared(ctx, key, func(ctx context.Context) (any, error) {
+		return solve(ctx)
+	})
+	if err != nil {
+		return EngineResult{}, err
+	}
+	return EngineResult{
+		Result:      entry.value.(Result),
+		Fingerprint: fp,
+		Cached:      cached,
+		ElapsedMS:   entry.elapsedMS,
+	}, nil
+}
+
+// doShared runs one cached, single-flighted, worker-bounded computation.
+func (e *Engine) doShared(ctx context.Context, key string, compute func(context.Context) (any, error)) (cacheEntry, bool, error) {
 	if err := e.baseCtx.Err(); err != nil {
-		return EngineResult{}, fmt.Errorf("core: engine closed: %w", err)
+		return cacheEntry{}, false, fmt.Errorf("core: engine closed: %w", err)
 	}
 	e.mu.Lock()
 	if e.cache != nil {
 		if r, ok := e.cache.get(key); ok {
 			e.hits++
 			e.mu.Unlock()
-			r.Cached = true
-			return r, nil
+			return r, true, nil
 		}
 	}
 	if f, ok := e.inflight[key]; ok {
 		f.waiters++
 		e.mu.Unlock()
-		return e.wait(ctx, key, f)
+		return e.wait(ctx, f)
 	}
 	e.misses++
 	solveCtx, cancel := context.WithCancel(e.baseCtx)
@@ -196,15 +235,15 @@ func (e *Engine) do(ctx context.Context, key, fp string, solve func(context.Cont
 
 	go func() {
 		defer cancel()
-		var res EngineResult
+		var res cacheEntry
 		var err error
 		select {
 		case e.sem <- struct{}{}:
 			start := time.Now()
-			var r Result
-			r, err = solve(solveCtx)
+			var v any
+			v, err = compute(solveCtx)
 			<-e.sem
-			res = EngineResult{Result: r, Fingerprint: fp, ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond)}
+			res = cacheEntry{value: v, elapsedMS: float64(time.Since(start)) / float64(time.Millisecond)}
 		case <-solveCtx.Done():
 			err = solveCtx.Err()
 		}
@@ -217,15 +256,17 @@ func (e *Engine) do(ctx context.Context, key, fp string, solve func(context.Cont
 		f.res, f.err = res, err
 		close(f.done)
 	}()
-	return e.wait(ctx, key, f)
+	return e.wait(ctx, f)
 }
 
 // wait blocks on a shared flight under the caller's context; the last
-// waiter to abandon a flight cancels its solve.
-func (e *Engine) wait(ctx context.Context, key string, f *flight) (EngineResult, error) {
+// waiter to abandon a flight cancels its computation. Joined flights
+// report cached == false: the answer was computed for this request wave,
+// not served from the LRU.
+func (e *Engine) wait(ctx context.Context, f *flight) (cacheEntry, bool, error) {
 	select {
 	case <-f.done:
-		return f.res, f.err
+		return f.res, false, f.err
 	case <-ctx.Done():
 		e.mu.Lock()
 		f.waiters--
@@ -234,7 +275,7 @@ func (e *Engine) wait(ctx context.Context, key string, f *flight) (EngineResult,
 		if abandon {
 			f.cancel()
 		}
-		return EngineResult{}, ctx.Err()
+		return cacheEntry{}, false, ctx.Err()
 	}
 }
 
@@ -329,10 +370,10 @@ func (e *Engine) Sweep(ctx context.Context, base *ProblemSpec, req SweepRequest)
 
 type lruEntry struct {
 	key string
-	res EngineResult
+	res cacheEntry
 }
 
-// lruCache is a minimal LRU of EngineResults; callers synchronize.
+// lruCache is a minimal LRU of cache entries; callers synchronize.
 type lruCache struct {
 	cap   int
 	order *list.List // front = most recent
@@ -345,16 +386,16 @@ func newLRUCache(capacity int) *lruCache {
 
 func (c *lruCache) len() int { return c.order.Len() }
 
-func (c *lruCache) get(key string) (EngineResult, bool) {
+func (c *lruCache) get(key string) (cacheEntry, bool) {
 	el, ok := c.items[key]
 	if !ok {
-		return EngineResult{}, false
+		return cacheEntry{}, false
 	}
 	c.order.MoveToFront(el)
 	return el.Value.(*lruEntry).res, true
 }
 
-func (c *lruCache) add(key string, res EngineResult) {
+func (c *lruCache) add(key string, res cacheEntry) {
 	if el, ok := c.items[key]; ok {
 		el.Value.(*lruEntry).res = res
 		c.order.MoveToFront(el)

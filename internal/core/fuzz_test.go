@@ -1,0 +1,86 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSpec drives the spec parser and the canonicalization pipeline
+// with arbitrary bytes: parsing must never panic, any accepted spec must
+// survive a JSON round-trip, and any buildable spec must fingerprint
+// stably — Marshal → Parse → Fingerprint is a fixed point, and the
+// canonical form is idempotent.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"topology": "4D-4K", "workloads": [{"preset": "GPT-3"}], "budget_gbps": 500}`,
+		`{"topology": "RI(4)_FC(8)_RI(4)_SW(32)", "budget_gbps": 500,
+		  "workloads": [{"preset": "GPT-3"}, {"preset": "DLRM", "weight": 2}],
+		  "objective": "ppc", "loop": "overlap", "opt_policy": "ideal",
+		  "min_dim_bw": 0.5, "in_network": [false, false, false, true],
+		  "constraints": [{"kind": "dim-cap", "dim": 4, "value": 50},
+		                  {"kind": "ordered", "dim": 1, "dim2": 4}],
+		  "solver": {"starts": 2, "seed": 7, "strategy": "cd"}}`,
+		`{"topology": "RI(4)_SW(8)", "budget_gbps": 300,
+		  "workloads": [{"transformer": {"name": "tiny", "num_layers": 4, "hidden": 512,
+		  "seq_len": 64, "tp": 4, "minibatch": 8}}]}`,
+		`{"topology": "RI(2)_RI(2)", "budget_gbps": 10, "skip_budget": true,
+		  "workloads": [{"transformer": {"num_layers": 2, "hidden": 8, "seq_len": 4,
+		  "tp": 1, "pp": 2, "dp": 2, "minibatch": 4, "microbatches": 2}}],
+		  "constraints": [{"kind": "dollar-budget", "value": 1e6}],
+		  "compute": {"effective_tflops": 100, "memory_bw_gbps": 1000},
+		  "cost": {"tiers": {"Node": {"link_per_gbps": 10}}}}`,
+		`{"topology": "definitely-not", "workloads": []}`,
+		`{"unknown_field": 1}`,
+		`[]`,
+		`nul`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		re, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("marshaled spec does not re-parse: %v\n%s", err, out)
+		}
+		canon, err := spec.MarshalCanonical()
+		if err != nil {
+			// The spec does not describe a buildable problem; the
+			// round-tripped copy must agree.
+			if _, err2 := re.MarshalCanonical(); err2 == nil {
+				t.Fatalf("round-trip made an unbuildable spec buildable:\n%s", out)
+			}
+			return
+		}
+		fp, err := spec.Fingerprint()
+		if err != nil {
+			t.Fatalf("buildable spec does not fingerprint: %v", err)
+		}
+		refp, err := re.Fingerprint()
+		if err != nil || refp != fp {
+			t.Fatalf("fingerprint not stable across Marshal→Parse: %q vs %q (%v)", fp, refp, err)
+		}
+		cspec, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not parse: %v\n%s", err, canon)
+		}
+		canon2, err := cspec.MarshalCanonical()
+		if err != nil {
+			t.Fatalf("canonical form does not re-canonicalize: %v\n%s", err, canon)
+		}
+		if string(canon) != string(canon2) {
+			t.Fatalf("canonicalization is not idempotent:\n%s\n%s", canon, canon2)
+		}
+		if cfp, err := cspec.Fingerprint(); err != nil || cfp != fp {
+			t.Fatalf("canonical spec fingerprints differently: %q vs %q (%v)", fp, cfp, err)
+		}
+	})
+}

@@ -368,7 +368,7 @@ func ParseLoop(s string) (timemodel.Loop, error) {
 
 func loopKey(l timemodel.Loop) string {
 	if l == timemodel.TPDPOverlap {
-		return "tp-dp-overlap"
+		return l.Key()
 	}
 	return ""
 }

@@ -31,8 +31,10 @@ func projectDykstra(c *Constraints, x0 []float64, maxSweeps int, tol float64) []
 	x := clone(x0)
 	// Dykstra correction vectors, one per constraint.
 	p := make([][]float64, len(rows))
+	prevP := make([][]float64, len(rows))
 	for i := range p {
 		p[i] = make([]float64, len(x))
+		prevP[i] = make([]float64, len(x))
 	}
 	prev := clone(x)
 	for sweep := 0; sweep < maxSweeps; sweep++ {
@@ -46,10 +48,22 @@ func projectDykstra(c *Constraints, x0 []float64, maxSweeps int, tol float64) []
 				x[k] = proj[k]
 			}
 		}
-		if normDiff(x, prev) < tol*(1+norm2(x)) && c.Feasible(x, 1e-9) {
+		// Stop only when the whole sweep state — iterate AND corrections —
+		// has stopped moving. The iterate alone can sit still for a sweep
+		// while the corrections rebalance and then escape (a transient
+		// fixed point of x, not of the map), so watching x only can latch
+		// onto a feasible non-projection point.
+		drift := normDiff(x, prev)
+		for i := range p {
+			drift += normDiff(p[i], prevP[i])
+		}
+		if drift < tol*(1+norm2(x)) && c.Feasible(x, 1e-9) {
 			break
 		}
 		copy(prev, x)
+		for i := range p {
+			copy(prevP[i], p[i])
+		}
 	}
 	return x
 }

@@ -22,6 +22,15 @@ const (
 	TPDPOverlap
 )
 
+// Key returns the canonical spec/CLI spelling of the loop ("no-overlap",
+// "tp-dp-overlap") — the strings core.ParseLoop accepts.
+func (l Loop) Key() string {
+	if l == TPDPOverlap {
+		return "tp-dp-overlap"
+	}
+	return "no-overlap"
+}
+
 // String names the loop.
 func (l Loop) String() string {
 	switch l {

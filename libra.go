@@ -60,6 +60,7 @@ import (
 	"libra/internal/themis"
 	"libra/internal/timemodel"
 	"libra/internal/topology"
+	"libra/internal/validate"
 	"libra/internal/workload"
 )
 
@@ -476,6 +477,49 @@ func CoDesign(ctx context.Context, s CoDesignSolver, spec *CoDesignSpec) (*CoDes
 // ParseCoDesignSpec decodes a CoDesignSpec from JSON, rejecting unknown
 // fields.
 func ParseCoDesignSpec(data []byte) (*CoDesignSpec, error) { return codesign.ParseSpec(data) }
+
+// ---- Analytical-vs-simulator conformance validation ----
+
+// ValidateSpec describes one conformance run: the scenario-matrix axes
+// (workload presets × topology presets × training loops, plus raw
+// collective patterns per simulator path), simulation parameters, and the
+// divergence tolerance. The zero spec is the default matrix. Serializable
+// and canonically fingerprinted like ProblemSpec.
+type ValidateSpec = validate.Spec
+
+// ValidationReport is a computed conformance matrix: per-scenario and
+// aggregate divergence between the analytical time model and the
+// event-driven simulators, with tolerance verdicts and skip reasons.
+type ValidationReport = validate.Report
+
+// ValidationScenario is one evaluated (or skipped) matrix cell.
+type ValidationScenario = validate.Scenario
+
+// ValidationBaseline is the stable, diffable projection of a report —
+// the form VALIDATION_baseline.json commits and CI regenerates.
+type ValidationBaseline = validate.BaselineReport
+
+// ValidateRunner executes cached validation scenarios; *Engine satisfies
+// it through its generic Do API.
+type ValidateRunner = validate.Runner
+
+// DefaultValidationTolerance is the committed divergence gate of the
+// default matrix.
+const DefaultValidationTolerance = validate.DefaultTolerance
+
+// Validate cross-checks the analytical estimator against the event-driven
+// simulators over the spec's scenario matrix (nil = the default matrix),
+// executing scenarios concurrently through the runner — typically an
+// Engine, whose cache makes repeated validation nearly free. The paper's
+// §V ASTRA-sim comparison as a regression-gated call; cmd/libra-serve
+// exposes it as POST /v1/validate, cmd/libra as -validate.
+func Validate(ctx context.Context, r ValidateRunner, spec *ValidateSpec) (*ValidationReport, error) {
+	return validate.Compute(ctx, r, spec)
+}
+
+// ParseValidateSpec decodes a ValidateSpec from JSON, rejecting unknown
+// fields.
+func ParseValidateSpec(data []byte) (*ValidateSpec, error) { return validate.ParseSpec(data) }
 
 // ---- Collectives and simulation ----
 
