@@ -20,7 +20,7 @@ FUZZTIME   ?= 10s
 FUZZPKGS   ?= ./internal/core ./internal/codesign ./internal/validate
 
 .PHONY: build build-examples test race lint bench bench-baseline bench-check \
-	cover fuzz-smoke validate validate-baseline validate-check
+	cover fuzz-smoke validate validate-baseline validate-check smoke
 
 build:
 	$(GO) build ./...
@@ -73,6 +73,24 @@ fuzz-smoke:
 		echo "fuzzing $$pkg"; \
 		$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime $(FUZZTIME) $$pkg || exit 1; \
 	done
+
+# smoke boots libra-serve on an OS-assigned port and drives the async
+# job API end to end through the client SDK (examples/jobsclient):
+# health probe, sync /v2/tasks optimize, /v2/jobs frontier submission,
+# SSE progress stream, result decode. What CI's server-smoke step runs.
+SMOKEDIR := $(or $(RUNNER_TEMP),/tmp)
+smoke:
+	@set -e; \
+	$(GO) build -o $(SMOKEDIR)/libra-serve ./cmd/libra-serve; \
+	$(GO) build -o $(SMOKEDIR)/jobsclient ./examples/jobsclient; \
+	$(SMOKEDIR)/libra-serve -addr 127.0.0.1:0 -print-addr > $(SMOKEDIR)/libra-serve.addr 2> $(SMOKEDIR)/libra-serve.log & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null || true' EXIT; \
+	for i in $$(seq 1 100); do [ -s $(SMOKEDIR)/libra-serve.addr ] && break; sleep 0.1; done; \
+	addr=$$(head -n1 $(SMOKEDIR)/libra-serve.addr); \
+	if [ -z "$$addr" ]; then echo "libra-serve never came up:"; cat $(SMOKEDIR)/libra-serve.log; exit 1; fi; \
+	echo "smoke: libra-serve at $$addr"; \
+	$(SMOKEDIR)/jobsclient -addr "$$addr"
 
 # validate runs the analytical-vs-simulator conformance matrix and fails
 # when any scenario diverges beyond the committed tolerance.

@@ -3,39 +3,48 @@
 //
 //	libra-serve -addr :8080 -workers 8 -cache 1024
 //
-// Endpoints (request and response bodies are JSON):
+// The v2 surface speaks the unified task envelope
+// {"kind": "optimize|evaluate|sweep|frontier|codesign|validate",
+// "spec": <that kind's request payload>} — synchronously or as
+// observable, cancellable background jobs:
 //
-//	POST /v1/optimize  ProblemSpec                     → EngineResult
-//	POST /v1/evaluate  {"spec": ProblemSpec,
-//	                    "bw": [GB/s per dim]}          → EngineResult
-//	POST /v1/sweep     {"spec": ProblemSpec,
-//	                    "sweep": {"topologies": [...],
-//	                              "budgets": [...],
-//	                              "objectives": [...]}} → {"points": [SweepPoint]}
-//	POST /v1/frontier  {"spec": ProblemSpec,
-//	                    "frontier": {"budgets": [...] or
-//	                                 "budget_min"/"budget_max"/"budget_steps",
-//	                                 "cap_dim"/"caps_gbps"}} → FrontierResult
+//	POST   /v2/tasks              task envelope → the kind's result payload
+//	POST   /v2/jobs               task envelope → job (202 Accepted)
+//	GET    /v2/jobs               ?status=&offset=&limit= → {"jobs": [...], "total": n}
+//	GET    /v2/jobs/{id}          → job (result included when done)
+//	DELETE /v2/jobs/{id}          cancel → job (status "cancelled")
+//	GET    /v2/jobs/{id}/events   Server-Sent Events: status + progress stream
+//	GET    /v1/stats | /healthz   engine stats | liveness
+//
+// The legacy per-kind endpoints remain as thin shims over the same
+// dispatch — each accepts exactly the envelope's kind payload and returns
+// exactly the payload /v2/tasks returns for that kind:
+//
+//	POST /v1/optimize  ProblemSpec                      → EngineResult
+//	POST /v1/evaluate  {"spec": ..., "bw": [...]}       → EngineResult
+//	POST /v1/sweep     {"spec": ..., "sweep": {...}}    → {"points": [SweepPoint]}
+//	POST /v1/frontier  {"spec": ..., "frontier": {...}} → FrontierResult
 //	POST /v1/codesign  CoDesignSpec                     → CoDesignReport
-//	POST /v1/validate  ValidateSpec (or empty body
-//	                   for the default matrix)          → ValidationReport
-//	GET  /v1/stats                                      → EngineStats
-//	GET  /healthz                                       → ok
+//	POST /v1/validate  ValidateSpec (empty = defaults)  → ValidationReport
+//
+// Errors are JSON {"error": <message>, "code": <stable machine code>}
+// with codes bad_spec, cancelled, unavailable, not_found,
+// method_not_allowed, too_large, too_many_jobs, internal.
 //
 // Repeated identical requests are answered from the LRU result cache
 // (keyed by the spec's canonical fingerprint); identical concurrent
 // requests share one solve. Client disconnects cancel abandoned solves.
+// The HTTP layer itself lives in internal/server; this command is the
+// wiring.
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -44,21 +53,32 @@ import (
 
 	"libra"
 	"libra/internal/cliutil"
+	"libra/internal/jobs"
+	"libra/internal/server"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		workers = flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
-		cache   = flag.Int("cache", 512, "LRU result-cache entries (negative disables)")
-		maxBody = flag.Int64("max-body", 1<<20, "maximum request body bytes")
+		addr     = flag.String("addr", ":8080", "listen address")
+		workers  = flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		cache    = flag.Int("cache", 512, "LRU result-cache entries (negative disables)")
+		maxBody  = flag.Int64("max-body", 1<<20, "maximum request body bytes")
+		jobCap   = flag.Int("jobs", 512, "maximum retained async jobs (running + terminal)")
+		jobTTL   = flag.Duration("job-ttl", 15*time.Minute, "terminal job retention")
+		printURL = flag.Bool("print-addr", false, "print the resolved listen URL to stdout once serving (useful with :0)")
 	)
 	flag.Parse()
 
 	engine := libra.NewEngine(libra.EngineConfig{Workers: *workers, CacheSize: *cache})
 	defer engine.Close()
+	manager := libra.NewJobManager(libra.JobConfig{Engine: engine, Capacity: *jobCap, TTL: *jobTTL})
+	defer manager.Close()
 
-	srv := &http.Server{Addr: *addr, Handler: newMux(engine, *maxBody)}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		cliutil.Fatal("libra-serve", err)
+	}
+	srv := &http.Server{Handler: newMux(engine, manager, *maxBody)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -68,237 +88,16 @@ func main() {
 		srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("libra-serve listening on %s (workers=%d, cache=%d)", *addr, *workers, *cache)
-	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+	log.Printf("libra-serve listening on %s (workers=%d, cache=%d, jobs=%d)", ln.Addr(), *workers, *cache, *jobCap)
+	if *printURL {
+		fmt.Printf("http://%s\n", ln.Addr())
+	}
+	if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		cliutil.Fatal("libra-serve", err)
 	}
 }
 
-type server struct {
-	engine  *libra.Engine
-	maxBody int64
-}
-
-// newMux wires the service routes onto a fresh mux — shared by main and
-// the end-to-end tests, so what httptest drives is exactly what ships.
-func newMux(engine *libra.Engine, maxBody int64) http.Handler {
-	s := &server{engine: engine, maxBody: maxBody}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/optimize", s.handleOptimize)
-	mux.HandleFunc("/v1/evaluate", s.handleEvaluate)
-	mux.HandleFunc("/v1/sweep", s.handleSweep)
-	mux.HandleFunc("/v1/frontier", s.handleFrontier)
-	mux.HandleFunc("/v1/codesign", s.handleCoDesign)
-	mux.HandleFunc("/v1/validate", s.handleValidate)
-	mux.HandleFunc("/v1/stats", s.handleStats)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
-	return mux
-}
-
-func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
-	if r.Method != http.MethodPost {
-		writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use POST"))
-		return nil, false
-	}
-	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return nil, false
-	}
-	return data, true
-}
-
-func (s *server) handleOptimize(w http.ResponseWriter, r *http.Request) {
-	data, ok := s.readBody(w, r)
-	if !ok {
-		return
-	}
-	spec, err := libra.ParseSpec(data)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	res, err := s.engine.Optimize(r.Context(), spec)
-	if err != nil {
-		writeError(w, solveStatus(r, err), err)
-		return
-	}
-	writeJSON(w, res)
-}
-
-func (s *server) handleEvaluate(w http.ResponseWriter, r *http.Request) {
-	data, ok := s.readBody(w, r)
-	if !ok {
-		return
-	}
-	var req struct {
-		Spec json.RawMessage `json:"spec"`
-		BW   libra.BWConfig  `json:"bw"`
-	}
-	if err := strictUnmarshal(data, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	spec, err := parseSpecField(req.Spec)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	res, err := s.engine.Evaluate(r.Context(), spec, req.BW)
-	if err != nil {
-		writeError(w, solveStatus(r, err), err)
-		return
-	}
-	writeJSON(w, res)
-}
-
-func (s *server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	data, ok := s.readBody(w, r)
-	if !ok {
-		return
-	}
-	var req struct {
-		Spec  json.RawMessage    `json:"spec"`
-		Sweep libra.SweepRequest `json:"sweep"`
-	}
-	if err := strictUnmarshal(data, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	spec, err := parseSpecField(req.Spec)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	points, err := s.engine.Sweep(r.Context(), spec, req.Sweep)
-	if err != nil {
-		writeError(w, solveStatus(r, err), err)
-		return
-	}
-	writeJSON(w, struct {
-		Points []libra.SweepPoint `json:"points"`
-	}{points})
-}
-
-func (s *server) handleFrontier(w http.ResponseWriter, r *http.Request) {
-	data, ok := s.readBody(w, r)
-	if !ok {
-		return
-	}
-	var req struct {
-		Spec     json.RawMessage       `json:"spec"`
-		Frontier libra.FrontierRequest `json:"frontier"`
-	}
-	if err := strictUnmarshal(data, &req); err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	spec, err := parseSpecField(req.Spec)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	res, err := libra.Frontier(r.Context(), s.engine, spec, req.Frontier)
-	if err != nil {
-		writeError(w, solveStatus(r, err), err)
-		return
-	}
-	writeJSON(w, res)
-}
-
-func (s *server) handleCoDesign(w http.ResponseWriter, r *http.Request) {
-	data, ok := s.readBody(w, r)
-	if !ok {
-		return
-	}
-	spec, err := libra.ParseCoDesignSpec(data)
-	if err != nil {
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	rep, err := libra.CoDesign(r.Context(), s.engine, spec)
-	if err != nil {
-		writeError(w, solveStatus(r, err), err)
-		return
-	}
-	writeJSON(w, rep)
-}
-
-func (s *server) handleValidate(w http.ResponseWriter, r *http.Request) {
-	data, ok := s.readBody(w, r)
-	if !ok {
-		return
-	}
-	spec := &libra.ValidateSpec{}
-	if len(bytes.TrimSpace(data)) > 0 {
-		var err error
-		if spec, err = libra.ParseValidateSpec(data); err != nil {
-			writeError(w, http.StatusBadRequest, err)
-			return
-		}
-	}
-	rep, err := libra.Validate(r.Context(), s.engine, spec)
-	if err != nil {
-		writeError(w, solveStatus(r, err), err)
-		return
-	}
-	writeJSON(w, rep)
-}
-
-func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.engine.Stats())
-}
-
-// strictUnmarshal decodes JSON rejecting unknown fields, so typos in
-// request envelopes fail loudly instead of being silently dropped.
-func strictUnmarshal(data []byte, v any) error {
-	dec := json.NewDecoder(bytes.NewReader(data))
-	dec.DisallowUnknownFields()
-	return dec.Decode(v)
-}
-
-// parseSpecField strictly decodes the embedded "spec" object with the
-// same unknown-field rejection the bare /v1/optimize body gets.
-func parseSpecField(raw json.RawMessage) (*libra.ProblemSpec, error) {
-	if len(raw) == 0 {
-		return nil, fmt.Errorf("missing spec")
-	}
-	return libra.ParseSpec(raw)
-}
-
-// solveStatus maps a solve error to an HTTP status: bad specs are the
-// caller's fault (400), cancellations follow the client disconnect (408)
-// or server shutdown (503), and anything else is a solver-side 500.
-func solveStatus(r *http.Request, err error) int {
-	switch {
-	case errors.Is(err, libra.ErrBadSpec):
-		return http.StatusBadRequest
-	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
-		if r.Context().Err() != nil {
-			return http.StatusRequestTimeout
-		}
-		return http.StatusServiceUnavailable
-	default:
-		return http.StatusInternalServerError
-	}
-}
-
-func writeJSON(w http.ResponseWriter, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("libra-serve: encode: %v", err)
-	}
-}
-
-func writeError(w http.ResponseWriter, status int, err error) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(struct {
-		Error string `json:"error"`
-	}{err.Error()})
+// newMux builds the full service handler (see internal/server).
+func newMux(engine *libra.Engine, manager *jobs.Manager, maxBody int64) http.Handler {
+	return server.NewMux(engine, manager, maxBody)
 }

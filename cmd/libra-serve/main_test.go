@@ -10,15 +10,25 @@ import (
 	"testing"
 
 	"libra"
+	"libra/internal/jobs"
 )
 
 func testServer(t *testing.T) *httptest.Server {
-	t.Helper()
-	engine := libra.NewEngine(libra.EngineConfig{Workers: 4, CacheSize: 64})
-	t.Cleanup(engine.Close)
-	srv := httptest.NewServer(newMux(engine, 1<<20))
-	t.Cleanup(srv.Close)
+	srv, _, _ := testServerParts(t)
 	return srv
+}
+
+// testServerParts exposes the engine and job manager behind the server
+// for tests that assert on their state directly.
+func testServerParts(t *testing.T) (*httptest.Server, *libra.Engine, *jobs.Manager) {
+	t.Helper()
+	engine := libra.NewEngine(libra.EngineConfig{Workers: 4, CacheSize: 256})
+	t.Cleanup(engine.Close)
+	manager := jobs.NewManager(jobs.Config{Engine: engine, Capacity: 64})
+	t.Cleanup(manager.Close)
+	srv := httptest.NewServer(newMux(engine, manager, 1<<20))
+	t.Cleanup(srv.Close)
+	return srv, engine, manager
 }
 
 const codesignBody = `{

@@ -10,6 +10,14 @@
 //	libra -spec examples/spec.json
 //	libra -spec examples/spec.json -json
 //
+// Every mode builds one task envelope (internal/task) and answers it
+// through the same task.Run dispatch the server uses — locally through an
+// in-process Engine by default, or remotely when -remote points at a
+// libra-serve /v2 endpoint (submitted as an async job, progress streamed
+// to stderr, Ctrl-C cancels the job server-side):
+//
+//	libra -remote http://localhost:8080 -preset 4D-4K -workloads MSFT-1T -frontier 250:1000:4
+//
 // The -frontier mode sweeps the bandwidth budget instead of solving one
 // point, printing the cost–performance Pareto frontier (explicit list or
 // min:max:steps grid):
@@ -53,6 +61,7 @@ import (
 	"time"
 
 	"libra"
+	"libra/client"
 	"libra/internal/cliutil"
 )
 
@@ -77,6 +86,7 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0, "per-scenario |relative error| gate for -validate (0 = the committed default)")
 		baseline  = flag.String("baseline", "", "with -validate: write the stable baseline report (VALIDATION_baseline.json form) to this file")
 		check     = flag.String("check", "", "with -validate: regenerate the baseline report and fail unless it is byte-identical to this committed file")
+		remote    = flag.String("remote", "", "answer through a libra-serve /v2 endpoint (URL) instead of solving in-process")
 	)
 	flag.Parse()
 
@@ -88,8 +98,11 @@ func main() {
 		defer cancel()
 	}
 
+	run := newRunner(*remote, *asJSON)
+	defer run.close()
+
 	if *validate {
-		fatalIf(runValidate(ctx, *tolerance, *baseline, *check, *asJSON))
+		fatalIf(runValidate(ctx, run, *tolerance, *baseline, *check, *asJSON))
 		return
 	}
 
@@ -106,7 +119,7 @@ func main() {
 		if !budgetSet && *front != "" {
 			spec.BudgetGBps = 0
 		}
-		fatalIf(runCoDesign(ctx, spec, *codesign, *memGB, *front, *asJSON))
+		fatalIf(runCoDesign(ctx, run, spec, *codesign, *memGB, *front, *asJSON))
 		return
 	}
 
@@ -114,49 +127,103 @@ func main() {
 	// when the spec carries no budget), so like -codesign it must branch
 	// before the single-point Build validates BudgetGBps.
 	if *front != "" {
-		fatalIf(runFrontier(ctx, spec, *front, *asJSON))
+		fatalIf(runFrontier(ctx, run, spec, *front, *asJSON))
 		return
 	}
 
-	p, err := spec.Build()
-	fatalIf(err)
+	fatalIf(runOptimize(ctx, run, spec, *asJSON))
+}
 
-	eq, err := p.EqualBW()
-	fatalIf(err)
-	start := time.Now()
-	r, err := p.OptimizeContext(ctx)
-	fatalIf(err)
-	elapsed := time.Since(start)
+// ---- The task runner: one dispatch, two transports ----
 
-	if *asJSON {
-		fp, err := spec.Fingerprint()
-		fatalIf(err)
-		out := struct {
-			Result      libra.Result `json:"result"`
-			EqualBW     libra.Result `json:"equal_bw"`
-			Fingerprint string       `json:"fingerprint"`
-			ElapsedMS   float64      `json:"elapsed_ms"`
-		}{r, eq, fp, float64(elapsed) / float64(time.Millisecond)}
-		enc := json.NewEncoder(os.Stdout)
-		enc.SetIndent("", "  ")
-		fatalIf(enc.Encode(out))
+// runner answers task envelopes: locally through an in-process Engine, or
+// remotely through the client SDK against a libra-serve /v2 endpoint.
+// Either way the result payloads are the types task.Run documents, so
+// every rendering path below is transport-agnostic.
+type runner interface {
+	run(ctx context.Context, t *libra.Task) (any, error)
+	close()
+}
+
+func newRunner(remoteURL string, quiet bool) runner {
+	if remoteURL != "" {
+		return &remoteRunner{c: client.New(remoteURL), quiet: quiet}
+	}
+	return &localRunner{engine: libra.NewEngine(libra.EngineConfig{})}
+}
+
+type localRunner struct{ engine *libra.Engine }
+
+func (r *localRunner) run(ctx context.Context, t *libra.Task) (any, error) {
+	return libra.RunTask(ctx, r.engine, t)
+}
+func (r *localRunner) close() { r.engine.Close() }
+
+type remoteRunner struct {
+	c *client.Client
+	// quiet suppresses the stderr progress stream (-json mode keeps
+	// stdout machine-readable; stderr chatter is still unwanted noise in
+	// pipelines).
+	quiet bool
+}
+
+func (r *remoteRunner) close() {}
+
+// run submits the task as an async job, streams its progress to stderr,
+// and decodes the result into the same payload type a local run returns.
+// An interrupted run cancels the job server-side so no orphaned solve
+// keeps burning the service's workers.
+func (r *remoteRunner) run(ctx context.Context, t *libra.Task) (any, error) {
+	job, err := r.c.Submit(ctx, t)
+	if err != nil {
+		return nil, err
+	}
+	final, err := r.c.Watch(ctx, job.ID, r.onEvent)
+	if err != nil {
+		if ctx.Err() != nil {
+			// Best-effort server-side cancel, detached from the dead ctx.
+			cancelCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			r.c.Cancel(cancelCtx, job.ID) //nolint:errcheck // the interrupt wins either way
+		}
+		return nil, err
+	}
+	switch final.Status {
+	case libra.JobDone:
+	case libra.JobCancelled:
+		return nil, fmt.Errorf("remote job %s was cancelled", job.ID)
+	default:
+		return nil, fmt.Errorf("remote job %s failed: %s", job.ID, final.Error)
+	}
+	res := final.TaskResult()
+	switch t.Kind {
+	case libra.TaskOptimize, libra.TaskEvaluate:
+		return res.Engine()
+	case libra.TaskSweep:
+		return res.Sweep()
+	case libra.TaskFrontier:
+		return res.Frontier()
+	case libra.TaskCoDesign:
+		return res.CoDesign()
+	case libra.TaskValidate:
+		return res.Validation()
+	}
+	return nil, fmt.Errorf("unknown task kind %q", t.Kind)
+}
+
+func (r *remoteRunner) onEvent(ev client.Event) {
+	if r.quiet {
 		return
 	}
-
-	var names []string
-	for _, t := range p.Targets {
-		names = append(names, t.Workload.Name)
-	}
-	fmt.Printf("network:    %s (%d NPUs, %dD)\n", p.Net.Name(), p.Net.NPUs(), p.Net.NumDims())
-	fmt.Printf("objective:  %s @ %.0f GB/s per NPU\n", p.Objective, p.BWBudget)
-	fmt.Printf("workloads:  %s\n\n", strings.Join(names, ", "))
-	fmt.Printf("%-16s %-34s %12s %14s\n", "config", "BW per dim (GB/s)", "cost ($M)", "iter time (s)")
-	fmt.Printf("%-16s %-34s %12.2f %14.6f\n", "EqualBW", eq.BW.String(), eq.Cost/1e6, eq.WeightedTime)
-	fmt.Printf("%-16s %-34s %12.2f %14.6f\n", "LIBRA", r.BW.String(), r.Cost/1e6, r.WeightedTime)
-	fmt.Printf("\nspeedup over EqualBW:        %.2fx\n", eq.WeightedTime/r.WeightedTime)
-	fmt.Printf("perf-per-cost over EqualBW:  %.2fx\n", r.PerfPerCost()/eq.PerfPerCost())
-	for i, t := range p.Targets {
-		fmt.Printf("  %-12s  %.6fs -> %.6fs (%.2fx)\n", t.Workload.Name, eq.Times[i], r.Times[i], eq.Times[i]/r.Times[i])
+	switch {
+	case ev.Type == "status":
+		fmt.Fprintf(os.Stderr, "libra: remote job %s\n", ev.Status)
+	case ev.Progress != nil:
+		fmt.Fprintf(os.Stderr, "libra: %s %d/%d (%d cached)\r",
+			ev.Progress.Stage, ev.Progress.Done, ev.Progress.Total, ev.Progress.CacheHits)
+		if ev.Progress.Done == ev.Progress.Total {
+			fmt.Fprintln(os.Stderr)
+		}
 	}
 }
 
@@ -211,19 +278,76 @@ func buildSpec(specPath, topo, preset, workloads, weights string, budget float64
 	return spec, nil
 }
 
-// runFrontier sweeps the budget axis and prints the Pareto frontier. An
-// in-process Engine backs the sweep, so duplicate budgets in the list are
-// answered once.
-func runFrontier(ctx context.Context, spec *libra.ProblemSpec, axis string, asJSON bool) error {
+// runOptimize solves the single design point through the task dispatch
+// and renders it against the locally-priced EqualBW baseline.
+func runOptimize(ctx context.Context, run runner, spec *libra.ProblemSpec, asJSON bool) error {
+	res, err := run.run(ctx, libra.NewOptimizeTask(spec))
+	if err != nil {
+		return err
+	}
+	er, ok := res.(libra.EngineResult)
+	if !ok {
+		return fmt.Errorf("optimize returned %T", res)
+	}
+
+	// The EqualBW reference is priced locally either way: it is a cheap
+	// closed-form evaluation, and the spec is always at hand.
+	p, err := spec.Build()
+	if err != nil {
+		return err
+	}
+	eq, err := p.EqualBW()
+	if err != nil {
+		return err
+	}
+
+	if asJSON {
+		out := struct {
+			Result      libra.Result `json:"result"`
+			EqualBW     libra.Result `json:"equal_bw"`
+			Fingerprint string       `json:"fingerprint"`
+			Cached      bool         `json:"cached,omitempty"`
+			ElapsedMS   float64      `json:"elapsed_ms"`
+		}{er.Result, eq, er.Fingerprint, er.Cached, er.ElapsedMS}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+
+	r := er.Result
+	var names []string
+	for _, t := range p.Targets {
+		names = append(names, t.Workload.Name)
+	}
+	fmt.Printf("network:    %s (%d NPUs, %dD)\n", p.Net.Name(), p.Net.NPUs(), p.Net.NumDims())
+	fmt.Printf("objective:  %s @ %.0f GB/s per NPU\n", p.Objective, p.BWBudget)
+	fmt.Printf("workloads:  %s\n\n", strings.Join(names, ", "))
+	fmt.Printf("%-16s %-34s %12s %14s\n", "config", "BW per dim (GB/s)", "cost ($M)", "iter time (s)")
+	fmt.Printf("%-16s %-34s %12.2f %14.6f\n", "EqualBW", eq.BW.String(), eq.Cost/1e6, eq.WeightedTime)
+	fmt.Printf("%-16s %-34s %12.2f %14.6f\n", "LIBRA", r.BW.String(), r.Cost/1e6, r.WeightedTime)
+	fmt.Printf("\nspeedup over EqualBW:        %.2fx\n", eq.WeightedTime/r.WeightedTime)
+	fmt.Printf("perf-per-cost over EqualBW:  %.2fx\n", r.PerfPerCost()/eq.PerfPerCost())
+	for i, t := range p.Targets {
+		fmt.Printf("  %-12s  %.6fs -> %.6fs (%.2fx)\n", t.Workload.Name, eq.Times[i], r.Times[i], eq.Times[i]/r.Times[i])
+	}
+	return nil
+}
+
+// runFrontier sweeps the budget axis and prints the Pareto frontier.
+// Locally an in-process Engine backs the sweep (duplicate budgets are
+// answered once); remotely the server's engine does.
+func runFrontier(ctx context.Context, run runner, spec *libra.ProblemSpec, axis string, asJSON bool) error {
 	req, err := parseFrontierAxis(axis)
 	if err != nil {
 		return err
 	}
-	engine := libra.NewEngine(libra.EngineConfig{})
-	defer engine.Close()
-	res, err := libra.Frontier(ctx, engine, spec, req)
+	got, err := run.run(ctx, libra.NewFrontierTask(spec, req))
 	if err != nil {
 		return err
+	}
+	res, ok := got.(*libra.FrontierResult)
+	if !ok {
+		return fmt.Errorf("frontier returned %T", got)
 	}
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -234,12 +358,12 @@ func runFrontier(ctx context.Context, spec *libra.ProblemSpec, axis string, asJS
 		"budget (GB/s)", "LIBRA BW per dim (GB/s)", "cost ($M)", "iter time (s)", "EqualBW (s)", "pareto")
 	eqTimes := map[float64]float64{}
 	for _, p := range res.EqualBW {
-		if p.Err == nil {
+		if p.Error == "" {
 			eqTimes[p.BudgetGBps] = p.Result.WeightedTime
 		}
 	}
 	for _, p := range res.Points {
-		if p.Err != nil {
+		if p.Error != "" {
 			fmt.Printf("%-14.0f error: %v\n", p.BudgetGBps, p.Error)
 			continue
 		}
@@ -262,7 +386,7 @@ func runFrontier(ctx context.Context, spec *libra.ProblemSpec, axis string, asJS
 // runCoDesign runs the joint parallelization × network study. tps is
 // "auto" or a comma-separated TP list; front optionally adds the budget
 // axis (reusing the -frontier syntax) for the co-design frontier.
-func runCoDesign(ctx context.Context, base *libra.ProblemSpec, tps string, memGB float64, front string, asJSON bool) error {
+func runCoDesign(ctx context.Context, run runner, base *libra.ProblemSpec, tps string, memGB float64, front string, asJSON bool) error {
 	cspec := &libra.CoDesignSpec{Base: *base, MemoryGB: memGB}
 	if tps != "auto" {
 		for _, s := range cliutil.SplitList(tps) {
@@ -282,11 +406,13 @@ func runCoDesign(ctx context.Context, base *libra.ProblemSpec, tps string, memGB
 			return err
 		}
 	}
-	engine := libra.NewEngine(libra.EngineConfig{})
-	defer engine.Close()
-	rep, err := libra.CoDesign(ctx, engine, cspec)
+	got, err := run.run(ctx, libra.NewCoDesignTask(cspec))
 	if err != nil {
 		return err
+	}
+	rep, ok := got.(*libra.CoDesignReport)
+	if !ok {
+		return fmt.Errorf("codesign returned %T", got)
 	}
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
@@ -299,7 +425,7 @@ func runCoDesign(ctx context.Context, base *libra.ProblemSpec, tps string, memGB
 		rep.Baseline.Strategy, rep.Baseline.EqualBW.WeightedTime)
 	fmt.Printf("%-16s %8s %14s %18s %-30s\n", "strategy", "mem(GB)", "EqualBW spdup", "co-design spdup", "co-designed BW")
 	for _, c := range rep.Candidates {
-		if c.Err != nil {
+		if c.Error != "" {
 			fmt.Printf("%-16s error: %v\n", c.Strategy, c.Error)
 			continue
 		}
@@ -322,7 +448,7 @@ func runCoDesign(ctx context.Context, base *libra.ProblemSpec, tps string, memGB
 		fmt.Printf("%-14s %-16s %-30s %12s %14s %7s\n",
 			"budget (GB/s)", "strategy", "BW per dim (GB/s)", "cost ($M)", "iter time (s)", "pareto")
 		for _, p := range rep.Frontier {
-			if p.Err != nil {
+			if p.Error != "" {
 				fmt.Printf("%-14.0f error: %v\n", p.BudgetGBps, p.Error)
 				continue
 			}
@@ -339,18 +465,19 @@ func runCoDesign(ctx context.Context, base *libra.ProblemSpec, tps string, memGB
 	return nil
 }
 
-// runValidate executes the default conformance matrix (the analytical
-// estimator cross-checked against the event-driven simulators) and gates
-// on the tolerance verdicts: a failing matrix exits non-zero so CI can
-// call this directly. -baseline writes the stable report form; -check
-// regenerates it and fails on any byte of drift from the committed file.
-func runValidate(ctx context.Context, tolerance float64, baselinePath, checkPath string, asJSON bool) error {
-	engine := libra.NewEngine(libra.EngineConfig{})
-	defer engine.Close()
-	spec := &libra.ValidateSpec{Tolerance: tolerance}
-	rep, err := libra.Validate(ctx, engine, spec)
+// runValidate executes the conformance matrix (the analytical estimator
+// cross-checked against the event-driven simulators) and gates on the
+// tolerance verdicts: a failing matrix exits non-zero so CI can call this
+// directly. -baseline writes the stable report form; -check regenerates
+// it and fails on any byte of drift from the committed file.
+func runValidate(ctx context.Context, run runner, tolerance float64, baselinePath, checkPath string, asJSON bool) error {
+	got, err := run.run(ctx, libra.NewValidateTask(&libra.ValidateSpec{Tolerance: tolerance}))
 	if err != nil {
 		return err
+	}
+	rep, ok := got.(*libra.ValidationReport)
+	if !ok {
+		return fmt.Errorf("validate returned %T", got)
 	}
 
 	if asJSON {

@@ -183,7 +183,10 @@ func Compute(ctx context.Context, s Solver, spec *Spec) (*Report, error) {
 	countHit(baseRes.Cached)
 
 	// Solve every candidate concurrently; the solver bounds parallelism
-	// and deduplicates identical specs.
+	// and deduplicates identical specs. The progress stage covers the
+	// baseline evaluation plus one tick per candidate.
+	tracker := core.NewProgressTracker(ctx, "codesign", 1+len(cands))
+	tracker.Tick(baseRes.Cached)
 	rep.Candidates = make([]Candidate, len(cands))
 	specs := make([]*core.ProblemSpec, len(cands))
 	eqCached := make([]bool, len(cands))
@@ -203,6 +206,7 @@ func Compute(ctx context.Context, s Solver, spec *Spec) (*Report, error) {
 			r, err := s.Optimize(ctx, cspec)
 			if err != nil {
 				out.Err, out.Error = err, err.Error()
+				tracker.Tick(false)
 				return
 			}
 			out.Optimized = r.Result
@@ -212,12 +216,14 @@ func Compute(ctx context.Context, s Solver, spec *Spec) (*Report, error) {
 				eq, err := s.Evaluate(ctx, cspec, eqBW)
 				if err != nil {
 					out.Err, out.Error = err, err.Error()
+					tracker.Tick(r.Cached)
 					return
 				}
 				res := eq.Result
 				out.EqualBW = &res
 				eqCached[i] = eq.Cached
 			}
+			tracker.Tick(r.Cached)
 		}(i, &rep.Candidates[i], specs[i])
 	}
 	wg.Wait()
@@ -286,7 +292,14 @@ func computeFrontier(ctx context.Context, s Solver, rep *Report, specs []*core.P
 	// at one budget need not be at another), so the frontier probes each
 	// (strategy, budget) cell itself and failures stay per-point. The
 	// study's cands×budgets bound caps the worst case.
+	//
+	// Each candidate's sweep would report its own interleaved "frontier"
+	// stage (non-monotonic as a merged stream), so the inner hooks are
+	// detached and the study re-reports one aggregate stage, ticking a
+	// candidate's whole budget axis as its sweep returns.
 	req := frontier.Request{Budgets: budgets, SkipEqualBW: true}
+	innerCtx := core.WithProgress(ctx, nil)
+	tracker := core.NewProgressTracker(ctx, "codesign-frontier", len(cands)*len(budgets))
 	results := make([]*frontier.Result, len(cands))
 	errs := make([]error, len(cands))
 	var wg sync.WaitGroup
@@ -294,7 +307,12 @@ func computeFrontier(ctx context.Context, s Solver, rep *Report, specs []*core.P
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = frontier.Compute(ctx, s, specs[i], req)
+			results[i], errs[i] = frontier.Compute(innerCtx, s, specs[i], req)
+			if fr := results[i]; fr != nil {
+				tracker.TickN(len(fr.Points), fr.CacheHits)
+			} else {
+				tracker.TickN(len(budgets), 0)
+			}
 		}(i)
 	}
 	wg.Wait()

@@ -289,8 +289,14 @@ type BatchResult struct {
 }
 
 // OptimizeAll solves every spec concurrently under the worker pool and
-// returns results in input order.
+// returns results in input order. A context progress hook (WithProgress)
+// observes points as they land under the "batch" stage.
 func (e *Engine) OptimizeAll(ctx context.Context, specs []*ProblemSpec) []BatchResult {
+	return e.optimizeAll(ctx, specs, NewProgressTracker(ctx, "batch", len(specs)))
+}
+
+// optimizeAll is OptimizeAll under a caller-labeled progress stage.
+func (e *Engine) optimizeAll(ctx context.Context, specs []*ProblemSpec, tracker *ProgressTracker) []BatchResult {
 	out := make([]BatchResult, len(specs))
 	var wg sync.WaitGroup
 	for i, s := range specs {
@@ -302,6 +308,7 @@ func (e *Engine) OptimizeAll(ctx context.Context, specs []*ProblemSpec) []BatchR
 			if err != nil {
 				out[i].Error = err.Error()
 			}
+			tracker.Tick(err == nil && r.Cached)
 		}(i, s)
 	}
 	wg.Wait()
@@ -328,7 +335,8 @@ type SweepPoint struct {
 
 // Sweep explodes the request axes against the base spec and optimizes
 // every cell concurrently — the paper's §VI design-space sweeps as one
-// call. Point failures are reported per cell.
+// call. Point failures are reported per cell. A context progress hook
+// (WithProgress) observes cells as they land under the "sweep" stage.
 func (e *Engine) Sweep(ctx context.Context, base *ProblemSpec, req SweepRequest) ([]SweepPoint, error) {
 	if base == nil {
 		return nil, fmt.Errorf("core: sweep needs a base spec")
@@ -359,7 +367,7 @@ func (e *Engine) Sweep(ctx context.Context, base *ProblemSpec, req SweepRequest)
 			}
 		}
 	}
-	results := e.OptimizeAll(ctx, specs)
+	results := e.optimizeAll(ctx, specs, NewProgressTracker(ctx, "sweep", len(specs)))
 	for i := range points {
 		points[i].BatchResult = results[i]
 	}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"context"
+	"sync"
+)
+
+// Progress is one observation of a batch fan-out: how many of a stage's
+// points have landed so far, out of how many total, and how many of the
+// landed points were answered from the Engine's fingerprint cache. Batch
+// subsystems (Engine.Sweep, frontier/codesign/validate Compute) emit a
+// Progress per completed point instead of going dark until return — the
+// observability substrate the async job API streams to clients.
+type Progress struct {
+	// Stage names the fan-out ("sweep", "frontier", "codesign",
+	// "codesign-frontier", "validate", "batch"). A computation may emit
+	// several stages; Done/Total/CacheHits are per stage.
+	Stage string `json:"stage"`
+	// Done counts landed points (including per-point failures — a failed
+	// point is still finished work); Total is the stage size, fixed at
+	// enumeration time.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// CacheHits counts landed points served from the result cache.
+	CacheHits int `json:"cache_hits"`
+}
+
+// ProgressFunc observes batch progress. Implementations must be safe for
+// concurrent use: independent stages report concurrently (each stage's
+// own observations are serialized and monotonically non-decreasing in
+// Done). Keep it fast — trackers hold a lock across the call to preserve
+// per-stage ordering.
+type ProgressFunc func(Progress)
+
+type progressCtxKey struct{}
+
+// WithProgress returns a context whose batch fan-outs report through fn.
+// Passing nil detaches any inherited hook — composing subsystems
+// (internal/codesign's per-candidate frontier sweeps) silence their inner
+// stages this way and re-report at their own granularity.
+func WithProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	return context.WithValue(ctx, progressCtxKey{}, fn)
+}
+
+// ProgressFromContext returns the context's progress hook, nil when none
+// (or a nil hook) is installed.
+func ProgressFromContext(ctx context.Context) ProgressFunc {
+	fn, _ := ctx.Value(progressCtxKey{}).(ProgressFunc)
+	return fn
+}
+
+// ProgressTracker serializes one stage's observations: Tick as points
+// land and every waiter sees Done grow monotonically. The zero-value
+// (and any tracker built from a hook-less context) is a no-op, so call
+// sites never branch.
+type ProgressTracker struct {
+	fn    ProgressFunc
+	stage string
+	total int
+
+	mu   sync.Mutex
+	done int
+	hits int
+}
+
+// NewProgressTracker builds the stage tracker from the context's hook and
+// immediately reports the 0/total observation (when a hook is present),
+// so watchers learn the stage size before the first point lands.
+func NewProgressTracker(ctx context.Context, stage string, total int) *ProgressTracker {
+	t := &ProgressTracker{fn: ProgressFromContext(ctx), stage: stage, total: total}
+	if t.fn != nil {
+		t.fn(Progress{Stage: stage, Total: total})
+	}
+	return t
+}
+
+// Tick records one landed point.
+func (t *ProgressTracker) Tick(cached bool) {
+	hits := 0
+	if cached {
+		hits = 1
+	}
+	t.TickN(1, hits)
+}
+
+// TickN records n landed points, hits of them cache-served. The hook runs
+// under the tracker lock: per-stage observations are totally ordered and
+// Done never regresses from a watcher's point of view.
+func (t *ProgressTracker) TickN(n, hits int) {
+	if t == nil || t.fn == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.done += n
+	t.hits += hits
+	t.fn(Progress{Stage: t.stage, Done: t.done, Total: t.total, CacheHits: t.hits})
+}

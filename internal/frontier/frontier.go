@@ -126,7 +126,9 @@ type Result struct {
 // Compute sweeps the request axes against the base spec and assembles the
 // cost–performance frontier. Points are issued concurrently through the
 // solver; per-point failures are reported in place, and the call only
-// fails for an invalid request/spec or a canceled context.
+// fails for an invalid request/spec or a canceled context. A context
+// progress hook (core.WithProgress) observes points as they land under
+// the "frontier" stage.
 func Compute(ctx context.Context, s Solver, base *core.ProblemSpec, req Request) (*Result, error) {
 	if s == nil {
 		return nil, fmt.Errorf("frontier: nil solver")
@@ -188,6 +190,7 @@ func Compute(ctx context.Context, s Solver, base *core.ProblemSpec, req Request)
 			res.Points = append(res.Points, Point{BudgetGBps: b, CapGBps: c})
 		}
 	}
+	tracker := core.NewProgressTracker(ctx, "frontier", len(res.Points))
 	var wg sync.WaitGroup
 	for i := range res.Points {
 		wg.Add(1)
@@ -201,11 +204,13 @@ func Compute(ctx context.Context, s Solver, base *core.ProblemSpec, req Request)
 			r, err := s.Optimize(ctx, spec)
 			if err != nil {
 				pt.Err, pt.Error = err, err.Error()
+				tracker.Tick(false)
 				return
 			}
 			pt.Result = r.Result
 			pt.Fingerprint = r.Fingerprint
 			pt.Cached = r.Cached
+			tracker.Tick(r.Cached)
 		}(&res.Points[i])
 	}
 	wg.Wait()

@@ -1,0 +1,408 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"libra/internal/core"
+	"libra/internal/frontier"
+	"libra/internal/task"
+)
+
+func tinySpec() *core.ProblemSpec {
+	return &core.ProblemSpec{
+		Topology:   "RI(4)_SW(8)",
+		BudgetGBps: 200,
+		Workloads:  []core.WorkloadSpec{{Preset: "DLRM"}},
+	}
+}
+
+func testManager(t *testing.T, cfg Config) (*Manager, *core.Engine) {
+	t.Helper()
+	engine := core.NewEngine(core.EngineConfig{Workers: 2, CacheSize: 128})
+	t.Cleanup(engine.Close)
+	cfg.Engine = engine
+	m := NewManager(cfg)
+	t.Cleanup(m.Close)
+	return m, engine
+}
+
+// A submitted optimize job runs to done with the full lifecycle visible
+// in its event log, and the result survives until TTL.
+func TestJobLifecycleDone(t *testing.T) {
+	m, _ := testManager(t, Config{})
+	snap, err := m.Submit(task.NewOptimize(tinySpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Status != StatusPending && snap.Status != StatusRunning {
+		t.Fatalf("submit snapshot status %q", snap.Status)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	final, err := m.Wait(ctx, snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusDone {
+		t.Fatalf("final status %q (error %q)", final.Status, final.Error)
+	}
+	if final.Result == nil {
+		t.Fatal("done job lost its result")
+	}
+	if _, ok := final.Result.(core.EngineResult); !ok {
+		t.Fatalf("result type %T", final.Result)
+	}
+	if final.Started == nil || final.Finished == nil {
+		t.Fatal("missing started/finished stamps")
+	}
+
+	evs, _, err := m.EventsSince(snap.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var statuses []Status
+	for i, ev := range evs {
+		if ev.Seq != i+1 {
+			t.Errorf("event %d has seq %d", i, ev.Seq)
+		}
+		if ev.Type == EventStatus {
+			statuses = append(statuses, ev.Status)
+		}
+	}
+	want := []Status{StatusPending, StatusRunning, StatusDone}
+	if len(statuses) != len(want) {
+		t.Fatalf("status transitions %v, want %v", statuses, want)
+	}
+	for i := range want {
+		if statuses[i] != want[i] {
+			t.Fatalf("status transitions %v, want %v", statuses, want)
+		}
+	}
+	if last := evs[len(evs)-1]; last.Type != EventStatus || !last.Status.Terminal() {
+		t.Errorf("last event %+v is not terminal", last)
+	}
+}
+
+// A bad spec fails at Submit, synchronously, as ErrBadSpec.
+func TestSubmitRejectsBadSpec(t *testing.T) {
+	m, _ := testManager(t, Config{})
+	bad := tinySpec()
+	bad.Topology = "nope"
+	if _, err := m.Submit(task.NewOptimize(bad)); !errors.Is(err, core.ErrBadSpec) {
+		t.Fatalf("bad spec submit: %v", err)
+	}
+	if _, err := m.Submit(nil); !errors.Is(err, core.ErrBadSpec) {
+		t.Fatalf("nil task submit: %v", err)
+	}
+}
+
+// A task whose execution errors after submission lands in a terminal
+// non-done state with the error recorded. Spec errors are caught at
+// Submit, so the simplest post-submission failure is a closed engine.
+func TestJobFailed(t *testing.T) {
+	engine := core.NewEngine(core.EngineConfig{Workers: 1, CacheSize: 8})
+	m := NewManager(Config{Engine: engine})
+	t.Cleanup(m.Close)
+	engine.Close() // every solve now errors
+	snap, err := m.Submit(task.NewOptimize(tinySpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	final, err := m.Wait(ctx, snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A closed engine surfaces context.Canceled, which the manager files
+	// as cancelled-by-runtime failure semantics: accept either terminal
+	// non-done state but require an error message.
+	if final.Status == StatusDone || final.Error == "" {
+		t.Fatalf("final %q error %q, want terminal failure", final.Status, final.Error)
+	}
+}
+
+// Cancelling a running job seals it to cancelled immediately and the
+// worker unwinds: Wait returns, and the engine reports nothing in
+// flight.
+func TestCancelRunningJob(t *testing.T) {
+	m, engine := testManager(t, Config{})
+	// A frontier with many points keeps the 1-2 worker engine busy long
+	// enough to cancel mid-solve deterministically.
+	tk := task.NewFrontier(tinySpec(), frontier.Request{BudgetMin: 100, BudgetMax: 400, BudgetSteps: 64, SkipEqualBW: true})
+	snap, err := m.Submit(tk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until it is actually running (first progress or running event).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j, err := m.Get(snap.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Status == StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", j.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got, err := m.Cancel(snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Status != StatusCancelled {
+		t.Fatalf("cancel snapshot status %q", got.Status)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	final, err := m.Wait(ctx, snap.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != StatusCancelled {
+		t.Fatalf("final status %q", final.Status)
+	}
+	// No leaked workers: once Wait returned, the engine drains to zero
+	// in-flight solves (the last waiter's departure cancels them).
+	drained := false
+	for i := 0; i < 1000; i++ {
+		if engine.Stats().InFlight == 0 {
+			drained = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !drained {
+		t.Fatalf("engine still reports %d in-flight solves after cancel", engine.Stats().InFlight)
+	}
+	// Cancel on a terminal job is a no-op.
+	again, err := m.Cancel(snap.ID)
+	if err != nil || again.Status != StatusCancelled {
+		t.Fatalf("re-cancel: %+v, %v", again, err)
+	}
+}
+
+// Progress events stream in order with monotonically non-decreasing
+// done counts, and the watcher channel wakes followers.
+func TestProgressEventsMonotonic(t *testing.T) {
+	m, _ := testManager(t, Config{})
+	budgets := frontier.Request{BudgetMin: 100, BudgetMax: 300, BudgetSteps: 8, SkipEqualBW: true}
+	snap, err := m.Submit(task.NewFrontier(tinySpec(), budgets))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Follow the log as a watcher would.
+	var events []Event
+	idx := 0
+	deadline := time.After(time.Minute)
+	for {
+		evs, ch, err := m.EventsSince(snap.ID, idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, evs...)
+		idx += len(evs)
+		if len(events) > 0 {
+			last := events[len(events)-1]
+			if last.Type == EventStatus && last.Status.Terminal() {
+				break
+			}
+		}
+		select {
+		case <-ch:
+		case <-deadline:
+			t.Fatalf("no terminal event after %d events", len(events))
+		}
+	}
+
+	lastDone := -1
+	progress := 0
+	for _, ev := range events {
+		if ev.Type != EventProgress {
+			continue
+		}
+		progress++
+		if ev.Progress == nil || ev.Progress.Stage != "frontier" {
+			continue
+		}
+		if ev.Progress.Done < lastDone {
+			t.Errorf("progress regressed: %d after %d", ev.Progress.Done, lastDone)
+		}
+		lastDone = ev.Progress.Done
+		if ev.Progress.Total != 8 {
+			t.Errorf("total %d, want 8", ev.Progress.Total)
+		}
+	}
+	if progress == 0 {
+		t.Error("no progress events recorded")
+	}
+	if lastDone != 8 {
+		t.Errorf("final done %d, want 8", lastDone)
+	}
+}
+
+// TTL eviction: terminal jobs disappear once their TTL elapses; live
+// jobs never do.
+func TestTTLEviction(t *testing.T) {
+	m, _ := testManager(t, Config{TTL: time.Minute})
+	clock := time.Now()
+	m.now = func() time.Time { return clock }
+
+	snap, err := m.Submit(task.NewOptimize(tinySpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if _, err := m.Wait(ctx, snap.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get(snap.ID); err != nil {
+		t.Fatalf("terminal job evicted before TTL: %v", err)
+	}
+	clock = clock.Add(2 * time.Minute)
+	if _, err := m.Get(snap.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("expired job still retrievable: %v", err)
+	}
+}
+
+// Capacity: at the bound, Submit evicts the oldest terminal job; with
+// only live jobs it fails with ErrFull.
+func TestCapacityEviction(t *testing.T) {
+	m, _ := testManager(t, Config{Capacity: 2})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	a, err := m.Submit(task.NewOptimize(tinySpec()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(ctx, a.ID); err != nil {
+		t.Fatal(err)
+	}
+	spec2 := tinySpec()
+	spec2.BudgetGBps = 300
+	b, err := m.Submit(task.NewOptimize(spec2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Wait(ctx, b.ID); err != nil {
+		t.Fatal(err)
+	}
+	// Third submission evicts a (the oldest terminal).
+	spec3 := tinySpec()
+	spec3.BudgetGBps = 400
+	c, err := m.Submit(task.NewOptimize(spec3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Get(a.ID); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("oldest terminal job not evicted: %v", err)
+	}
+	if _, err := m.Wait(ctx, c.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Fill the store with unfinishable jobs: further submissions fail.
+	m2, _ := testManager(t, Config{Capacity: 1})
+	slow := task.NewFrontier(tinySpec(), frontier.Request{BudgetMin: 100, BudgetMax: 400, BudgetSteps: 64, SkipEqualBW: true})
+	live, err := m2.Submit(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m2.Submit(task.NewOptimize(tinySpec())); !errors.Is(err, ErrFull) {
+		t.Fatalf("over-capacity submit: %v", err)
+	}
+	if _, err := m2.Cancel(live.ID); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// List pages newest-first with status filtering.
+func TestListPagination(t *testing.T) {
+	m, _ := testManager(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	var ids []string
+	for i := 0; i < 3; i++ {
+		spec := tinySpec()
+		spec.BudgetGBps = 100 + 50*float64(i)
+		snap, err := m.Submit(task.NewOptimize(spec))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, snap.ID)
+		if _, err := m.Wait(ctx, snap.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	all := m.List(ListRequest{})
+	if all.Total != 3 || len(all.Jobs) != 3 {
+		t.Fatalf("list total %d len %d", all.Total, len(all.Jobs))
+	}
+	if all.Jobs[0].ID != ids[2] || all.Jobs[2].ID != ids[0] {
+		t.Errorf("listing not newest-first: %s, %s, %s", all.Jobs[0].ID, all.Jobs[1].ID, all.Jobs[2].ID)
+	}
+	if all.Jobs[0].Result != nil {
+		t.Error("listing leaked a result payload")
+	}
+	page := m.List(ListRequest{Offset: 1, Limit: 1})
+	if page.Total != 3 || len(page.Jobs) != 1 || page.Jobs[0].ID != ids[1] {
+		t.Errorf("page: total %d, jobs %+v", page.Total, page.Jobs)
+	}
+	done := m.List(ListRequest{Status: StatusDone})
+	if done.Total != 3 {
+		t.Errorf("status filter total %d", done.Total)
+	}
+	none := m.List(ListRequest{Status: StatusFailed})
+	if none.Total != 0 || len(none.Jobs) != 0 {
+		t.Errorf("failed filter returned %d", none.Total)
+	}
+}
+
+// Concurrent submits, gets, lists, and cancels are race-clean; identical
+// tasks share engine solves via the fingerprint cache.
+func TestConcurrentAccess(t *testing.T) {
+	m, _ := testManager(t, Config{Capacity: 64})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	var wg sync.WaitGroup
+	ids := make([]string, 8)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			snap, err := m.Submit(task.NewOptimize(tinySpec()))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			ids[i] = snap.ID
+			m.List(ListRequest{})
+			if _, err := m.Wait(ctx, snap.ID); err != nil {
+				t.Error(err)
+			}
+			if _, err := m.Get(snap.ID); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		j, err := m.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Status != StatusDone {
+			t.Errorf("%s: status %q (%s)", id, j.Status, j.Error)
+		}
+	}
+}

@@ -1,0 +1,173 @@
+// Package server is libra-serve's HTTP layer: the /v2 task-envelope API
+// (sync tasks, async jobs with SSE progress) plus the legacy /v1 per-kind
+// endpoints, every one a thin shim over the same task.Run dispatch.
+// cmd/libra-serve wires it to a listener; tests (and embedders) mount
+// NewMux directly.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+
+	"libra/internal/core"
+	"libra/internal/jobs"
+	"libra/internal/task"
+)
+
+// Stable machine-readable error codes, shared by the v1 and v2 surfaces
+// through the single writeError path. Clients branch on these, never on
+// message text.
+const (
+	CodeBadSpec          = "bad_spec"
+	CodeCancelled        = "cancelled"
+	CodeUnavailable      = "unavailable"
+	CodeNotFound         = "not_found"
+	CodeMethodNotAllowed = "method_not_allowed"
+	CodeTooLarge         = "too_large"
+	CodeTooManyJobs      = "too_many_jobs"
+	CodeInternal         = "internal"
+)
+
+type server struct {
+	engine  *core.Engine
+	jobs    *jobs.Manager
+	maxBody int64
+}
+
+// NewMux wires the full service surface onto a fresh mux — what main
+// serves and what httptest drives are the same handler.
+func NewMux(engine *core.Engine, manager *jobs.Manager, maxBody int64) http.Handler {
+	s := &server{engine: engine, jobs: manager, maxBody: maxBody}
+	mux := http.NewServeMux()
+	// v1: one shim per kind over the same dispatch v2 uses.
+	mux.HandleFunc("/v1/optimize", s.v1(task.KindOptimize))
+	mux.HandleFunc("/v1/evaluate", s.v1(task.KindEvaluate))
+	mux.HandleFunc("/v1/sweep", s.v1(task.KindSweep))
+	mux.HandleFunc("/v1/frontier", s.v1(task.KindFrontier))
+	mux.HandleFunc("/v1/codesign", s.v1(task.KindCoDesign))
+	mux.HandleFunc("/v1/validate", s.v1(task.KindValidate))
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	// v2: the task envelope, sync and async.
+	mux.HandleFunc("/v2/tasks", s.handleTasks)
+	mux.HandleFunc("/v2/jobs", s.handleJobs)
+	mux.HandleFunc("/v2/jobs/", s.handleJob)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// v1 builds the legacy per-kind handler: the body is exactly the
+// envelope's kind payload, the answer exactly the payload /v2/tasks
+// returns for that kind.
+func (s *server) v1(kind task.Kind) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		data, ok := s.readBody(w, r)
+		if !ok {
+			return
+		}
+		t, err := task.FromKindPayload(kind, data)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, CodeBadSpec, err)
+			return
+		}
+		s.runTask(w, r, t)
+	}
+}
+
+// runTask answers one task synchronously — the shared tail of every v1
+// shim and of POST /v2/tasks.
+func (s *server) runTask(w http.ResponseWriter, r *http.Request, t *task.Task) {
+	res, err := task.Run(r.Context(), s.engine, t)
+	if err != nil {
+		status, code := solveStatus(r, err)
+		writeError(w, status, code, err)
+		return
+	}
+	writeJSON(w, res)
+}
+
+// readBody enforces POST, reads at most maxBody bytes, and maps an
+// oversized body to 413 Request Entity Too Large.
+func (s *server) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	if r.Method != http.MethodPost {
+		writeMethodNotAllowed(w, http.MethodPost)
+		return nil, false
+	}
+	return s.readLimitedBody(w, r)
+}
+
+// readLimitedBody is readBody minus the method check, for handlers that
+// route methods themselves; the 400/413 error mapping exists only here.
+func (s *server) readLimitedBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	data, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.maxBody))
+	if err != nil {
+		status, code := http.StatusBadRequest, CodeBadSpec
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status, code = http.StatusRequestEntityTooLarge, CodeTooLarge
+		}
+		writeError(w, status, code, err)
+		return nil, false
+	}
+	return data, true
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeMethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, s.engine.Stats())
+}
+
+// solveStatus maps a solve error to HTTP status and code: bad specs are
+// the caller's fault (400), cancellations follow the client disconnect
+// (408) or server shutdown (503), and anything else is a solver-side 500.
+func solveStatus(r *http.Request, err error) (int, string) {
+	switch {
+	case errors.Is(err, core.ErrBadSpec):
+		return http.StatusBadRequest, CodeBadSpec
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		if r.Context().Err() != nil {
+			return http.StatusRequestTimeout, CodeCancelled
+		}
+		return http.StatusServiceUnavailable, CodeUnavailable
+	default:
+		return http.StatusInternalServerError, CodeInternal
+	}
+}
+
+func writeJSON(w http.ResponseWriter, v any) { writeJSONStatus(w, http.StatusOK, v) }
+
+func writeJSONStatus(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("libra-serve: encode: %v", err)
+	}
+}
+
+func writeMethodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	writeError(w, http.StatusMethodNotAllowed, CodeMethodNotAllowed, fmt.Errorf("use %s", allow))
+}
+
+// writeError is the one error path of both API versions: a JSON envelope
+// with the human message and the stable machine code.
+func writeError(w http.ResponseWriter, status int, code string, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(struct {
+		Error string `json:"error"`
+		Code  string `json:"code"`
+	}{err.Error(), code})
+}

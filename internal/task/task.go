@@ -1,0 +1,446 @@
+// Package task defines LIBRA's polymorphic task envelope — the one
+// serializable currency every service surface (HTTP v1/v2, the async job
+// API, the CLI, the client SDK) speaks.
+//
+// A Task is `{"kind": ..., "spec": ...}` where kind selects one of the
+// six operations the Engine answers (optimize, evaluate, sweep, frontier,
+// codesign, validate) and spec is exactly that kind's request payload —
+// the same bodies the /v1 endpoints accept, so every existing spec JSON
+// embeds unchanged. Parse is strict (unknown fields rejected at every
+// level), MarshalCanonical reuses each kind's canonicalization so every
+// spelling of the same task maps to identical bytes, and Fingerprint
+// digests the canonical form — the cache/idempotency key of the task.
+//
+// Run is the single dispatch the whole service stack collapses onto: one
+// switch from envelope to Engine call, returning the identical payload
+// the corresponding /v1 endpoint serializes. Anything above it (sync
+// HTTP, async jobs, CLI, remote client) is transport.
+package task
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+
+	"libra/internal/codesign"
+	"libra/internal/core"
+	"libra/internal/frontier"
+	"libra/internal/topology"
+	"libra/internal/validate"
+)
+
+// Kind selects the operation a Task requests.
+type Kind string
+
+// The six task kinds — every request path in the system is one of these.
+const (
+	KindOptimize Kind = "optimize"
+	KindEvaluate Kind = "evaluate"
+	KindSweep    Kind = "sweep"
+	KindFrontier Kind = "frontier"
+	KindCoDesign Kind = "codesign"
+	KindValidate Kind = "validate"
+)
+
+// Kinds returns every valid kind in canonical order.
+func Kinds() []Kind {
+	return []Kind{KindOptimize, KindEvaluate, KindSweep, KindFrontier, KindCoDesign, KindValidate}
+}
+
+// Valid reports whether k names a known kind.
+func (k Kind) Valid() bool {
+	switch k {
+	case KindOptimize, KindEvaluate, KindSweep, KindFrontier, KindCoDesign, KindValidate:
+		return true
+	}
+	return false
+}
+
+// EvaluateSpec is the evaluate-kind payload: price one explicit
+// bandwidth allocation for a problem (the /v1/evaluate body).
+type EvaluateSpec struct {
+	Spec *core.ProblemSpec `json:"spec"`
+	BW   topology.BWConfig `json:"bw"`
+}
+
+// SweepSpec is the sweep-kind payload: a base problem crossed with
+// topology × budget × objective axes (the /v1/sweep body).
+type SweepSpec struct {
+	Spec  *core.ProblemSpec `json:"spec"`
+	Sweep core.SweepRequest `json:"sweep"`
+}
+
+// FrontierSpec is the frontier-kind payload: a base problem plus the
+// budget/cap sweep axes (the /v1/frontier body).
+type FrontierSpec struct {
+	Spec     *core.ProblemSpec `json:"spec"`
+	Frontier frontier.Request  `json:"frontier"`
+}
+
+// SweepResult wraps a sweep's points exactly as /v1/sweep serializes
+// them, so the envelope dispatch and the legacy endpoint answer
+// byte-identically.
+type SweepResult struct {
+	Points []core.SweepPoint `json:"points"`
+}
+
+// Task is the parsed envelope: Kind plus exactly the matching payload
+// field (the others are nil). Build one with the New* constructors or
+// Parse; the zero Task is invalid.
+type Task struct {
+	Kind Kind
+
+	Optimize *core.ProblemSpec
+	Evaluate *EvaluateSpec
+	Sweep    *SweepSpec
+	Frontier *FrontierSpec
+	CoDesign *codesign.Spec
+	Validate *validate.Spec
+}
+
+// NewOptimize wraps a ProblemSpec as an optimize task.
+func NewOptimize(spec *core.ProblemSpec) *Task { return &Task{Kind: KindOptimize, Optimize: spec} }
+
+// NewEvaluate wraps a ProblemSpec plus an explicit bandwidth allocation
+// as an evaluate task.
+func NewEvaluate(spec *core.ProblemSpec, bw topology.BWConfig) *Task {
+	return &Task{Kind: KindEvaluate, Evaluate: &EvaluateSpec{Spec: spec, BW: bw}}
+}
+
+// NewSweep wraps a base spec and sweep axes as a sweep task.
+func NewSweep(spec *core.ProblemSpec, req core.SweepRequest) *Task {
+	return &Task{Kind: KindSweep, Sweep: &SweepSpec{Spec: spec, Sweep: req}}
+}
+
+// NewFrontier wraps a base spec and frontier axes as a frontier task.
+func NewFrontier(spec *core.ProblemSpec, req frontier.Request) *Task {
+	return &Task{Kind: KindFrontier, Frontier: &FrontierSpec{Spec: spec, Frontier: req}}
+}
+
+// NewCoDesign wraps a co-design study spec as a codesign task.
+func NewCoDesign(spec *codesign.Spec) *Task { return &Task{Kind: KindCoDesign, CoDesign: spec} }
+
+// NewValidate wraps a conformance-matrix spec as a validate task; nil
+// selects the default matrix.
+func NewValidate(spec *validate.Spec) *Task {
+	if spec == nil {
+		spec = &validate.Spec{}
+	}
+	return &Task{Kind: KindValidate, Validate: spec}
+}
+
+// envelope is the wire form of a Task.
+type envelope struct {
+	Kind Kind            `json:"kind"`
+	Spec json.RawMessage `json:"spec,omitempty"`
+}
+
+// Parse strictly decodes a task envelope: unknown fields are rejected in
+// the envelope and in every kind payload, exactly as the /v1 endpoints
+// reject them. All parse failures are ErrBadSpec — the caller's fault.
+func Parse(data []byte) (*Task, error) {
+	var env envelope
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&env); err != nil {
+		return nil, fmt.Errorf("%w: task envelope: %w", core.ErrBadSpec, err)
+	}
+	if !env.Kind.Valid() {
+		return nil, fmt.Errorf("%w: unknown task kind %q (want one of %s)", core.ErrBadSpec, env.Kind, kindList())
+	}
+	return FromKindPayload(env.Kind, env.Spec)
+}
+
+func kindList() string {
+	ks := Kinds()
+	out := make([]string, len(ks))
+	for i, k := range ks {
+		out[i] = string(k)
+	}
+	return strings.Join(out, "|")
+}
+
+// FromKindPayload parses a bare kind payload — the exact /v1 request body
+// for that kind — into a Task, with the same strictness as Parse. An
+// empty payload is only legal for validate (the default matrix).
+func FromKindPayload(kind Kind, payload []byte) (*Task, error) {
+	if !kind.Valid() {
+		return nil, fmt.Errorf("%w: unknown task kind %q (want one of %s)", core.ErrBadSpec, kind, kindList())
+	}
+	empty := len(bytes.TrimSpace(payload)) == 0
+	if empty && kind != KindValidate {
+		return nil, fmt.Errorf("%w: %s task needs a spec", core.ErrBadSpec, kind)
+	}
+	switch kind {
+	case KindOptimize:
+		spec, err := core.ParseSpec(payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", core.ErrBadSpec, err)
+		}
+		return NewOptimize(spec), nil
+	case KindEvaluate:
+		var req struct {
+			Spec json.RawMessage   `json:"spec"`
+			BW   topology.BWConfig `json:"bw"`
+		}
+		if err := strictUnmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		spec, err := parseSpecField(req.Spec)
+		if err != nil {
+			return nil, err
+		}
+		return NewEvaluate(spec, req.BW), nil
+	case KindSweep:
+		var req struct {
+			Spec  json.RawMessage   `json:"spec"`
+			Sweep core.SweepRequest `json:"sweep"`
+		}
+		if err := strictUnmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		spec, err := parseSpecField(req.Spec)
+		if err != nil {
+			return nil, err
+		}
+		return NewSweep(spec, req.Sweep), nil
+	case KindFrontier:
+		var req struct {
+			Spec     json.RawMessage  `json:"spec"`
+			Frontier frontier.Request `json:"frontier"`
+		}
+		if err := strictUnmarshal(payload, &req); err != nil {
+			return nil, err
+		}
+		spec, err := parseSpecField(req.Spec)
+		if err != nil {
+			return nil, err
+		}
+		return NewFrontier(spec, req.Frontier), nil
+	case KindCoDesign:
+		spec, err := codesign.ParseSpec(payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", core.ErrBadSpec, err)
+		}
+		return NewCoDesign(spec), nil
+	case KindValidate:
+		if empty {
+			return NewValidate(nil), nil
+		}
+		spec, err := validate.ParseSpec(payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", core.ErrBadSpec, err)
+		}
+		return NewValidate(spec), nil
+	}
+	panic("unreachable")
+}
+
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %w", core.ErrBadSpec, err)
+	}
+	return nil
+}
+
+func parseSpecField(raw json.RawMessage) (*core.ProblemSpec, error) {
+	if len(raw) == 0 {
+		return nil, fmt.Errorf("%w: missing spec", core.ErrBadSpec)
+	}
+	spec, err := core.ParseSpec(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %w", core.ErrBadSpec, err)
+	}
+	return spec, nil
+}
+
+// payload returns the kind payload for marshaling. canonical selects each
+// kind's canonical form (reusing the spec types' own canonicalization);
+// otherwise payloads marshal verbatim.
+func (t *Task) payload(canonical bool) (json.RawMessage, error) {
+	marshalSpec := func(s *core.ProblemSpec) (json.RawMessage, error) {
+		if s == nil {
+			return nil, fmt.Errorf("%w: %s task needs a spec", core.ErrBadSpec, t.Kind)
+		}
+		if canonical {
+			return s.MarshalCanonical()
+		}
+		return json.Marshal(s)
+	}
+	switch t.Kind {
+	case KindOptimize:
+		return marshalSpec(t.Optimize)
+	case KindEvaluate:
+		if t.Evaluate == nil {
+			return nil, fmt.Errorf("%w: evaluate task needs a spec", core.ErrBadSpec)
+		}
+		spec, err := marshalSpec(t.Evaluate.Spec)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(struct {
+			Spec json.RawMessage   `json:"spec"`
+			BW   topology.BWConfig `json:"bw"`
+		}{spec, t.Evaluate.BW})
+	case KindSweep:
+		if t.Sweep == nil {
+			return nil, fmt.Errorf("%w: sweep task needs a spec", core.ErrBadSpec)
+		}
+		spec, err := marshalSpec(t.Sweep.Spec)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(struct {
+			Spec  json.RawMessage   `json:"spec"`
+			Sweep core.SweepRequest `json:"sweep"`
+		}{spec, t.Sweep.Sweep})
+	case KindFrontier:
+		if t.Frontier == nil {
+			return nil, fmt.Errorf("%w: frontier task needs a spec", core.ErrBadSpec)
+		}
+		spec, err := marshalSpec(t.Frontier.Spec)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(struct {
+			Spec     json.RawMessage  `json:"spec"`
+			Frontier frontier.Request `json:"frontier"`
+		}{spec, t.Frontier.Frontier})
+	case KindCoDesign:
+		if t.CoDesign == nil {
+			return nil, fmt.Errorf("%w: codesign task needs a spec", core.ErrBadSpec)
+		}
+		if canonical {
+			return t.CoDesign.MarshalCanonical()
+		}
+		return json.Marshal(t.CoDesign)
+	case KindValidate:
+		spec := t.Validate
+		if spec == nil {
+			spec = &validate.Spec{}
+		}
+		if canonical {
+			return spec.MarshalCanonical()
+		}
+		return json.Marshal(spec)
+	}
+	return nil, fmt.Errorf("%w: unknown task kind %q (want one of %s)", core.ErrBadSpec, t.Kind, kindList())
+}
+
+// MarshalJSON emits the envelope wire form with the payload verbatim.
+func (t *Task) MarshalJSON() ([]byte, error) {
+	payload, err := t.payload(false)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(envelope{Kind: t.Kind, Spec: payload})
+}
+
+// UnmarshalJSON parses the envelope wire form (see Parse).
+func (t *Task) UnmarshalJSON(data []byte) error {
+	parsed, err := Parse(data)
+	if err != nil {
+		return err
+	}
+	*t = *parsed
+	return nil
+}
+
+// MarshalCanonical returns the envelope's canonical bytes: the kind plus
+// the kind payload in its own canonical form (ProblemSpec, codesign.Spec,
+// and validate.Spec all re-derive through their Build/resolve paths), so
+// every spelling of the same task — "ppc" vs "perf-per-cost", implied vs
+// explicit defaults — maps to identical bytes.
+func (t *Task) MarshalCanonical() ([]byte, error) {
+	payload, err := t.payload(true)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(envelope{Kind: t.Kind, Spec: payload})
+}
+
+// Fingerprint digests the canonical envelope — a stable identity for
+// caching, idempotency, and job bookkeeping. Two tasks fingerprint
+// identically exactly when they request the same computation. It fails
+// (wrapping core.ErrBadSpec) for tasks whose spec cannot build, so
+// services can pre-validate a submission cheaply.
+func (t *Task) Fingerprint() (string, error) {
+	data, err := t.MarshalCanonical()
+	if err != nil {
+		if !errors.Is(err, core.ErrBadSpec) {
+			err = fmt.Errorf("%w: %w", core.ErrBadSpec, err)
+		}
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Run answers the task through the engine — the single dispatch every
+// service surface (HTTP v1 and v2, async jobs, the CLI, remote clients)
+// funnels through. The returned payload is exactly what the matching
+// /v1 endpoint serializes:
+//
+//	optimize → core.EngineResult
+//	evaluate → core.EngineResult
+//	sweep    → *SweepResult
+//	frontier → *frontier.Result
+//	codesign → *codesign.Report
+//	validate → *validate.Report
+//
+// Batch kinds report per-point progress through the context's
+// core.WithProgress hook as they land.
+func Run(ctx context.Context, engine *core.Engine, t *Task) (any, error) {
+	if engine == nil {
+		return nil, fmt.Errorf("task: nil engine")
+	}
+	if t == nil {
+		return nil, fmt.Errorf("%w: nil task", core.ErrBadSpec)
+	}
+	missing := func() error { return fmt.Errorf("%w: %s task needs a spec", core.ErrBadSpec, t.Kind) }
+	switch t.Kind {
+	case KindOptimize:
+		if t.Optimize == nil {
+			return nil, missing()
+		}
+		return engine.Optimize(ctx, t.Optimize)
+	case KindEvaluate:
+		if t.Evaluate == nil || t.Evaluate.Spec == nil {
+			return nil, missing()
+		}
+		return engine.Evaluate(ctx, t.Evaluate.Spec, t.Evaluate.BW)
+	case KindSweep:
+		if t.Sweep == nil || t.Sweep.Spec == nil {
+			return nil, missing()
+		}
+		points, err := engine.Sweep(ctx, t.Sweep.Spec, t.Sweep.Sweep)
+		if err != nil {
+			return nil, err
+		}
+		return &SweepResult{Points: points}, nil
+	case KindFrontier:
+		if t.Frontier == nil || t.Frontier.Spec == nil {
+			return nil, missing()
+		}
+		return frontier.Compute(ctx, engine, t.Frontier.Spec, t.Frontier.Frontier)
+	case KindCoDesign:
+		if t.CoDesign == nil {
+			return nil, missing()
+		}
+		return codesign.Compute(ctx, engine, t.CoDesign)
+	case KindValidate:
+		spec := t.Validate
+		if spec == nil {
+			spec = &validate.Spec{}
+		}
+		return validate.Compute(ctx, engine, spec)
+	}
+	return nil, fmt.Errorf("%w: unknown task kind %q (want one of %s)", core.ErrBadSpec, t.Kind, kindList())
+}

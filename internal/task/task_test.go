@@ -1,0 +1,277 @@
+package task
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"libra/internal/codesign"
+	"libra/internal/core"
+	"libra/internal/frontier"
+	"libra/internal/topology"
+	"libra/internal/validate"
+)
+
+func tinySpec() *core.ProblemSpec {
+	return &core.ProblemSpec{
+		Topology:   "RI(4)_SW(8)",
+		BudgetGBps: 200,
+		Workloads:  []core.WorkloadSpec{{Preset: "DLRM"}},
+	}
+}
+
+func testEngine(t *testing.T) *core.Engine {
+	t.Helper()
+	e := core.NewEngine(core.EngineConfig{Workers: 2, CacheSize: 64})
+	t.Cleanup(e.Close)
+	return e
+}
+
+// Every kind parses from its envelope form, round-trips through
+// MarshalJSON, and fingerprints stably.
+func TestParseRoundTripAllKinds(t *testing.T) {
+	bodies := map[Kind]string{
+		KindOptimize: `{"kind":"optimize","spec":{"topology":"RI(4)_SW(8)","budget_gbps":200,"workloads":[{"preset":"DLRM"}]}}`,
+		KindEvaluate: `{"kind":"evaluate","spec":{"spec":{"topology":"RI(4)_SW(8)","budget_gbps":200,"workloads":[{"preset":"DLRM"}]},"bw":[100,100]}}`,
+		KindSweep:    `{"kind":"sweep","spec":{"spec":{"topology":"RI(4)_SW(8)","budget_gbps":200,"workloads":[{"preset":"DLRM"}]},"sweep":{"budgets":[100,200]}}}`,
+		KindFrontier: `{"kind":"frontier","spec":{"spec":{"topology":"RI(4)_SW(8)","budget_gbps":200,"workloads":[{"preset":"DLRM"}]},"frontier":{"budgets":[100,200]}}}`,
+		KindCoDesign: `{"kind":"codesign","spec":{"base":{"topology":"RI(4)_SW(8)","budget_gbps":200,"workloads":[{"transformer":{"num_layers":2,"hidden":256,"seq_len":64,"tp":2,"minibatch":4}}]},"tps":[2,4]}}`,
+		KindValidate: `{"kind":"validate","spec":{"topologies":["3D-Torus"],"workloads":["DLRM"]}}`,
+	}
+	for kind, body := range bodies {
+		tk, err := Parse([]byte(body))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", kind, err)
+		}
+		if tk.Kind != kind {
+			t.Fatalf("%s: parsed kind %q", kind, tk.Kind)
+		}
+		fp1, err := tk.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: fingerprint: %v", kind, err)
+		}
+		wire, err := json.Marshal(tk)
+		if err != nil {
+			t.Fatalf("%s: marshal: %v", kind, err)
+		}
+		again, err := Parse(wire)
+		if err != nil {
+			t.Fatalf("%s: reparse %s: %v", kind, wire, err)
+		}
+		fp2, err := again.Fingerprint()
+		if err != nil {
+			t.Fatalf("%s: refingerprint: %v", kind, err)
+		}
+		if fp1 != fp2 {
+			t.Errorf("%s: fingerprint drifted across wire round-trip: %s != %s", kind, fp1, fp2)
+		}
+	}
+}
+
+// The canonical form absorbs spelling differences the same way the
+// underlying spec canonicalization does.
+func TestFingerprintCanonicalization(t *testing.T) {
+	a, err := Parse([]byte(`{"kind":"optimize","spec":{"topology":"RI(4)_SW(8)","budget_gbps":200,"objective":"ppc","workloads":[{"preset":"DLRM"}]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Parse([]byte(`{"kind":"optimize","spec":{"topology":"RI(4)_SW(8)","budget_gbps":200,"objective":"perf-per-cost","workloads":[{"preset":"DLRM","weight":1}]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fpA, errA := a.Fingerprint()
+	fpB, errB := b.Fingerprint()
+	if errA != nil || errB != nil {
+		t.Fatal(errA, errB)
+	}
+	if fpA != fpB {
+		t.Errorf("spellings of the same task fingerprint differently: %s vs %s", fpA, fpB)
+	}
+	// Different kinds over the same spec must not collide.
+	opt := NewOptimize(tinySpec())
+	fr := NewFrontier(tinySpec(), frontier.Request{Budgets: []float64{200}})
+	fpOpt, _ := opt.Fingerprint()
+	fpFr, _ := fr.Fingerprint()
+	if fpOpt == fpFr {
+		t.Error("optimize and frontier tasks over the same spec collided")
+	}
+}
+
+// Parse rejections: unknown kinds, unknown fields at the envelope and
+// payload levels, and missing specs are all ErrBadSpec.
+func TestParseRejections(t *testing.T) {
+	cases := []string{
+		`{"kind":"divinate","spec":{}}`,
+		`{"kind":"optimize"}`,
+		`{"kind":"optimize","spec":{"topology":"RI(4)_SW(8)","budget_gbps":1,"workloads":[{"preset":"DLRM"}],"bogus":1}}`,
+		`{"kind":"optimize","spec":{"topology":"RI(4)_SW(8)"},"extra":true}`,
+		`{"kind":"evaluate","spec":{"bw":[1,2]}}`,
+		`{"kind":"sweep","spec":{"spec":{"topology":"RI(4)_SW(8)","budget_gbps":1,"workloads":[{"preset":"DLRM"}]},"swoop":{}}}`,
+	}
+	for _, body := range cases {
+		if _, err := Parse([]byte(body)); err == nil {
+			t.Errorf("parse accepted %s", body)
+		} else if !errors.Is(err, core.ErrBadSpec) {
+			t.Errorf("parse of %s: error %v is not ErrBadSpec", body, err)
+		}
+	}
+	// An empty payload is only legal for validate.
+	if _, err := FromKindPayload(KindOptimize, nil); !errors.Is(err, core.ErrBadSpec) {
+		t.Errorf("empty optimize payload: %v", err)
+	}
+	tk, err := FromKindPayload(KindValidate, nil)
+	if err != nil || tk.Validate == nil {
+		t.Fatalf("empty validate payload: %+v, %v", tk, err)
+	}
+}
+
+// Run dispatches every kind to the engine and returns the exact payload
+// type the matching /v1 endpoint serializes.
+func TestRunDispatchAllKinds(t *testing.T) {
+	engine := testEngine(t)
+	ctx := context.Background()
+
+	res, err := Run(ctx, engine, NewOptimize(tinySpec()))
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	opt, ok := res.(core.EngineResult)
+	if !ok {
+		t.Fatalf("optimize returned %T", res)
+	}
+	if opt.Result.WeightedTime <= 0 {
+		t.Fatalf("optimize time %v", opt.Result.WeightedTime)
+	}
+
+	res, err = Run(ctx, engine, NewEvaluate(tinySpec(), topology.BWConfig{100, 100}))
+	if err != nil {
+		t.Fatalf("evaluate: %v", err)
+	}
+	if _, ok := res.(core.EngineResult); !ok {
+		t.Fatalf("evaluate returned %T", res)
+	}
+
+	res, err = Run(ctx, engine, NewSweep(tinySpec(), core.SweepRequest{Budgets: []float64{100, 200}}))
+	if err != nil {
+		t.Fatalf("sweep: %v", err)
+	}
+	sw, ok := res.(*SweepResult)
+	if !ok || len(sw.Points) != 2 {
+		t.Fatalf("sweep returned %T %+v", res, res)
+	}
+
+	res, err = Run(ctx, engine, NewFrontier(tinySpec(), frontier.Request{Budgets: []float64{100, 200}}))
+	if err != nil {
+		t.Fatalf("frontier: %v", err)
+	}
+	fr, ok := res.(*frontier.Result)
+	if !ok || len(fr.Points) != 2 {
+		t.Fatalf("frontier returned %T", res)
+	}
+
+	cspec, err := codesign.ParseSpec([]byte(`{"base":{"topology":"RI(4)_SW(8)","budget_gbps":200,
+		"workloads":[{"transformer":{"num_layers":2,"hidden":256,"seq_len":64,"tp":2,"minibatch":4}}]},"tps":[2,4]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Run(ctx, engine, NewCoDesign(cspec))
+	if err != nil {
+		t.Fatalf("codesign: %v", err)
+	}
+	cd, ok := res.(*codesign.Report)
+	if !ok || len(cd.Candidates) != 2 {
+		t.Fatalf("codesign returned %T", res)
+	}
+
+	res, err = Run(ctx, engine, NewValidate(&validate.Spec{Topologies: []string{"3D-Torus"}, Workloads: []string{"DLRM"}}))
+	if err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	va, ok := res.(*validate.Report)
+	if !ok || va.Evaluated == 0 {
+		t.Fatalf("validate returned %T", res)
+	}
+}
+
+// Run with a progress hook: a frontier task reports monotonically
+// non-decreasing done/total under the "frontier" stage, finishing at
+// done == total.
+func TestRunFrontierProgress(t *testing.T) {
+	engine := testEngine(t)
+	var events []core.Progress
+	ctx := core.WithProgress(context.Background(), func(p core.Progress) {
+		if p.Stage == "frontier" {
+			events = append(events, p)
+		}
+	})
+	budgets := []float64{100, 150, 200, 250}
+	if _, err := Run(ctx, engine, NewFrontier(tinySpec(), frontier.Request{Budgets: budgets})); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) < len(budgets)+1 {
+		t.Fatalf("got %d frontier progress events, want ≥ %d", len(events), len(budgets)+1)
+	}
+	for i, p := range events {
+		if p.Total != len(budgets) {
+			t.Errorf("event %d: total %d, want %d", i, p.Total, len(budgets))
+		}
+		if i > 0 && p.Done < events[i-1].Done {
+			t.Errorf("event %d: done regressed %d -> %d", i, events[i-1].Done, p.Done)
+		}
+		if p.CacheHits > p.Done {
+			t.Errorf("event %d: cache hits %d exceed done %d", i, p.CacheHits, p.Done)
+		}
+	}
+	if last := events[len(events)-1]; last.Done != last.Total {
+		t.Errorf("final event %d/%d, want complete", last.Done, last.Total)
+	}
+}
+
+// Run error paths: nil payloads and bad specs stay ErrBadSpec so service
+// layers map them to 400s.
+func TestRunErrors(t *testing.T) {
+	engine := testEngine(t)
+	ctx := context.Background()
+	for _, tk := range []*Task{
+		nil,
+		{Kind: KindOptimize},
+		{Kind: KindEvaluate},
+		{Kind: Kind("bogus")},
+	} {
+		if _, err := Run(ctx, engine, tk); !errors.Is(err, core.ErrBadSpec) {
+			t.Errorf("Run(%+v): error %v is not ErrBadSpec", tk, err)
+		}
+	}
+	bad := tinySpec()
+	bad.Topology = "not-a-topology"
+	if _, err := Run(ctx, engine, NewOptimize(bad)); !errors.Is(err, core.ErrBadSpec) {
+		t.Errorf("bad topology: %v", err)
+	}
+	if _, err := (&Task{Kind: KindOptimize, Optimize: bad}).Fingerprint(); !errors.Is(err, core.ErrBadSpec) {
+		t.Errorf("bad-spec fingerprint: %v", err)
+	}
+}
+
+// The envelope's evaluate/sweep/frontier payloads are the untouched v1
+// bodies: FromKindPayload over a v1 body and Parse over the wrapped
+// envelope build identical tasks.
+func TestEnvelopeMatchesV1Bodies(t *testing.T) {
+	v1 := `{"spec":{"topology":"RI(4)_SW(8)","budget_gbps":200,"workloads":[{"preset":"DLRM"}]},"frontier":{"budgets":[100,200]}}`
+	fromV1, err := FromKindPayload(KindFrontier, []byte(v1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromEnv, err := Parse([]byte(`{"kind":"frontier","spec":` + v1 + `}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromV1, fromEnv) {
+		t.Errorf("v1 payload and envelope parse diverged:\n%+v\n%+v", fromV1, fromEnv)
+	}
+	if !strings.Contains(kindList(), "codesign") {
+		t.Error("kind list lost codesign")
+	}
+}

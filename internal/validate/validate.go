@@ -29,6 +29,7 @@ import (
 
 	"libra/internal/collective"
 	"libra/internal/compute"
+	"libra/internal/core"
 	"libra/internal/sim"
 	"libra/internal/timemodel"
 	"libra/internal/topology"
@@ -367,6 +368,13 @@ func Compute(ctx context.Context, r Runner, spec *Spec) (*Report, error) {
 	start := time.Now()
 	jobs := res.enumerate()
 
+	runnable := 0
+	for i := range jobs {
+		if jobs[i].run != nil {
+			runnable++
+		}
+	}
+	tracker := core.NewProgressTracker(ctx, "validate", runnable)
 	var wg sync.WaitGroup
 	for i := range jobs {
 		if jobs[i].run == nil {
@@ -376,6 +384,7 @@ func Compute(ctx context.Context, r Runner, spec *Spec) (*Report, error) {
 		go func(j *job) {
 			defer wg.Done()
 			v, cached, err := r.Do(ctx, j.key, j.run)
+			tracker.Tick(err == nil && cached)
 			if err != nil {
 				j.scenario.Err, j.scenario.Error = err, err.Error()
 				return

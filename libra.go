@@ -54,9 +54,11 @@ import (
 	"libra/internal/cost"
 	"libra/internal/experiments"
 	"libra/internal/frontier"
+	"libra/internal/jobs"
 	"libra/internal/opt"
 	"libra/internal/sim"
 	"libra/internal/tacos"
+	"libra/internal/task"
 	"libra/internal/themis"
 	"libra/internal/timemodel"
 	"libra/internal/topology"
@@ -407,6 +409,107 @@ func NewEngine(cfg EngineConfig) *Engine { return core.NewEngine(cfg) }
 // ErrBadSpec marks client-side spec errors from Engine operations, so
 // service layers can split caller mistakes from solver failures.
 var ErrBadSpec = core.ErrBadSpec
+
+// ---- The task envelope and async jobs ----
+
+// Task is the polymorphic task envelope — the one serializable currency
+// every service surface speaks: {"kind": "optimize|evaluate|sweep|
+// frontier|codesign|validate", "spec": <that kind's request payload>}.
+// Build one with the NewXxxTask constructors or ParseTask; RunTask (or
+// cmd/libra-serve's /v2 API, or the client package) answers it.
+type Task = task.Task
+
+// TaskKind selects the operation a Task requests.
+type TaskKind = task.Kind
+
+// The six task kinds.
+const (
+	TaskOptimize = task.KindOptimize
+	TaskEvaluate = task.KindEvaluate
+	TaskSweep    = task.KindSweep
+	TaskFrontier = task.KindFrontier
+	TaskCoDesign = task.KindCoDesign
+	TaskValidate = task.KindValidate
+)
+
+// TaskKinds returns every valid kind in canonical order.
+func TaskKinds() []TaskKind { return task.Kinds() }
+
+// SweepTaskResult wraps a sweep task's points exactly as /v1/sweep and
+// /v2/tasks serialize them.
+type SweepTaskResult = task.SweepResult
+
+// Task constructors, one per kind.
+func NewOptimizeTask(spec *ProblemSpec) *Task                { return task.NewOptimize(spec) }
+func NewEvaluateTask(spec *ProblemSpec, bw BWConfig) *Task   { return task.NewEvaluate(spec, bw) }
+func NewSweepTask(spec *ProblemSpec, req SweepRequest) *Task { return task.NewSweep(spec, req) }
+func NewFrontierTask(spec *ProblemSpec, req FrontierRequest) *Task {
+	return task.NewFrontier(spec, req)
+}
+func NewCoDesignTask(spec *CoDesignSpec) *Task { return task.NewCoDesign(spec) }
+func NewValidateTask(spec *ValidateSpec) *Task { return task.NewValidate(spec) }
+
+// ParseTask strictly decodes a task envelope (unknown fields rejected at
+// every level), exactly as POST /v2/tasks does.
+func ParseTask(data []byte) (*Task, error) { return task.Parse(data) }
+
+// RunTask answers the task through the engine — the single dispatch the
+// HTTP endpoints, the async job manager, the CLI, and remote clients all
+// funnel through. See task.Run for the per-kind result payload types.
+func RunTask(ctx context.Context, e *Engine, t *Task) (any, error) { return task.Run(ctx, e, t) }
+
+// Progress is one observation of a batch fan-out (sweep, frontier,
+// codesign, validate): points completed out of total, cache hits as they
+// land.
+type Progress = core.Progress
+
+// ProgressFunc observes batch progress; it must be safe for concurrent
+// use.
+type ProgressFunc = core.ProgressFunc
+
+// WithProgress returns a context whose batch fan-outs report through fn —
+// the hook the async job subsystem streams over /v2/jobs/{id}/events.
+func WithProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	return core.WithProgress(ctx, fn)
+}
+
+// JobManager runs tasks asynchronously over an Engine: submit → id,
+// pending/running/done/failed/cancelled lifecycle, per-job cancel, TTL +
+// capacity eviction, paginated listing, and an ordered event log watchers
+// stream. cmd/libra-serve exposes it as the /v2/jobs API.
+type JobManager = jobs.Manager
+
+// JobConfig tunes a JobManager (engine, retained-job capacity, terminal
+// TTL).
+type JobConfig = jobs.Config
+
+// Job is a point-in-time job snapshot.
+type Job = jobs.Job
+
+// JobStatus is a job's lifecycle state.
+type JobStatus = jobs.Status
+
+// The job lifecycle states.
+const (
+	JobPending   = jobs.StatusPending
+	JobRunning   = jobs.StatusRunning
+	JobDone      = jobs.StatusDone
+	JobFailed    = jobs.StatusFailed
+	JobCancelled = jobs.StatusCancelled
+)
+
+// JobEvent is one entry of a job's ordered event log (status transitions
+// and progress observations) — what the SSE endpoint streams.
+type JobEvent = jobs.Event
+
+// Job listing types.
+type (
+	JobListRequest = jobs.ListRequest
+	JobListResult  = jobs.ListResult
+)
+
+// NewJobManager builds a JobManager; Close cancels every live job.
+func NewJobManager(cfg JobConfig) *JobManager { return jobs.NewManager(cfg) }
 
 // ---- Cost–performance frontiers ----
 
