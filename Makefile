@@ -17,7 +17,7 @@ SKIPGATE  ?= BenchmarkMinimizeParallel,BenchmarkEngineOptimizeParallel,Benchmark
 # a short budget on each push so the corpora stay exercised.
 COVERFLOOR ?= 70
 FUZZTIME   ?= 10s
-FUZZPKGS   ?= ./internal/core ./internal/codesign ./internal/validate
+FUZZPKGS   ?= ./internal/core ./internal/codesign ./internal/validate ./internal/cluster
 
 .PHONY: build build-examples test race lint bench bench-baseline bench-check \
 	cover fuzz-smoke validate validate-baseline validate-check smoke

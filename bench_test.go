@@ -271,6 +271,35 @@ func BenchmarkCoDesign(b *testing.B) {
 	}
 }
 
+// BenchmarkCluster runs a two-tenant §VI-D allocation study per
+// iteration: own-opt + group-opt + partition-grid solves, the per-tenant
+// cross-pricing of every shared design, and the fairness metrics. Like
+// BenchmarkCoDesign it pins every parallelism lever — one engine worker,
+// no cache, Starts:1 — so the measurement tracks the study pipeline, not
+// the host's core count, keeping it anchor-normalizable and gateable.
+func BenchmarkCluster(b *testing.B) {
+	spec := &libra.ClusterSpec{
+		Topology:       "4D-4K",
+		BudgetGBps:     1000,
+		Jobs:           []libra.ClusterJobSpec{{Preset: "GPT-3"}, {Preset: "MSFT-1T"}},
+		PartitionSteps: 4,
+		Solver:         &libra.SolverSpec{Starts: 1},
+	}
+	e := libra.NewEngine(libra.EngineConfig{Workers: 1, CacheSize: -1})
+	defer e.Close()
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := libra.Cluster(ctx, e, spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.GroupDesign() == nil || rep.Partition == nil || len(rep.Summary) != 3 {
+			b.Fatal("degenerate cluster report")
+		}
+	}
+}
+
 func BenchmarkPolyhedronProjection(b *testing.B) {
 	c := opt.NewConstraints(4).SumEquals(500).SetAllLower(0.1)
 	c.VarAtMost(3, 50).Ordered(0, 1)

@@ -155,6 +155,15 @@ func (r *TaskResult) Validation() (*libra.ValidationReport, error) {
 	return out, r.Decode(out)
 }
 
+// Cluster decodes a cluster report.
+func (r *TaskResult) Cluster() (*libra.ClusterReport, error) {
+	if err := r.kindErr(task.KindCluster); err != nil {
+		return nil, err
+	}
+	out := &libra.ClusterReport{}
+	return out, r.Decode(out)
+}
+
 // APIError is a non-2xx response: the HTTP status plus the server's
 // stable machine code and human message. Branch on Code, not Message.
 type APIError struct {

@@ -69,6 +69,29 @@ func TestClientDo(t *testing.T) {
 		t.Fatalf("frontier points %d", len(fr.Points))
 	}
 
+	cres, err := c.Do(ctx, libra.NewClusterTask(&libra.ClusterSpec{
+		Topology:   "RI(4)_SW(8)",
+		BudgetGBps: 200,
+		Jobs: []libra.ClusterJobSpec{
+			{Transformer: &libra.TransformerSpec{Name: "a", NumLayers: 4, Hidden: 512, SeqLen: 64, TP: 4, Minibatch: 8}},
+			{Transformer: &libra.TransformerSpec{Name: "b", NumLayers: 4, Hidden: 256, SeqLen: 64, TP: 4, Minibatch: 8}},
+		},
+		PartitionSteps: 4,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cres.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Jobs) != 2 || rep.GroupDesign() == nil || rep.Partition == nil {
+		t.Fatalf("cluster report: %d jobs, group %v, partition %v", len(rep.Jobs), rep.GroupDesign(), rep.Partition)
+	}
+	if _, err := cres.CoDesign(); err == nil {
+		t.Error("cluster result decoded as codesign")
+	}
+
 	stats, err := c.Stats(ctx)
 	if err != nil || stats.Misses == 0 {
 		t.Fatalf("stats %+v, %v", stats, err)

@@ -92,6 +92,85 @@ func TestCoDesignEndpoint(t *testing.T) {
 	}
 }
 
+const clusterBody = `{
+  "topology": "RI(4)_SW(8)",
+  "budget_gbps": 200,
+  "partition_steps": 4,
+  "jobs": [
+    {"transformer": {"name": "a", "num_layers": 4, "hidden": 512, "seq_len": 64, "tp": 4, "minibatch": 8}},
+    {"transformer": {"name": "b", "num_layers": 4, "hidden": 256, "seq_len": 64, "tp": 4, "minibatch": 8}}
+  ]
+}`
+
+// The /v1/cluster endpoint end to end: POST a multi-job study, get the
+// per-policy report; an empty body runs the default Fig. 17a LLM mix;
+// bad specs are 400.
+func TestClusterEndpoint(t *testing.T) {
+	srv := testServer(t)
+	post := func(payload string) libra.ClusterReport {
+		t.Helper()
+		resp, err := http.Post(srv.URL+"/v1/cluster", "application/json", strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+		var rep libra.ClusterReport
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := post(clusterBody)
+	if len(rep.Jobs) != 2 {
+		t.Fatalf("jobs %d", len(rep.Jobs))
+	}
+	g := rep.GroupDesign()
+	if g == nil || g.Error != "" {
+		t.Fatalf("group design %+v", g)
+	}
+	if rep.Partition == nil || rep.Partition.Error != "" {
+		t.Fatalf("partition %+v", rep.Partition)
+	}
+	var shares float64
+	for _, s := range rep.Partition.SharesGBps {
+		shares += s
+	}
+	if shares < 199.99 || shares > 200.01 {
+		t.Errorf("partition shares sum %v, want 200", shares)
+	}
+	if len(rep.Summary) != 3 {
+		t.Errorf("summary rows %d, want 3", len(rep.Summary))
+	}
+
+	// An empty body runs the default scenario: the Fig. 17a LLM mix.
+	def := post("")
+	want := []string{"Turing-NLG", "GPT-3", "MSFT-1T"}
+	if len(def.Jobs) != len(want) {
+		t.Fatalf("default jobs %d", len(def.Jobs))
+	}
+	for i, j := range def.Jobs {
+		if j.Name != want[i] {
+			t.Errorf("default job %d = %q, want %q", i, j.Name, want[i])
+		}
+	}
+	if def.Topology != "4D-4K" || def.BudgetGBps != 1000 {
+		t.Errorf("default scenario on %q @ %v", def.Topology, def.BudgetGBps)
+	}
+
+	// Bad specs are the caller's fault: 400.
+	resp, err := http.Post(srv.URL+"/v1/cluster", "application/json", strings.NewReader(`{"jobs":[{"preset":"nope"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown preset: status %d", resp.StatusCode)
+	}
+}
+
 // The /v1/validate endpoint end to end: POST a narrowed conformance
 // matrix, get verdicts; an empty body runs the default matrix; repeated
 // requests hit the engine cache.

@@ -29,6 +29,7 @@ var v1Bodies = []struct {
 	{"frontier", "/v1/frontier", `{"spec":` + tinyProblem + `,"frontier":{"budgets":[100,200]}}`},
 	{"codesign", "/v1/codesign", codesignBody},
 	{"validate", "/v1/validate", `{"topologies":["3D-Torus"],"workloads":["DLRM"],"collectives":["ar"]}`},
+	{"cluster", "/v1/cluster", clusterBody},
 }
 
 func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
@@ -294,6 +295,151 @@ func TestV2JobEventsSSE(t *testing.T) {
 		}
 	case <-time.After(10 * time.Second):
 		t.Error("out-of-range ?from= on a terminal job hung")
+	}
+}
+
+// An SSE-watched cluster job streams monotonically non-decreasing
+// progress for the "cluster" stage that ends complete, and — with a
+// budget axis — a relabeled "cluster-frontier" stage, never a bare
+// "frontier" one.
+func TestV2ClusterJobSSE(t *testing.T) {
+	srv := testServer(t)
+	spec := strings.TrimSuffix(strings.TrimSpace(clusterBody), "}") + `,"budgets":[100,200]}`
+	envelope := `{"kind":"cluster","spec":` + spec + `}`
+	resp, body := postJSON(t, srv.URL+"/v2/jobs", envelope)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &submitted); err != nil {
+		t.Fatal(err)
+	}
+
+	stream, err := http.Get(srv.URL + "/v2/jobs/" + submitted.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+
+	type stage struct{ lastDone, total, seen int }
+	stages := map[string]*stage{}
+	var finalStatus jobs.Status
+	scanner := bufio.NewScanner(stream.Body)
+	var ev jobs.Event
+	for scanner.Scan() {
+		line := scanner.Text()
+		switch {
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+				t.Fatal(err)
+			}
+		case line == "":
+			if ev.Type == jobs.EventStatus {
+				finalStatus = ev.Status
+			}
+			if ev.Type == jobs.EventProgress && ev.Progress != nil {
+				p := ev.Progress
+				s := stages[p.Stage]
+				if s == nil {
+					s = &stage{lastDone: -1}
+					stages[p.Stage] = s
+				}
+				if p.Done < s.lastDone {
+					t.Errorf("%s: progress regressed %d -> %d", p.Stage, s.lastDone, p.Done)
+				}
+				s.lastDone, s.total = p.Done, p.Total
+				s.seen++
+			}
+			ev = jobs.Event{}
+		}
+	}
+	if finalStatus != jobs.StatusDone {
+		t.Fatalf("job finished %q", finalStatus)
+	}
+	cl := stages["cluster"]
+	if cl == nil || cl.seen == 0 {
+		t.Fatalf("no cluster-stage progress (stages %v)", stages)
+	}
+	if cl.lastDone != cl.total || cl.total == 0 {
+		t.Errorf("cluster stage ended %d/%d", cl.lastDone, cl.total)
+	}
+	fr := stages["cluster-frontier"]
+	if fr == nil || fr.total != 2 || fr.lastDone != 2 {
+		t.Errorf("cluster-frontier stage %+v, want 2/2", fr)
+	}
+	if _, leaked := stages["frontier"]; leaked {
+		t.Error("inner frontier sweep leaked an unrelabeled \"frontier\" stage")
+	}
+}
+
+// Cancelling a running cluster job via DELETE returns status "cancelled"
+// and the engine drains to zero in-flight solves.
+func TestV2CancelClusterJob(t *testing.T) {
+	srv, engine, manager := testServerParts(t)
+	// Two heavy jobs times a deep multistart budget and a dense partition
+	// grid keeps the study running long enough to cancel mid-solve even
+	// when the watcher goroutine is starved on a single-CPU box. The
+	// perf-per-cost objective matters: the perf objective is convex and
+	// early-exits after one start, ignoring the multistart budget.
+	envelope := `{"kind":"cluster","spec":{"topology":"RI(4)_FC(8)_RI(4)_SW(32)","budget_gbps":500,
+		"objective":"perf-per-cost","solver":{"starts":256},"partition_steps":32,
+		"jobs":[{"transformer":{"name":"big1","num_layers":96,"hidden":8192,"seq_len":1024,"tp":8,"minibatch":8}},
+		        {"transformer":{"name":"big2","num_layers":96,"hidden":4096,"seq_len":1024,"tp":8,"minibatch":8}}]}}`
+	resp, body := postJSON(t, srv.URL+"/v2/jobs", envelope)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		j, err := manager.Get(submitted.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if j.Status == jobs.StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", j.Status)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v2/jobs/"+submitted.ID, nil)
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer delResp.Body.Close()
+	if delResp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status %d", delResp.StatusCode)
+	}
+	var cancelled struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(delResp.Body).Decode(&cancelled); err != nil {
+		t.Fatal(err)
+	}
+	if cancelled.Status != string(jobs.StatusCancelled) {
+		t.Fatalf("DELETE returned status %q, want cancelled", cancelled.Status)
+	}
+	drained := false
+	for i := 0; i < 2000; i++ {
+		if engine.Stats().InFlight == 0 {
+			drained = true
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !drained {
+		t.Fatalf("engine stats still show %d in-flight solves after cancel", engine.Stats().InFlight)
 	}
 }
 

@@ -36,6 +36,19 @@
 //	libra -preset 4D-4K -workloads MSFT-1T -budget 1000 -codesign auto -mem 80
 //	libra -preset 4D-4K -workloads MSFT-1T -codesign auto -frontier 250:1000:4
 //
+// The -cluster mode allocates one shared fabric across several
+// concurrent training jobs (the Fig. 17 group study generalized): the
+// flag lists the tenant jobs as Table II presets ("default" selects the
+// Fig. 17a LLM mix), -weights sets their priorities, -policies narrows
+// the allocation policies compared (group-opt, partition, per-job-opt),
+// and -frontier adds a budget axis swept into a cluster frontier. With
+// -spec the file is read as a cluster spec instead of a ProblemSpec:
+//
+//	libra -cluster default
+//	libra -cluster Turing-NLG,GPT-3,MSFT-1T -preset 4D-4K -budget 1000
+//	libra -cluster GPT-3,DLRM -weights 2,1 -policies group-opt,partition -partition-steps 16
+//	libra -cluster default -frontier 250:1000:4 -json
+//
 // The -validate mode runs the analytical-vs-simulator conformance matrix
 // (workloads × topologies × training loops plus raw collectives per
 // simulator path) and exits non-zero when any evaluated scenario — or the
@@ -82,6 +95,9 @@ func main() {
 		front     = flag.String("frontier", "", "sweep the budget and print the Pareto frontier: min:max:steps or a comma-separated budget list")
 		codesign  = flag.String("codesign", "", "co-design the parallelization strategy with the network: a comma-separated TP list or 'auto' (all divisors of the NPU count)")
 		memGB     = flag.Float64("mem", 0, "per-NPU memory capacity in GB for -codesign feasibility filtering (0 = unlimited, the paper's §VI-E CXL relaxation)")
+		clusterJ  = flag.String("cluster", "", "allocate the shared fabric across concurrent jobs: a comma-separated Table II preset list, or 'default' (the Fig. 17a LLM mix)")
+		policies  = flag.String("policies", "", "with -cluster: comma-separated allocation policies (group-opt, partition, per-job-opt); default all")
+		partSteps = flag.Int("partition-steps", 0, "with -cluster: budget-split granularity of the partition policy (default 8)")
 		validate  = flag.Bool("validate", false, "run the analytical-vs-simulator conformance matrix instead of solving")
 		tolerance = flag.Float64("tolerance", 0, "per-scenario |relative error| gate for -validate (0 = the committed default)")
 		baseline  = flag.String("baseline", "", "with -validate: write the stable baseline report (VALIDATION_baseline.json form) to this file")
@@ -103,6 +119,24 @@ func main() {
 
 	if *validate {
 		fatalIf(runValidate(ctx, run, *tolerance, *baseline, *check, *asJSON))
+		return
+	}
+
+	if *clusterJ != "" {
+		// Mirror -codesign's budget semantics: an unset -budget with a
+		// budget axis leaves the study ranking at the axis maximum.
+		budgetSet := *specPath != ""
+		flag.Visit(func(f *flag.Flag) { budgetSet = budgetSet || f.Name == "budget" })
+		b := *budget
+		if !budgetSet {
+			b = 0
+		}
+		fatalIf(runCluster(ctx, run, clusterArgs{
+			specPath: *specPath, topo: *topo, preset: *preset,
+			jobs: *clusterJ, weights: *weights, budget: b,
+			objective: *objective, loop: *loop,
+			policies: *policies, steps: *partSteps, front: *front,
+		}, *asJSON))
 		return
 	}
 
@@ -207,6 +241,8 @@ func (r *remoteRunner) run(ctx context.Context, t *libra.Task) (any, error) {
 		return res.CoDesign()
 	case libra.TaskValidate:
 		return res.Validation()
+	case libra.TaskCluster:
+		return res.Cluster()
 	}
 	return nil, fmt.Errorf("unknown task kind %q", t.Kind)
 }
@@ -463,6 +499,191 @@ func runCoDesign(ctx context.Context, run runner, base *libra.ProblemSpec, tps s
 	fmt.Printf("\n%d candidates, %d skipped (%d solves, %d cache hits, %.0f ms)\n",
 		len(rep.Candidates), len(rep.Skipped), rep.Solves, rep.CacheHits, rep.ElapsedMS)
 	return nil
+}
+
+// clusterArgs bundles the flag values the -cluster mode consumes.
+type clusterArgs struct {
+	specPath, topo, preset string
+	jobs, weights          string
+	budget                 float64
+	objective, loop        string
+	policies               string
+	steps                  int
+	front                  string
+}
+
+// runCluster runs the multi-job shared-fabric study. The job list is
+// "default" (the Fig. 17a LLM mix) or comma-separated Table II presets;
+// with -spec the file is read as a full cluster spec instead and the
+// workload flags are ignored.
+func runCluster(ctx context.Context, run runner, a clusterArgs, asJSON bool) error {
+	var cspec *libra.ClusterSpec
+	if a.specPath != "" {
+		data, err := os.ReadFile(a.specPath)
+		if err != nil {
+			return err
+		}
+		if cspec, err = libra.ParseClusterSpec(data); err != nil {
+			return err
+		}
+	} else {
+		if a.topo != "" && a.preset != "" {
+			return fmt.Errorf("use -topology or -preset, not both")
+		}
+		topoName := a.topo
+		if topoName == "" {
+			topoName = a.preset
+		}
+		cspec = &libra.ClusterSpec{
+			Topology:       topoName,
+			BudgetGBps:     a.budget,
+			Objective:      a.objective,
+			Loop:           a.loop,
+			PartitionSteps: a.steps,
+		}
+		if a.jobs != "default" {
+			names := cliutil.SplitList(a.jobs)
+			var ws []float64
+			if a.weights != "" {
+				var err error
+				if ws, err = cliutil.ParseFloats(a.weights); err != nil {
+					return err
+				}
+				if len(ws) != len(names) {
+					return fmt.Errorf("%d weights for %d jobs", len(ws), len(names))
+				}
+			}
+			for i, n := range names {
+				j := libra.ClusterJobSpec{Preset: n}
+				if ws != nil {
+					w := ws[i]
+					j.Weight = &w
+				}
+				cspec.Jobs = append(cspec.Jobs, j)
+			}
+		} else if a.weights != "" {
+			return fmt.Errorf("-weights needs an explicit -cluster job list")
+		}
+	}
+	if a.policies != "" {
+		cspec.Policies = cliutil.SplitList(a.policies)
+	}
+	if a.front != "" {
+		req, err := parseFrontierAxis(a.front)
+		if err != nil {
+			return err
+		}
+		if cspec.Budgets, err = req.BudgetAxis(); err != nil {
+			return err
+		}
+	}
+
+	got, err := run.run(ctx, libra.NewClusterTask(cspec))
+	if err != nil {
+		return err
+	}
+	rep, ok := got.(*libra.ClusterReport)
+	if !ok {
+		return fmt.Errorf("cluster returned %T", got)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(rep)
+	}
+	printCluster(rep)
+	return nil
+}
+
+// printCluster renders the study: the tenant table, the Fig. 17-style
+// cross-evaluation matrix (speedup over EqualBW x slowdown over own-opt
+// per job and shared design), the best partition, and the policy summary.
+func printCluster(rep *libra.ClusterReport) {
+	fmt.Printf("cluster study on %s (%d NPUs) @ %.0f GB/s per NPU — policies: %s\n\n",
+		rep.Topology, rep.NPUs, rep.BudgetGBps, strings.Join(rep.Policies, ", "))
+
+	fmt.Printf("%-14s %7s %-34s %14s %14s\n", "job", "weight", "own-opt BW per dim (GB/s)", "own time (s)", "EqualBW (s)")
+	for _, j := range rep.Jobs {
+		if j.Error != "" {
+			fmt.Printf("%-14s %7.2g error: %s\n", j.Name, j.Weight, j.Error)
+			continue
+		}
+		own := "-"
+		if j.OwnOpt != nil {
+			own = j.OwnOpt.BW.String()
+		}
+		fmt.Printf("%-14s %7.2g %-34s %14.6f %14.6f\n", j.Name, j.Weight, own, j.OwnTimeS, j.EqualBWTimeS)
+	}
+
+	if len(rep.Designs) > 0 {
+		fmt.Printf("\nshared designs (speedup over EqualBW / slowdown over own-opt per job):\n")
+		fmt.Printf("%-14s %-12s", "design", "policy")
+		for _, j := range rep.Jobs {
+			fmt.Printf(" %16s", j.Name)
+		}
+		fmt.Println()
+		for _, d := range rep.Designs {
+			fmt.Printf("%-14s %-12s", d.Name, d.Policy)
+			if d.Error != "" {
+				fmt.Printf(" error: %s\n", d.Error)
+				continue
+			}
+			for i := range rep.Jobs {
+				cell := "-"
+				if d.SpeedupVsEqualBW[i] > 0 {
+					cell = fmt.Sprintf("%.2fx", d.SpeedupVsEqualBW[i])
+					if d.SlowdownVsOwnOpt[i] > 0 {
+						cell += fmt.Sprintf("/%.2fx", d.SlowdownVsOwnOpt[i])
+					}
+				}
+				fmt.Printf(" %16s", cell)
+			}
+			fmt.Println()
+		}
+	}
+
+	if p := rep.Partition; p != nil {
+		if p.Error != "" {
+			fmt.Printf("\npartition (%d steps): %s\n", p.Steps, p.Error)
+		} else {
+			var shares []string
+			for i, j := range rep.Jobs {
+				shares = append(shares, fmt.Sprintf("%s=%.0f GB/s", j.Name, p.SharesGBps[i]))
+			}
+			fmt.Printf("\npartition (%d steps): %s — weighted time %.6fs\n",
+				p.Steps, strings.Join(shares, ", "), p.WeightedTimeS)
+		}
+	}
+
+	if len(rep.Summary) > 0 {
+		fmt.Printf("\n%-14s %-14s %16s %12s %13s %6s\n",
+			"policy", "allocation", "weighted t (s)", "agg speedup", "max slowdown", "Jain")
+		for _, s := range rep.Summary {
+			fmt.Printf("%-14s %-14s %16.6f %11.2fx %12.2fx %6.3f\n",
+				s.Policy, s.Design, s.WeightedTimeS, s.AggregateSpeedup, s.MaxSlowdown, s.JainFairness)
+		}
+	}
+
+	if fr := rep.Frontier; fr != nil {
+		fmt.Printf("\ncluster frontier (group design per budget):\n")
+		fmt.Printf("%-14s %-34s %12s %14s %7s\n",
+			"budget (GB/s)", "group BW per dim (GB/s)", "cost ($M)", "iter time (s)", "pareto")
+		for _, p := range fr.Points {
+			if p.Error != "" {
+				fmt.Printf("%-14.0f error: %v\n", p.BudgetGBps, p.Error)
+				continue
+			}
+			mark := ""
+			if p.Pareto {
+				mark = "*"
+			}
+			fmt.Printf("%-14.0f %-34s %12.2f %14.6f %7s\n",
+				p.BudgetGBps, p.Result.BW.String(), p.Result.Cost/1e6, p.Result.WeightedTime, mark)
+		}
+	}
+
+	fmt.Printf("\n%d jobs, %d designs (%d solves, %d cache hits, %.0f ms)\n",
+		len(rep.Jobs), len(rep.Designs), rep.Solves, rep.CacheHits, rep.ElapsedMS)
 }
 
 // runValidate executes the conformance matrix (the analytical estimator

@@ -1,0 +1,67 @@
+package cluster
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseSpec drives the cluster-spec parser with arbitrary bytes:
+// parsing must never panic, accepted specs must survive a JSON
+// round-trip, and resolvable specs must fingerprint stably with an
+// idempotent canonical form.
+func FuzzParseSpec(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"jobs": [{"preset": "GPT-3"}, {"preset": "DLRM", "weight": 0.5}]}`,
+		`{"topology": "RI(4)_SW(8)", "budget_gbps": 300, "partition_steps": 4,
+		  "jobs": [{"name": "t", "transformer": {"num_layers": 4, "hidden": 512, "seq_len": 64, "tp": 4}}],
+		  "policies": ["group-opt", "partition"]}`,
+		`{"jobs": [{"preset": "MSFT-1T", "weight": 0}, {"preset": "GPT-3"}],
+		  "budgets": [500, 1000, 2000], "solver": {"starts": 1}}`,
+		`{"policies": ["nope"]}`,
+		`{"topology": "bogus"}`,
+		`{"unknown": 1}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := ParseSpec(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		re, err := ParseSpec(out)
+		if err != nil {
+			t.Fatalf("marshaled spec does not re-parse: %v\n%s", err, out)
+		}
+		canon, err := spec.MarshalCanonical()
+		if err != nil {
+			if _, err2 := re.MarshalCanonical(); err2 == nil {
+				t.Fatalf("round-trip made an unresolvable spec resolvable:\n%s", out)
+			}
+			return
+		}
+		fp, err := spec.Fingerprint()
+		if err != nil {
+			t.Fatalf("resolvable spec does not fingerprint: %v", err)
+		}
+		if refp, err := re.Fingerprint(); err != nil || refp != fp {
+			t.Fatalf("fingerprint not stable across Marshal→Parse: %q vs %q (%v)", fp, refp, err)
+		}
+		cspec, err := ParseSpec(canon)
+		if err != nil {
+			t.Fatalf("canonical form does not parse: %v\n%s", err, canon)
+		}
+		canon2, err := cspec.MarshalCanonical()
+		if err != nil {
+			t.Fatalf("canonical form does not re-canonicalize: %v\n%s", err, canon)
+		}
+		if string(canon) != string(canon2) {
+			t.Fatalf("canonicalization is not idempotent:\n%s\n%s", canon, canon2)
+		}
+	})
+}

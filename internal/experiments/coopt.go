@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"libra/internal/cluster"
 	"libra/internal/collective"
 	"libra/internal/compute"
 	"libra/internal/core"
@@ -18,63 +20,44 @@ import (
 // groupStudy optimizes the 4D-4K network for each workload alone and for
 // the whole group, then cross-evaluates: speedup over EqualBW (bars in
 // Fig. 17) and slowdown vs each workload's own optimal network (dots).
+// The study runs through the cluster subsystem, which solves the own and
+// group problems concurrently and hoists one validated evaluator per
+// workload across the whole cross-evaluation loop.
 func groupStudy(id, title string, names []string) (*Table, error) {
-	net := topology.FourD4K()
-	const budget = 1000.0
-
-	ws := make([]*workload.Workload, len(names))
+	jobs := make([]cluster.JobSpec, len(names))
 	for i, n := range names {
-		w, err := workload.Preset(n, net.NPUs())
-		if err != nil {
-			return nil, err
-		}
-		ws[i] = w
+		jobs[i] = cluster.JobSpec{Preset: n}
 	}
-
-	// Per-workload optimal networks + the group-optimal network.
-	designs := make(map[string]topology.BWConfig)
-	ownTime := make(map[string]float64)
-	for _, w := range ws {
-		p := core.NewProblem(net, budget, w)
-		r, err := p.Optimize()
-		if err != nil {
-			return nil, fmt.Errorf("optimizing for %s: %w", w.Name, err)
-		}
-		designs[w.Name] = r.BW
-		ownTime[w.Name] = r.Times[0]
-	}
-	groupProb := core.NewProblem(net, budget, ws...)
-	rg, err := groupProb.Optimize()
+	engine := core.NewEngine(core.EngineConfig{})
+	defer engine.Close()
+	rep, err := cluster.Compute(context.Background(), engine, &cluster.Spec{
+		Topology:   "4D-4K",
+		BudgetGBps: 1000,
+		Jobs:       jobs,
+		Policies:   []string{cluster.PolicyGroupOpt, cluster.PolicyPerJobOpt},
+	})
 	if err != nil {
-		return nil, fmt.Errorf("group optimization: %w", err)
+		return nil, err
 	}
-	designs["Group-Opt"] = rg.BW
 
 	t := &Table{
 		ID:     id,
 		Title:  title,
 		Header: []string{"running", "on_network_optimized_for", "speedup_over_equalBW", "slowdown_over_own_opt"},
 	}
-	designNames := append(append([]string{}, names...), "Group-Opt")
-	for _, w := range ws {
-		p := core.NewProblem(net, budget, w)
-		// One validated evaluator for the whole cross-evaluation loop.
-		ev, err := p.NewEvaluator()
-		if err != nil {
-			return nil, err
+	for i := range rep.Jobs {
+		j := &rep.Jobs[i]
+		if j.Error != "" {
+			return nil, fmt.Errorf("optimizing for %s: %s", j.Name, j.Error)
 		}
-		eq, err := ev.Evaluate(topology.EqualBW(budget, net.NumDims()))
-		if err != nil {
-			return nil, err
-		}
-		for _, dn := range designNames {
-			r, err := ev.Evaluate(designs[dn])
-			if err != nil {
-				return nil, err
+		for di := range rep.Designs {
+			d := &rep.Designs[di]
+			if d.Error != "" {
+				return nil, fmt.Errorf("design %s: %s", d.Name, d.Error)
 			}
-			t.AddRow(w.Name, dn,
-				f2(eq.Times[0]/r.Times[0]),
-				f2(r.Times[0]/ownTime[w.Name]))
+			t.AddRow(j.Name, d.Name,
+				f2(j.EqualBWTimeS/d.TimesS[i]),
+				f2(d.TimesS[i]/j.OwnTimeS))
 		}
 	}
 	t.AddNote("paper: single-target networks slow non-targets by up to 1.77x; the group-optimized network averages 1.01x slowdown")

@@ -51,6 +51,7 @@ func NewMux(engine *core.Engine, manager *jobs.Manager, maxBody int64) http.Hand
 	mux.HandleFunc("/v1/frontier", s.v1(task.KindFrontier))
 	mux.HandleFunc("/v1/codesign", s.v1(task.KindCoDesign))
 	mux.HandleFunc("/v1/validate", s.v1(task.KindValidate))
+	mux.HandleFunc("/v1/cluster", s.v1(task.KindCluster))
 	mux.HandleFunc("/v1/stats", s.handleStats)
 	// v2: the task envelope, sync and async.
 	mux.HandleFunc("/v2/tasks", s.handleTasks)

@@ -3,8 +3,9 @@
 // API, the CLI, the client SDK) speaks.
 //
 // A Task is `{"kind": ..., "spec": ...}` where kind selects one of the
-// six operations the Engine answers (optimize, evaluate, sweep, frontier,
-// codesign, validate) and spec is exactly that kind's request payload —
+// seven operations the Engine answers (optimize, evaluate, sweep,
+// frontier, codesign, validate, cluster) and spec is exactly that kind's
+// request payload —
 // the same bodies the /v1 endpoints accept, so every existing spec JSON
 // embeds unchanged. Parse is strict (unknown fields rejected at every
 // level), MarshalCanonical reuses each kind's canonicalization so every
@@ -27,6 +28,7 @@ import (
 	"fmt"
 	"strings"
 
+	"libra/internal/cluster"
 	"libra/internal/codesign"
 	"libra/internal/core"
 	"libra/internal/frontier"
@@ -37,7 +39,8 @@ import (
 // Kind selects the operation a Task requests.
 type Kind string
 
-// The six task kinds — every request path in the system is one of these.
+// The seven task kinds — every request path in the system is one of
+// these.
 const (
 	KindOptimize Kind = "optimize"
 	KindEvaluate Kind = "evaluate"
@@ -45,17 +48,18 @@ const (
 	KindFrontier Kind = "frontier"
 	KindCoDesign Kind = "codesign"
 	KindValidate Kind = "validate"
+	KindCluster  Kind = "cluster"
 )
 
 // Kinds returns every valid kind in canonical order.
 func Kinds() []Kind {
-	return []Kind{KindOptimize, KindEvaluate, KindSweep, KindFrontier, KindCoDesign, KindValidate}
+	return []Kind{KindOptimize, KindEvaluate, KindSweep, KindFrontier, KindCoDesign, KindValidate, KindCluster}
 }
 
 // Valid reports whether k names a known kind.
 func (k Kind) Valid() bool {
 	switch k {
-	case KindOptimize, KindEvaluate, KindSweep, KindFrontier, KindCoDesign, KindValidate:
+	case KindOptimize, KindEvaluate, KindSweep, KindFrontier, KindCoDesign, KindValidate, KindCluster:
 		return true
 	}
 	return false
@@ -101,6 +105,7 @@ type Task struct {
 	Frontier *FrontierSpec
 	CoDesign *codesign.Spec
 	Validate *validate.Spec
+	Cluster  *cluster.Spec
 }
 
 // NewOptimize wraps a ProblemSpec as an optimize task.
@@ -132,6 +137,15 @@ func NewValidate(spec *validate.Spec) *Task {
 		spec = &validate.Spec{}
 	}
 	return &Task{Kind: KindValidate, Validate: spec}
+}
+
+// NewCluster wraps a multi-job allocation study spec as a cluster task;
+// nil selects the default Fig. 17(a) scenario.
+func NewCluster(spec *cluster.Spec) *Task {
+	if spec == nil {
+		spec = &cluster.Spec{}
+	}
+	return &Task{Kind: KindCluster, Cluster: spec}
 }
 
 // envelope is the wire form of a Task.
@@ -167,13 +181,14 @@ func kindList() string {
 
 // FromKindPayload parses a bare kind payload — the exact /v1 request body
 // for that kind — into a Task, with the same strictness as Parse. An
-// empty payload is only legal for validate (the default matrix).
+// empty payload is only legal for validate (the default matrix) and
+// cluster (the default Fig. 17(a) scenario).
 func FromKindPayload(kind Kind, payload []byte) (*Task, error) {
 	if !kind.Valid() {
 		return nil, fmt.Errorf("%w: unknown task kind %q (want one of %s)", core.ErrBadSpec, kind, kindList())
 	}
 	empty := len(bytes.TrimSpace(payload)) == 0
-	if empty && kind != KindValidate {
+	if empty && kind != KindValidate && kind != KindCluster {
 		return nil, fmt.Errorf("%w: %s task needs a spec", core.ErrBadSpec, kind)
 	}
 	switch kind {
@@ -237,6 +252,15 @@ func FromKindPayload(kind Kind, payload []byte) (*Task, error) {
 			return nil, fmt.Errorf("%w: %w", core.ErrBadSpec, err)
 		}
 		return NewValidate(spec), nil
+	case KindCluster:
+		if empty {
+			return NewCluster(nil), nil
+		}
+		spec, err := cluster.ParseSpec(payload)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %w", core.ErrBadSpec, err)
+		}
+		return NewCluster(spec), nil
 	}
 	panic("unreachable")
 }
@@ -330,6 +354,15 @@ func (t *Task) payload(canonical bool) (json.RawMessage, error) {
 			return spec.MarshalCanonical()
 		}
 		return json.Marshal(spec)
+	case KindCluster:
+		spec := t.Cluster
+		if spec == nil {
+			spec = &cluster.Spec{}
+		}
+		if canonical {
+			return spec.MarshalCanonical()
+		}
+		return json.Marshal(spec)
 	}
 	return nil, fmt.Errorf("%w: unknown task kind %q (want one of %s)", core.ErrBadSpec, t.Kind, kindList())
 }
@@ -394,6 +427,7 @@ func (t *Task) Fingerprint() (string, error) {
 //	frontier → *frontier.Result
 //	codesign → *codesign.Report
 //	validate → *validate.Report
+//	cluster  → *cluster.Report
 //
 // Batch kinds report per-point progress through the context's
 // core.WithProgress hook as they land.
@@ -441,6 +475,12 @@ func Run(ctx context.Context, engine *core.Engine, t *Task) (any, error) {
 			spec = &validate.Spec{}
 		}
 		return validate.Compute(ctx, engine, spec)
+	case KindCluster:
+		spec := t.Cluster
+		if spec == nil {
+			spec = &cluster.Spec{}
+		}
+		return cluster.Compute(ctx, engine, spec)
 	}
 	return nil, fmt.Errorf("%w: unknown task kind %q (want one of %s)", core.ErrBadSpec, t.Kind, kindList())
 }

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"testing"
 
+	"libra/internal/cluster"
 	"libra/internal/codesign"
 	"libra/internal/core"
 	"libra/internal/frontier"
@@ -40,6 +41,7 @@ func TestParseRoundTripAllKinds(t *testing.T) {
 		KindFrontier: `{"kind":"frontier","spec":{"spec":{"topology":"RI(4)_SW(8)","budget_gbps":200,"workloads":[{"preset":"DLRM"}]},"frontier":{"budgets":[100,200]}}}`,
 		KindCoDesign: `{"kind":"codesign","spec":{"base":{"topology":"RI(4)_SW(8)","budget_gbps":200,"workloads":[{"transformer":{"num_layers":2,"hidden":256,"seq_len":64,"tp":2,"minibatch":4}}]},"tps":[2,4]}}`,
 		KindValidate: `{"kind":"validate","spec":{"topologies":["3D-Torus"],"workloads":["DLRM"]}}`,
+		KindCluster:  `{"kind":"cluster","spec":{"topology":"RI(4)_SW(8)","budget_gbps":200,"jobs":[{"transformer":{"num_layers":2,"hidden":256,"seq_len":64,"tp":2,"minibatch":4}},{"name":"two","transformer":{"num_layers":2,"hidden":128,"seq_len":64,"tp":2,"minibatch":4},"weight":2}],"partition_steps":4}}`,
 	}
 	for kind, body := range bodies {
 		tk, err := Parse([]byte(body))
@@ -193,6 +195,43 @@ func TestRunDispatchAllKinds(t *testing.T) {
 	va, ok := res.(*validate.Report)
 	if !ok || va.Evaluated == 0 {
 		t.Fatalf("validate returned %T", res)
+	}
+
+	clspec, err := cluster.ParseSpec([]byte(`{"topology":"RI(4)_SW(8)","budget_gbps":200,
+		"jobs":[{"transformer":{"num_layers":2,"hidden":256,"seq_len":64,"tp":2,"minibatch":4}},
+		        {"name":"two","transformer":{"num_layers":2,"hidden":128,"seq_len":64,"tp":2,"minibatch":4}}],
+		"partition_steps":4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = Run(ctx, engine, NewCluster(clspec))
+	if err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	cl, ok := res.(*cluster.Report)
+	if !ok || len(cl.Jobs) != 2 || cl.GroupDesign() == nil || cl.Partition == nil {
+		t.Fatalf("cluster returned %T %+v", res, res)
+	}
+}
+
+// An empty cluster payload selects the default Fig. 17(a) scenario,
+// mirroring validate's default matrix — without running it.
+func TestEmptyClusterPayloadDefaults(t *testing.T) {
+	tk, err := FromKindPayload(KindCluster, nil)
+	if err != nil || tk.Cluster == nil {
+		t.Fatalf("empty cluster payload: %+v, %v", tk, err)
+	}
+	fpEmpty, err := tk.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	explicit, err := FromKindPayload(KindCluster,
+		[]byte(`{"topology":"4D-4K","budget_gbps":1000,"jobs":[{"preset":"Turing-NLG"},{"preset":"GPT-3"},{"preset":"MSFT-1T"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fpExp, err := explicit.Fingerprint(); err != nil || fpExp != fpEmpty {
+		t.Errorf("empty payload should fingerprint as the default scenario: %q vs %q (%v)", fpEmpty, fpExp, err)
 	}
 }
 

@@ -47,6 +47,7 @@ import (
 	"context"
 	"io"
 
+	"libra/internal/cluster"
 	"libra/internal/codesign"
 	"libra/internal/collective"
 	"libra/internal/compute"
@@ -414,7 +415,8 @@ var ErrBadSpec = core.ErrBadSpec
 
 // Task is the polymorphic task envelope — the one serializable currency
 // every service surface speaks: {"kind": "optimize|evaluate|sweep|
-// frontier|codesign|validate", "spec": <that kind's request payload>}.
+// frontier|codesign|validate|cluster", "spec": <that kind's request
+// payload>}.
 // Build one with the NewXxxTask constructors or ParseTask; RunTask (or
 // cmd/libra-serve's /v2 API, or the client package) answers it.
 type Task = task.Task
@@ -422,7 +424,7 @@ type Task = task.Task
 // TaskKind selects the operation a Task requests.
 type TaskKind = task.Kind
 
-// The six task kinds.
+// The seven task kinds.
 const (
 	TaskOptimize = task.KindOptimize
 	TaskEvaluate = task.KindEvaluate
@@ -430,6 +432,7 @@ const (
 	TaskFrontier = task.KindFrontier
 	TaskCoDesign = task.KindCoDesign
 	TaskValidate = task.KindValidate
+	TaskCluster  = task.KindCluster
 )
 
 // TaskKinds returns every valid kind in canonical order.
@@ -448,6 +451,7 @@ func NewFrontierTask(spec *ProblemSpec, req FrontierRequest) *Task {
 }
 func NewCoDesignTask(spec *CoDesignSpec) *Task { return task.NewCoDesign(spec) }
 func NewValidateTask(spec *ValidateSpec) *Task { return task.NewValidate(spec) }
+func NewClusterTask(spec *ClusterSpec) *Task   { return task.NewCluster(spec) }
 
 // ParseTask strictly decodes a task envelope (unknown fields rejected at
 // every level), exactly as POST /v2/tasks does.
@@ -623,6 +627,67 @@ func Validate(ctx context.Context, r ValidateRunner, spec *ValidateSpec) (*Valid
 // ParseValidateSpec decodes a ValidateSpec from JSON, rejecting unknown
 // fields.
 func ParseValidateSpec(data []byte) (*ValidateSpec, error) { return validate.ParseSpec(data) }
+
+// ---- Multi-job cluster bandwidth allocation ----
+
+// ClusterSpec describes a multi-job shared-fabric study (§VI-C's group
+// optimization generalized): several independent training jobs sharing
+// one fabric design, allocated under one or more policies. The zero spec
+// is the paper's Fig. 17a LLM mix on 4D-4K @ 1,000 GB/s. Serializable
+// and canonically fingerprinted like ProblemSpec.
+type ClusterSpec = cluster.Spec
+
+// ClusterJobSpec declares one weighted job of a cluster study (preset
+// name or inline transformer shape).
+type ClusterJobSpec = cluster.JobSpec
+
+// ClusterReport is a computed cluster study: per-job own-optimal
+// baselines, every shared design priced for every job with fairness
+// metrics, the best discrete bandwidth partition, the policy summary,
+// and — in budget-axis mode — the group frontier.
+type ClusterReport = cluster.Report
+
+// ClusterJob is one job of a cluster report: its own-optimal design and
+// the EqualBW baseline time.
+type ClusterJob = cluster.Job
+
+// ClusterDesign is one shared fabric design priced for every job.
+type ClusterDesign = cluster.Design
+
+// ClusterPartition is the best discrete split of the budget into
+// per-job dedicated slices.
+type ClusterPartition = cluster.Partition
+
+// ClusterMetrics is the per-design fairness bundle (speedups, slowdowns,
+// Jain index).
+type ClusterMetrics = cluster.Metrics
+
+// ClusterPolicySummary is one row of the policy comparison.
+type ClusterPolicySummary = cluster.PolicySummary
+
+// ClusterSolver solves the derived per-job specs of a cluster study;
+// *Engine satisfies it.
+type ClusterSolver = cluster.Solver
+
+// Cluster allocation policies.
+const (
+	ClusterPolicyGroupOpt  = cluster.PolicyGroupOpt
+	ClusterPolicyPartition = cluster.PolicyPartition
+	ClusterPolicyPerJobOpt = cluster.PolicyPerJobOpt
+)
+
+// Cluster runs a multi-job shared-fabric study through the solver —
+// typically an Engine, whose fingerprint cache deduplicates repeated
+// designs: solve each job's own optimum, the group optimum, and the
+// partition grid concurrently, then price every design for every job.
+// cmd/libra-serve exposes it as POST /v1/cluster, cmd/libra as -cluster.
+func Cluster(ctx context.Context, s ClusterSolver, spec *ClusterSpec) (*ClusterReport, error) {
+	return cluster.Compute(ctx, s, spec)
+}
+
+// ParseClusterSpec decodes a ClusterSpec from JSON, rejecting unknown
+// fields.
+func ParseClusterSpec(data []byte) (*ClusterSpec, error) { return cluster.ParseSpec(data) }
 
 // ---- Collectives and simulation ----
 
