@@ -4,23 +4,32 @@
 SHELL := /bin/bash
 
 GO        ?= go
-BENCHARGS ?= -bench=. -benchtime=500ms -run='^$$' -timeout 30m
+BENCHARGS ?= -bench=. -benchmem -benchtime=500ms -run='^$$' -timeout 30m
 # Sim/model-side benchmarks that never touch the solver hot paths; their
 # median ratio normalizes machine-speed differences in bench-check.
 ANCHORS   ?= BenchmarkAnalyticalCollectiveTime,BenchmarkIterationEstimate,BenchmarkTable1CostModel,BenchmarkPipelineSim64Chunks,BenchmarkNPULevelSim,BenchmarkThemisSchedule,BenchmarkTacosSynthesis
 # Core-count-sensitive benchmarks: reported, not gated (their ns/op
 # scales with the host's cores, which the anchors cannot cancel).
-SKIPGATE  ?= BenchmarkMinimizeParallel,BenchmarkEngineOptimizeParallel,BenchmarkFrontier
+# BenchmarkFrontier is gateable since frontier columns became sequential
+# warm chains.
+SKIPGATE  ?= BenchmarkMinimizeParallel,BenchmarkEngineOptimizeParallel
 
 # Coverage gate: per-package statement floor over internal/... from one
 # merged cross-package profile. Fuzz smoke: every native fuzz target gets
 # a short budget on each push so the corpora stay exercised.
-COVERFLOOR ?= 70
-FUZZTIME   ?= 10s
-FUZZPKGS   ?= ./internal/core ./internal/codesign ./internal/validate ./internal/cluster
+COVERFLOOR  ?= 70
+FUZZTIME    ?= 10s
+# pkg:target pairs — `go test -fuzz` takes one target per package run.
+FUZZTARGETS ?= ./internal/core:FuzzParseSpec ./internal/codesign:FuzzParseSpec \
+	./internal/validate:FuzzParseSpec ./internal/cluster:FuzzParseSpec \
+	./internal/opt:FuzzOptionsValidate
+
+# Where profile writes its pprof output.
+PROFILEDIR ?= profiles
 
 .PHONY: build build-examples test race lint bench bench-baseline bench-check \
-	cover fuzz-smoke validate validate-baseline validate-check smoke
+	bench-record profile cover fuzz-smoke validate validate-baseline \
+	validate-check smoke
 
 build:
 	$(GO) build ./...
@@ -60,6 +69,24 @@ bench-check:
 	set -o pipefail; $(GO) test $(BENCHARGS) | $(GO) run ./cmd/benchdiff parse -out BENCH_ci.json
 	$(GO) run ./cmd/benchdiff compare -baseline BENCH_baseline.json -current BENCH_ci.json -threshold 0.25 -anchors "$(ANCHORS)" -skip "$(SKIPGATE)"
 
+# bench-record appends the last bench-check measurement (BENCH_ci.json) to
+# the BENCH_history.jsonl perf log with vs-baseline ratios. LABEL tags the
+# run (branch, PR number, commit).
+bench-record:
+	$(GO) run ./cmd/benchdiff record -current BENCH_ci.json -baseline BENCH_baseline.json -history BENCH_history.jsonl -label "$(LABEL)"
+
+# profile captures CPU and heap profiles from the two solver hot-path
+# benchmarks (the multistart fold and the warm-chained frontier sweep)
+# into $(PROFILEDIR). Inspect with `go tool pprof $(PROFILEDIR)/libra.test
+# $(PROFILEDIR)/cpu.pprof`. CI uploads the directory as an artifact.
+profile:
+	mkdir -p $(PROFILEDIR)
+	$(GO) test -bench='^(BenchmarkMinimizeParallel|BenchmarkFrontier)$$' -benchmem \
+		-benchtime=1s -run='^$$' -timeout 10m \
+		-cpuprofile $(PROFILEDIR)/cpu.pprof -memprofile $(PROFILEDIR)/mem.pprof \
+		-o $(PROFILEDIR)/libra.test .
+	@echo "profiles in $(PROFILEDIR)/: cpu.pprof mem.pprof (binary: libra.test)"
+
 # cover enforces the per-package statement-coverage floor over
 # internal/... from one merged cross-package profile.
 cover:
@@ -67,11 +94,13 @@ cover:
 	$(GO) run ./cmd/covercheck -profile cover.out -prefix libra/internal/ -floor $(COVERFLOOR)
 
 # fuzz-smoke runs every native fuzz target briefly ($(FUZZTIME) each);
-# `go test -fuzz` takes one package at a time.
+# `go test -fuzz` takes one package at a time, so targets are pkg:name
+# pairs.
 fuzz-smoke:
-	@for pkg in $(FUZZPKGS); do \
-		echo "fuzzing $$pkg"; \
-		$(GO) test -run '^$$' -fuzz FuzzParseSpec -fuzztime $(FUZZTIME) $$pkg || exit 1; \
+	@for pt in $(FUZZTARGETS); do \
+		pkg=$${pt%%:*}; target=$${pt##*:}; \
+		echo "fuzzing $$pkg $$target"; \
+		$(GO) test -run '^$$' -fuzz $$target -fuzztime $(FUZZTIME) $$pkg || exit 1; \
 	done
 
 # smoke boots libra-serve on an OS-assigned port and drives the async

@@ -2,13 +2,17 @@
 // and gates benchmark regressions against it — the comparison step of the
 // CI bench job.
 //
-//	go test -bench=. -benchtime=500ms -run='^$' | benchdiff parse -out BENCH_ci.json
+//	go test -bench=. -benchmem -benchtime=500ms -run='^$' | benchdiff parse -out BENCH_ci.json
 //	benchdiff compare -baseline BENCH_baseline.json -current BENCH_ci.json \
 //	    -threshold 0.25 -normalize
+//	benchdiff record -current BENCH_ci.json -baseline BENCH_baseline.json \
+//	    -history BENCH_history.jsonl -label "PR 7"
 //
 // parse reads benchmark text (stdin or -in), strips the GOMAXPROCS name
 // suffix so runs from machines with different core counts share names,
-// and writes {"unit": "ns/op", "benchmarks": {name: ns}}.
+// and writes {"unit": "ns/op", "benchmarks": {name: ns}}. When the run
+// used -benchmem, per-benchmark "bytes_per_op" and "allocs_per_op" maps
+// are captured alongside.
 //
 // compare loads two parse outputs and fails (exit 1) when any benchmark
 // regresses by more than -threshold (fractional; 0.25 = 25%), or when a
@@ -25,6 +29,16 @@
 // benchmarks (parallel solver/engine paths) scale with the host's cores,
 // which single-threaded anchors cannot cancel, so gating them across
 // hosts with different core counts would only measure the hardware.
+// allocs/op is machine-independent, so when both reports carry alloc
+// data, compare additionally gates raw allocs/op growth beyond
+// -allocthreshold (default 0.25) with no normalization; benchmarks
+// missing alloc data on either side are not alloc-gated.
+//
+// record appends the current report to a JSONL history file — one line
+// per run with a timestamp, an optional -label, the full per-benchmark
+// numbers, and (when -baseline resolves) the per-benchmark vs-baseline
+// ratios — and prints a summary table. The history file is an append-only
+// perf log: plot it, bisect it, or diff labels across PRs.
 package main
 
 import (
@@ -33,30 +47,38 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"regexp"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 )
 
-// report is the JSON schema shared by parse and compare.
+// report is the JSON schema shared by parse, compare, and record. The
+// memory maps are present only for -benchmem runs; older baselines
+// without them load fine and simply skip the alloc gate.
 type report struct {
-	Unit       string             `json:"unit"`
-	Benchmarks map[string]float64 `json:"benchmarks"`
+	Unit        string             `json:"unit"`
+	Benchmarks  map[string]float64 `json:"benchmarks"`
+	BytesPerOp  map[string]float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
 }
 
 func main() {
 	if len(os.Args) < 2 {
-		fatal(fmt.Errorf("usage: benchdiff parse|compare [flags]"))
+		fatal(fmt.Errorf("usage: benchdiff parse|compare|record [flags]"))
 	}
 	switch os.Args[1] {
 	case "parse":
 		fatal(runParse(os.Args[2:]))
 	case "compare":
 		fatal(runCompare(os.Args[2:]))
+	case "record":
+		fatal(runRecord(os.Args[2:]))
 	default:
-		fatal(fmt.Errorf("unknown subcommand %q (want parse or compare)", os.Args[1]))
+		fatal(fmt.Errorf("unknown subcommand %q (want parse, compare, or record)", os.Args[1]))
 	}
 }
 
@@ -67,8 +89,17 @@ func fatal(err error) {
 	}
 }
 
-// benchLine matches one result line: name, iterations, ns/op.
-var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.e+]+) ns/op`)
+// benchLine matches one result line: name, iterations, ns/op, and the
+// optional -benchmem B/op + allocs/op pair.
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.e+]+) ns/op(?:\s+([0-9.e+]+) B/op\s+([0-9.e+]+) allocs/op)?`)
+
+// benchEntry is one parsed benchmark result line.
+type benchEntry struct {
+	name          string
+	ns            float64
+	bytes, allocs float64
+	hasMem        bool
+}
 
 func runParse(args []string) error {
 	fs := flag.NewFlagSet("parse", flag.ExitOnError)
@@ -85,11 +116,7 @@ func runParse(args []string) error {
 		defer f.Close()
 		r = f
 	}
-	type entry struct {
-		name string
-		ns   float64
-	}
-	var entries []entry
+	var entries []benchEntry
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
@@ -101,7 +128,17 @@ func runParse(args []string) error {
 		if err != nil {
 			return fmt.Errorf("line %q: %w", sc.Text(), err)
 		}
-		entries = append(entries, entry{name: m[1], ns: ns})
+		e := benchEntry{name: m[1], ns: ns}
+		if m[3] != "" {
+			if e.bytes, err = strconv.ParseFloat(m[3], 64); err != nil {
+				return fmt.Errorf("line %q: %w", sc.Text(), err)
+			}
+			if e.allocs, err = strconv.ParseFloat(m[4], 64); err != nil {
+				return fmt.Errorf("line %q: %w", sc.Text(), err)
+			}
+			e.hasMem = true
+		}
+		entries = append(entries, e)
 	}
 	if err := sc.Err(); err != nil {
 		return err
@@ -124,16 +161,28 @@ func runParse(args []string) error {
 		}
 	}
 	res := report{Unit: "ns/op", Benchmarks: map[string]float64{}}
+	keep := func(name string, e benchEntry) {
+		res.Benchmarks[name] = e.ns
+		if e.hasMem {
+			if res.BytesPerOp == nil {
+				res.BytesPerOp = map[string]float64{}
+				res.AllocsPerOp = map[string]float64{}
+			}
+			res.BytesPerOp[name] = e.bytes
+			res.AllocsPerOp[name] = e.allocs
+		}
+	}
 	for _, e := range entries {
 		name := strings.TrimSuffix(e.name, suffix)
 		if prev, dup := res.Benchmarks[name]; dup {
-			// Repeated benchmarks (e.g. -count > 1): keep the fastest.
+			// Repeated benchmarks (e.g. -count > 1): keep the fastest run
+			// — its memory columns travel with it.
 			if e.ns < prev {
-				res.Benchmarks[name] = e.ns
+				keep(name, e)
 			}
 			continue
 		}
-		res.Benchmarks[name] = e.ns
+		keep(name, e)
 	}
 
 	data, err := json.MarshalIndent(res, "", "  ")
@@ -175,6 +224,7 @@ func runCompare(args []string) error {
 	basePath := fs.String("baseline", "BENCH_baseline.json", "baseline JSON (benchdiff parse output)")
 	curPath := fs.String("current", "BENCH_ci.json", "current JSON (benchdiff parse output)")
 	threshold := fs.Float64("threshold", 0.25, "fail when a benchmark slows down by more than this fraction")
+	allocThreshold := fs.Float64("allocthreshold", 0.25, "fail when a benchmark's allocs/op grows by more than this fraction (raw, no normalization)")
 	normalize := fs.Bool("normalize", false, "divide ratios by the median ratio (cancels uniform machine-speed differences)")
 	anchors := fs.String("anchors", "", "comma-separated benchmark names whose median ratio normalizes the rest (implies -normalize)")
 	skip := fs.String("skip", "", "comma-separated benchmark names excluded from the regression and missing-benchmark gates (reported informationally)")
@@ -273,6 +323,43 @@ func runCompare(args []string) error {
 			fmt.Printf("%-44s %14s %14.0f    (new)\n", name, "-", cur.Benchmarks[name])
 		}
 	}
+
+	// Alloc gate: allocs/op is deterministic and machine-independent, so
+	// it compares raw. Only benchmarks with alloc data on both sides are
+	// gated; tiny baselines get a +2 absolute slack so a 1-alloc wobble
+	// on a near-zero-alloc path cannot trip a 25% relative gate.
+	var allocRegressions []string
+	if len(base.AllocsPerOp) > 0 && len(cur.AllocsPerOp) > 0 {
+		fmt.Printf("\n%-44s %14s %14s %8s\n", "benchmark", "base allocs", "cur allocs", "ratio")
+		for _, name := range names {
+			b, okB := base.AllocsPerOp[name]
+			c, okC := cur.AllocsPerOp[name]
+			if !okB || !okC {
+				continue
+			}
+			limit := b * (1 + *allocThreshold)
+			if limit < b+2 {
+				limit = b + 2
+			}
+			ratio := 1.0
+			if b > 0 {
+				ratio = c / b
+			} else if c > 0 {
+				ratio = math.Inf(1)
+			}
+			mark := ""
+			switch {
+			case skipped[name]:
+				mark = "  (skipped)"
+			case c > limit:
+				mark = "  << ALLOC REGRESSION"
+				allocRegressions = append(allocRegressions,
+					fmt.Sprintf("%s: %.0f -> %.0f allocs/op (limit %.0f)", name, b, c, limit))
+			}
+			fmt.Printf("%-44s %14.0f %14.0f %7.2fx%s\n", name, b, c, ratio, mark)
+		}
+	}
+
 	if len(missing) > 0 {
 		sort.Strings(missing)
 		return fmt.Errorf("%d baseline benchmark(s) missing from the current run (renamed, deleted, or the run crashed; regenerate the baseline with `make bench-baseline` if intentional):\n  %s",
@@ -282,7 +369,94 @@ func runCompare(args []string) error {
 		return fmt.Errorf("%d benchmark regression(s):\n  %s",
 			len(regressions), strings.Join(regressions, "\n  "))
 	}
+	if len(allocRegressions) > 0 {
+		return fmt.Errorf("%d allocs/op regression(s):\n  %s",
+			len(allocRegressions), strings.Join(allocRegressions, "\n  "))
+	}
 	fmt.Println("no regressions")
+	return nil
+}
+
+// historyEntry is one line of the JSONL perf log written by record.
+type historyEntry struct {
+	Time        string             `json:"time"`
+	Label       string             `json:"label,omitempty"`
+	Unit        string             `json:"unit"`
+	Benchmarks  map[string]float64 `json:"benchmarks"`
+	BytesPerOp  map[string]float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp map[string]float64 `json:"allocs_per_op,omitempty"`
+	VsBaseline  map[string]float64 `json:"vs_baseline,omitempty"`
+}
+
+func runRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	curPath := fs.String("current", "BENCH_ci.json", "current JSON (benchdiff parse output)")
+	basePath := fs.String("baseline", "", "optional baseline JSON for vs_baseline ratios")
+	histPath := fs.String("history", "BENCH_history.jsonl", "append-only JSONL history file")
+	label := fs.String("label", "", "free-form tag for this run (branch, PR, commit)")
+	fs.Parse(args)
+
+	cur, err := loadReport(*curPath)
+	if err != nil {
+		return err
+	}
+	entry := historyEntry{
+		Time:        time.Now().UTC().Format(time.RFC3339),
+		Label:       *label,
+		Unit:        cur.Unit,
+		Benchmarks:  cur.Benchmarks,
+		BytesPerOp:  cur.BytesPerOp,
+		AllocsPerOp: cur.AllocsPerOp,
+	}
+	if *basePath != "" {
+		base, err := loadReport(*basePath)
+		if err != nil {
+			return err
+		}
+		entry.VsBaseline = map[string]float64{}
+		for name, c := range cur.Benchmarks {
+			if b := base.Benchmarks[name]; b > 0 {
+				entry.VsBaseline[name] = c / b
+			}
+		}
+	}
+
+	line, err := json.Marshal(entry)
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(*histPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(cur.Benchmarks))
+	for name := range cur.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-44s %14s %12s %12s %10s\n", "benchmark", "ns/op", "B/op", "allocs/op", "vs base")
+	for _, name := range names {
+		bop, aop, vs := "-", "-", "-"
+		if v, ok := cur.BytesPerOp[name]; ok {
+			bop = fmt.Sprintf("%.0f", v)
+		}
+		if v, ok := cur.AllocsPerOp[name]; ok {
+			aop = fmt.Sprintf("%.0f", v)
+		}
+		if v, ok := entry.VsBaseline[name]; ok {
+			vs = fmt.Sprintf("%.2fx", v)
+		}
+		fmt.Printf("%-44s %14.0f %12s %12s %10s\n", name, cur.Benchmarks[name], bop, aop, vs)
+	}
+	fmt.Printf("recorded %d benchmarks to %s\n", len(names), *histPath)
 	return nil
 }
 

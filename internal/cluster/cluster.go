@@ -284,16 +284,40 @@ func Compute(ctx context.Context, s Solver, spec *Spec) (*Report, error) {
 			tracker.Tick(groupErr == nil && groupRes.Cached)
 		}()
 	}
-	for i := 0; i < nJobs*shares; i++ {
+	// Each job's share grid is a sequential warm chain over ascending
+	// slice budgets — slice k seeds from slice k−1's optimum — while the
+	// per-job chains run concurrently. Warm state is attached after Clone
+	// (runtime-only solver fields never survive the JSON round-trip).
+	for job := 0; shares > 0 && job < nJobs; job++ {
 		wg.Add(1)
-		go func(cell int) {
+		go func(job int) {
 			defer wg.Done()
-			job, k := cell/shares, cell%shares+1
-			cspec := r.jobs[job].spec.Clone()
-			cspec.BudgetGBps = r.budget * float64(k) / float64(r.steps)
-			partRes[cell], partErr[cell] = s.Optimize(ctx, cspec)
-			tracker.Tick(partErr[cell] == nil && partRes[cell].Cached)
-		}(i)
+			var prevBW topology.BWConfig
+			var prevBudget float64
+			for k := 1; k <= shares; k++ {
+				cell := job*shares + k - 1
+				cspec := r.jobs[job].spec.Clone()
+				cspec.BudgetGBps = r.budget * float64(k) / float64(r.steps)
+				if warm := core.ScaleWarmStart(prevBW, prevBudget, cspec.BudgetGBps); warm != nil {
+					sol := &core.SolverSpec{}
+					if cspec.Solver != nil {
+						*sol = *cspec.Solver
+					}
+					sol.WarmStart = warm
+					cspec.Solver = sol
+				}
+				partRes[cell], partErr[cell] = s.Optimize(ctx, cspec)
+				if partErr[cell] != nil && cspec.Solver != nil && cspec.Solver.WarmStart != nil && ctx.Err() == nil {
+					// An unusable warm vector must not sink the cell.
+					cspec.Solver.WarmStart = nil
+					partRes[cell], partErr[cell] = s.Optimize(ctx, cspec)
+				}
+				if partErr[cell] == nil {
+					prevBW, prevBudget = partRes[cell].Result.BW, cspec.BudgetGBps
+				}
+				tracker.Tick(partErr[cell] == nil && partRes[cell].Cached)
+			}
+		}(job)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {

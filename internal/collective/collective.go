@@ -160,7 +160,17 @@ func FullMapping(net *topology.Network) Mapping {
 // zero traffic but still advance the reduction product for later phases
 // (a singleton group is a no-op stage).
 func Traffic(op Op, m float64, mapping Mapping, ndims int) []float64 {
-	out := make([]float64, ndims)
+	return TrafficInto(make([]float64, ndims), op, m, mapping, ndims)
+}
+
+// TrafficInto is Traffic writing into dst (len ≥ ndims, zeroed here),
+// returning dst[:ndims]. Sweep hot loops price millions of collectives;
+// reusing one buffer removes the per-call slice churn.
+func TrafficInto(dst []float64, op Op, m float64, mapping Mapping, ndims int) []float64 {
+	out := dst[:ndims]
+	for i := range out {
+		out[i] = 0
+	}
 	if op == PointToPoint {
 		// The message crosses the innermost active dimension once.
 		for _, p := range mapping.Phases {
@@ -194,7 +204,13 @@ func Traffic(op Op, m float64, mapping Mapping, ndims int) []float64 {
 // offloads the reduction (All-Reduce only): m / Π_{j<i} g_j. Dimensions
 // whose offload flag is false use the regular multi-rail volume.
 func InNetworkTraffic(op Op, m float64, mapping Mapping, ndims int, offload []bool) []float64 {
-	out := Traffic(op, m, mapping, ndims)
+	return InNetworkTrafficInto(make([]float64, ndims), op, m, mapping, ndims, offload)
+}
+
+// InNetworkTrafficInto is InNetworkTraffic writing into dst (len ≥ ndims),
+// returning dst[:ndims].
+func InNetworkTrafficInto(dst []float64, op Op, m float64, mapping Mapping, ndims int, offload []bool) []float64 {
+	out := TrafficInto(dst, op, m, mapping, ndims)
 	if op != AllReduce {
 		return out
 	}

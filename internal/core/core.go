@@ -364,10 +364,16 @@ func (p *Problem) EqualBW() (Result, error) {
 // buildConstraints assembles the solver constraint set from the budget
 // row, the declarative constraint specs, and the Extra escape hatch.
 func (p *Problem) buildConstraints() (*opt.Constraints, error) {
+	return p.buildConstraintsAt(p.BWBudget)
+}
+
+// buildConstraintsAt is buildConstraints with the ΣB row pinned to an
+// explicit budget — the only per-point rebuild a budget sweep needs.
+func (p *Problem) buildConstraintsAt(budget float64) (*opt.Constraints, error) {
 	n := p.Net.NumDims()
 	c := opt.NewConstraints(n).SetAllLower(p.minDimBW())
 	if !p.SkipBudget {
-		c.SumEquals(p.BWBudget)
+		c.SumEquals(budget)
 	}
 	for _, spec := range p.Constraints {
 		if err := spec.apply(c, p); err != nil {
@@ -389,24 +395,98 @@ func (p *Problem) Optimize() (Result, error) {
 // OptimizeContext is Optimize under a context: the solver polls ctx and
 // aborts with its error as soon as it is canceled or times out.
 func (p *Problem) OptimizeContext(ctx context.Context) (Result, error) {
-	eval, err := p.NewEvaluator()
+	o, err := p.NewOptimizer()
 	if err != nil {
 		return Result{}, err
+	}
+	return o.solve(ctx, p.BWBudget, p.Solver)
+}
+
+// Optimizer hoists every budget-independent preparation of a Problem out
+// of sweep loops: problem validation, the Actual-policy Evaluator (target
+// mappings + cost rates), and the optimizer-policy time closures. Sweeps
+// that solve one Problem at many budgets — frontier columns, partition
+// grids, the figure sweeps — build one Optimizer and call SolveBudget per
+// point, optionally warm-starting each point from its neighbor's solution.
+//
+// The Optimizer reads p.Objective and p.Solver at each solve (the figure
+// sweeps flip the objective between solves of one problem); everything
+// else — network, targets, compute/cost models, mapping policy,
+// constraint specs — is captured at construction, so mutating those
+// fields requires a new Optimizer. Not safe for concurrent use.
+type Optimizer struct {
+	p    *Problem
+	eval *Evaluator
+	fns  []func(topology.BWConfig) float64
+	wsum float64
+}
+
+// NewOptimizer validates the problem and prepares the per-point solve
+// state once.
+func (p *Problem) NewOptimizer() (*Optimizer, error) {
+	eval, err := p.NewEvaluator()
+	if err != nil {
+		return nil, err
 	}
 	fns, err := p.timeFuncs(p.OptPolicy)
 	if err != nil {
-		return Result{}, err
+		return nil, err
 	}
-	cons, err := p.buildConstraints()
-	if err != nil {
-		return Result{}, err
-	}
-	costRates := eval.rates
-	n := p.Net.NumDims()
 	var wsum float64
 	for i := range p.Targets {
 		wsum += p.weight(i)
 	}
+	return &Optimizer{p: p, eval: eval, fns: fns, wsum: wsum}, nil
+}
+
+// Evaluator exposes the hoisted Actual-policy evaluator, so sweeps can
+// price baselines (EqualBW points) without re-preparing the problem.
+func (o *Optimizer) Evaluator() *Evaluator { return o.eval }
+
+// Solve optimizes at the problem's own budget with the problem's own
+// solver options.
+func (o *Optimizer) Solve(ctx context.Context) (Result, error) {
+	return o.solve(ctx, o.p.BWBudget, o.p.Solver)
+}
+
+// SolveBudget optimizes with the ΣB row pinned to budget, seeding the
+// multistart from warm — a neighboring point's solution, typically scaled
+// with ScaleWarmStart — or running cold when warm is nil. Warm solves use
+// opt.DefaultWarmTol for the adaptive cutoff unless the problem's solver
+// options already set one; if a warm solve fails, it is retried cold.
+func (o *Optimizer) SolveBudget(ctx context.Context, budget float64, warm []float64) (Result, error) {
+	so := o.p.Solver
+	so.WarmStart = warm
+	if warm != nil && so.WarmTol == 0 {
+		so.WarmTol = opt.DefaultWarmTol
+	}
+	res, err := o.solve(ctx, budget, so)
+	if err != nil && warm != nil && ctx.Err() == nil {
+		so.WarmStart = nil
+		so.WarmTol = o.p.Solver.WarmTol
+		return o.solve(ctx, budget, so)
+	}
+	return res, err
+}
+
+func (o *Optimizer) solve(ctx context.Context, budget float64, solverOpts opt.Options) (Result, error) {
+	p := o.p
+	if !p.SkipBudget {
+		if !(budget > 0) {
+			return Result{}, fmt.Errorf("core: bandwidth budget must be positive, got %v", budget)
+		}
+		if minBW := p.minDimBW(); minBW*float64(p.Net.NumDims()) > budget {
+			return Result{}, fmt.Errorf("core: budget %v GB/s cannot cover %d dims at the %v GB/s floor",
+				budget, p.Net.NumDims(), minBW)
+		}
+	}
+	cons, err := p.buildConstraintsAt(budget)
+	if err != nil {
+		return Result{}, err
+	}
+	costRates := o.eval.rates
+	n := p.Net.NumDims()
+	fns, wsum := o.fns, o.wsum
 	weightedTime := func(x []float64) float64 {
 		bw := topology.BWConfig(x)
 		total := 0.0
@@ -436,14 +516,34 @@ func (p *Problem) OptimizeContext(ctx context.Context) (Result, error) {
 		}
 	}
 
-	solverOpts := p.Solver
 	solverOpts.Convex = convex
 	prob := opt.Problem{N: n, Objective: objective, Cons: cons}
 	sol, err := opt.MinimizeContext(ctx, prob, solverOpts)
 	if err != nil {
 		return Result{}, fmt.Errorf("core: %s solve failed: %w", p.Objective, err)
 	}
-	return eval.Evaluate(topology.BWConfig(sol.X))
+	return o.eval.Evaluate(topology.BWConfig(sol.X))
+}
+
+// ScaleWarmStart rescales a neighboring design point's bandwidth vector to
+// a new budget, preserving the relative allocation: with the ΣB = budget
+// row active, scaling by to/from lands exactly on the new budget plane,
+// which is what keeps the projected warm start adjacent to the neighbor's
+// optimum and lets the adaptive cutoff fire. Returns nil — no warm start —
+// for unusable inputs.
+func ScaleWarmStart(bw topology.BWConfig, from, to float64) []float64 {
+	if len(bw) == 0 || !(from > 0) || !(to > 0) {
+		return nil
+	}
+	f := to / from
+	out := make([]float64, len(bw))
+	for i, v := range bw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil
+		}
+		out[i] = v * f
+	}
+	return out
 }
 
 // EqualBWForCost returns the EqualBW bandwidth per dimension that exactly

@@ -27,7 +27,8 @@ import (
 )
 
 // Solver solves one derived spec; *core.Engine satisfies it. Implementors
-// must be safe for concurrent use — Compute issues every point at once.
+// must be safe for concurrent use — Compute runs one chain per cap column
+// concurrently.
 type Solver interface {
 	Optimize(ctx context.Context, spec *core.ProblemSpec) (core.EngineResult, error)
 }
@@ -51,6 +52,12 @@ type Request struct {
 	CapsGBps []float64 `json:"caps_gbps,omitempty"`
 	// SkipEqualBW drops the EqualBW baseline curve.
 	SkipEqualBW bool `json:"skip_equal_bw,omitempty"`
+	// NoWarmStart disables neighbor warm-starting: every point runs the
+	// full cold multistart instead of seeding from the adjacent
+	// already-solved budget in its cap column. Results are then bit-wise
+	// reproducible against a single-point solve of the same spec; warm
+	// results agree only within solver tolerance.
+	NoWarmStart bool `json:"no_warm_start,omitempty"`
 }
 
 // MaxPoints bounds one frontier computation (budgets × caps). Each point
@@ -124,8 +131,10 @@ type Result struct {
 }
 
 // Compute sweeps the request axes against the base spec and assembles the
-// cost–performance frontier. Points are issued concurrently through the
-// solver; per-point failures are reported in place, and the call only
+// cost–performance frontier. Each cap column is solved as a sequential
+// chain over ascending budgets so every point warm-starts from its
+// neighbor (unless req.NoWarmStart); columns run concurrently through the
+// solver. Per-point failures are reported in place, and the call only
 // fails for an invalid request/spec or a canceled context. A context
 // progress hook (core.WithProgress) observes points as they land under
 // the "frontier" stage.
@@ -191,27 +200,89 @@ func Compute(ctx context.Context, s Solver, base *core.ProblemSpec, req Request)
 		}
 	}
 	tracker := core.NewProgressTracker(ctx, "frontier", len(res.Points))
+
+	// Budget indices in ascending budget order. Each cap column is walked
+	// along this order as a sequential warm chain — every point seeds from
+	// its nearest already-solved neighbor — while columns run concurrently.
+	// Results still land in res.Points in the original axis order.
+	order := make([]int, len(budgets))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return budgets[order[a]] < budgets[order[b]] })
+
+	// pointSpec derives the point's spec from the base. Warm state is
+	// attached after cloning — Clone round-trips JSON and warm fields are
+	// runtime-only (json:"-"), so it can never carry them.
+	pointSpec := func(pt *Point, warm []float64) *core.ProblemSpec {
+		spec := base.Clone()
+		spec.BudgetGBps = pt.BudgetGBps
+		if req.CapDim > 0 {
+			spec.Constraints = append(spec.Constraints, core.DimCap(req.CapDim, pt.CapGBps))
+		}
+		if warm != nil {
+			sol := &core.SolverSpec{}
+			if spec.Solver != nil {
+				*sol = *spec.Solver
+			}
+			sol.WarmStart = warm
+			spec.Solver = sol
+		}
+		return spec
+	}
+	solveOne := func(pt *Point, warm []float64) {
+		spec := pointSpec(pt, warm)
+		r, err := s.Optimize(ctx, spec)
+		if err != nil && warm != nil && ctx.Err() == nil {
+			// An unusable warm vector must not sink the point: retry cold.
+			spec.Solver.WarmStart = nil
+			r, err = s.Optimize(ctx, spec)
+		}
+		if err != nil {
+			pt.Err, pt.Error = err, err.Error()
+			tracker.Tick(false)
+			return
+		}
+		pt.Result = r.Result
+		pt.Fingerprint = r.Fingerprint
+		pt.Cached = r.Cached
+		tracker.Tick(r.Cached)
+	}
+	perfObjective := baseProblem.Objective == core.PerfOpt
+
 	var wg sync.WaitGroup
-	for i := range res.Points {
+	for ci := range caps {
 		wg.Add(1)
-		go func(pt *Point) {
+		go func(ci int) {
 			defer wg.Done()
-			spec := base.Clone()
-			spec.BudgetGBps = pt.BudgetGBps
-			if req.CapDim > 0 {
-				spec.Constraints = append(spec.Constraints, core.DimCap(req.CapDim, pt.CapGBps))
+			var prev *Point
+			for _, bi := range order {
+				pt := &res.Points[bi*len(caps)+ci]
+				var warm []float64
+				if !req.NoWarmStart && prev != nil {
+					warm = core.ScaleWarmStart(prev.Result.BW, prev.BudgetGBps, pt.BudgetGBps)
+				}
+				solveOne(pt, warm)
+				if pt.Err != nil {
+					continue // keep the last good neighbor as the seed
+				}
+				// Under the perf objective more budget can never cost time,
+				// so a warm-started point slower than its smaller-budget
+				// neighbor means the chain latched onto a worse basin.
+				// Re-solve cold (directly — the solver's cache already holds
+				// the warm answer for this fingerprint) and keep the better.
+				if warm != nil && perfObjective &&
+					pt.Result.WeightedTime > prev.Result.WeightedTime*(1+1e-9) {
+					if p, err := pointSpec(pt, nil).Build(); err == nil {
+						if r, err := p.OptimizeContext(ctx); err == nil && r.WeightedTime < pt.Result.WeightedTime {
+							pt.Result = r
+							pt.Cached = false
+						}
+					}
+				}
+				prev = pt
 			}
-			r, err := s.Optimize(ctx, spec)
-			if err != nil {
-				pt.Err, pt.Error = err, err.Error()
-				tracker.Tick(false)
-				return
-			}
-			pt.Result = r.Result
-			pt.Fingerprint = r.Fingerprint
-			pt.Cached = r.Cached
-			tracker.Tick(r.Cached)
-		}(&res.Points[i])
+		}(ci)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {

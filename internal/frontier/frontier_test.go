@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -246,5 +247,97 @@ func TestComputeUsesSolverPerPoint(t *testing.T) {
 	}
 	if len(res.Frontier) != 10 {
 		t.Errorf("monotone tradeoff should be fully pareto, got %d of 10", len(res.Frontier))
+	}
+}
+
+// Warm-started columns must land on the same frontier as the full cold
+// sweep: point-for-point agreement within solver tolerance on the default
+// grid shape. Separate engines keep the runs honest — warm state is
+// excluded from fingerprints, so a shared engine would answer the cold
+// run from the warm run's cache.
+func TestComputeWarmMatchesColdSweep(t *testing.T) {
+	req := Request{BudgetMin: 150, BudgetMax: 600, BudgetSteps: 4}
+	warmE := core.NewEngine(core.EngineConfig{})
+	defer warmE.Close()
+	warm, err := Compute(context.Background(), warmE, baseSpec(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldE := core.NewEngine(core.EngineConfig{})
+	defer coldE.Close()
+	creq := req
+	creq.NoWarmStart = true
+	cold, err := Compute(context.Background(), coldE, baseSpec(), creq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold.Points {
+		w, c := warm.Points[i], cold.Points[i]
+		if w.Err != nil || c.Err != nil {
+			t.Fatalf("point %d failed: warm %v, cold %v", i, w.Err, c.Err)
+		}
+		if rel := (w.Result.WeightedTime - c.Result.WeightedTime) / c.Result.WeightedTime; rel > 1e-2 || rel < -1e-2 {
+			t.Errorf("budget %v: warm %v vs cold %v (rel %+.2e)",
+				c.BudgetGBps, w.Result.WeightedTime, c.Result.WeightedTime, rel)
+		}
+	}
+}
+
+// warmSpySolver records which specs carried a warm start and returns a
+// fixed BW vector so the chain has something to scale.
+type warmSpySolver struct {
+	mu     sync.Mutex
+	warmed map[float64][]float64 // budget -> warm vector (nil when cold)
+}
+
+func (s *warmSpySolver) Optimize(ctx context.Context, spec *core.ProblemSpec) (core.EngineResult, error) {
+	s.mu.Lock()
+	var warm []float64
+	if spec.Solver != nil {
+		warm = spec.Solver.WarmStart
+	}
+	s.warmed[spec.BudgetGBps] = warm
+	s.mu.Unlock()
+	return core.EngineResult{Result: core.Result{
+		BW:           []float64{spec.BudgetGBps / 2, spec.BudgetGBps / 2},
+		Cost:         spec.BudgetGBps,
+		WeightedTime: 1 / spec.BudgetGBps,
+	}}, nil
+}
+
+// Budgets are chained ascending within a column: the smallest budget
+// solves cold, every later one is seeded with the predecessor's BW scaled
+// to its budget plane — regardless of the order the request listed them.
+func TestComputeWarmChainsAscendingBudgets(t *testing.T) {
+	s := &warmSpySolver{warmed: map[float64][]float64{}}
+	if _, err := Compute(context.Background(), s, baseSpec(),
+		Request{Budgets: []float64{600, 150, 300}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.warmed[150]; got != nil {
+		t.Errorf("smallest budget should solve cold, got warm %v", got)
+	}
+	for _, tc := range []struct{ budget, prev float64 }{{300, 150}, {600, 300}} {
+		warm := s.warmed[tc.budget]
+		if warm == nil {
+			t.Errorf("budget %v should be warm-started", tc.budget)
+			continue
+		}
+		// Predecessor BW (prev/2, prev/2) scaled onto the new plane.
+		for i, v := range warm {
+			if want := tc.budget / 2; v != want {
+				t.Errorf("budget %v warm[%d] = %v, want %v", tc.budget, i, v, want)
+			}
+		}
+	}
+	s2 := &warmSpySolver{warmed: map[float64][]float64{}}
+	if _, err := Compute(context.Background(), s2, baseSpec(),
+		Request{Budgets: []float64{600, 150, 300}, NoWarmStart: true}); err != nil {
+		t.Fatal(err)
+	}
+	for budget, warm := range s2.warmed {
+		if warm != nil {
+			t.Errorf("NoWarmStart: budget %v still warm-started with %v", budget, warm)
+		}
 	}
 }

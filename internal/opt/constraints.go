@@ -3,6 +3,7 @@ package opt
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 )
 
 // Constraints is a set of linear constraints over an n-vector x:
@@ -15,6 +16,12 @@ type Constraints struct {
 	eqA    [][]float64
 	eqB    []float64
 	lo, hi []float64
+	// rowsCache memoizes rows(): the projection inner loops call it once
+	// per projection, and a solve performs thousands of projections over
+	// an immutable constraint set. Mutators invalidate. Atomic so
+	// concurrent multistart goroutines can race the first build benignly
+	// (both build identical values).
+	rowsCache atomic.Pointer[[]row]
 }
 
 // NewConstraints creates an empty constraint set over n variables.
@@ -40,6 +47,7 @@ func (c *Constraints) checkCoef(coef []float64) {
 // AddLE appends coef·x ≤ rhs.
 func (c *Constraints) AddLE(coef []float64, rhs float64) *Constraints {
 	c.checkCoef(coef)
+	c.rowsCache.Store(nil)
 	c.ineqA = append(c.ineqA, clone(coef))
 	c.ineqB = append(c.ineqB, rhs)
 	return c
@@ -54,6 +62,7 @@ func (c *Constraints) AddGE(coef []float64, rhs float64) *Constraints {
 // AddEQ appends coef·x = rhs.
 func (c *Constraints) AddEQ(coef []float64, rhs float64) *Constraints {
 	c.checkCoef(coef)
+	c.rowsCache.Store(nil)
 	c.eqA = append(c.eqA, clone(coef))
 	c.eqB = append(c.eqB, rhs)
 	return c
@@ -62,6 +71,7 @@ func (c *Constraints) AddEQ(coef []float64, rhs float64) *Constraints {
 // SetLower sets a lower bound on variable i (keeps the tighter bound).
 func (c *Constraints) SetLower(i int, v float64) *Constraints {
 	if v > c.lo[i] {
+		c.rowsCache.Store(nil)
 		c.lo[i] = v
 	}
 	return c
@@ -70,6 +80,7 @@ func (c *Constraints) SetLower(i int, v float64) *Constraints {
 // SetUpper sets an upper bound on variable i (keeps the tighter bound).
 func (c *Constraints) SetUpper(i int, v float64) *Constraints {
 	if v < c.hi[i] {
+		c.rowsCache.Store(nil)
 		c.hi[i] = v
 	}
 	return c
@@ -128,6 +139,9 @@ type row struct {
 }
 
 func (c *Constraints) rows() []row {
+	if cached := c.rowsCache.Load(); cached != nil {
+		return *cached
+	}
 	out := make([]row, 0, len(c.ineqA)+len(c.eqA)+2*c.n)
 	for i, a := range c.ineqA {
 		out = append(out, row{a: a, b: c.ineqB[i]})
@@ -147,6 +161,7 @@ func (c *Constraints) rows() []row {
 	for i, e := range c.eqA {
 		out = append(out, row{a: e, b: c.eqB[i], eq: true})
 	}
+	c.rowsCache.Store(&out)
 	return out
 }
 

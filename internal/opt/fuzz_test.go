@@ -1,0 +1,63 @@
+package opt
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzOptionsValidate drives Options.Validate with arbitrary field values:
+// it must never panic, must reject every malformed warm-start vector
+// (wrong length, NaN/±Inf entries) and every invalid WarmTol or negative
+// count, and whatever it accepts must already be in validated form — the
+// safety contract the spec layer relies on before handing warm state to
+// the solver.
+func FuzzOptionsValidate(f *testing.F) {
+	f.Add(0, 0, 0, int64(0), 0.0, 3, []byte{})
+	f.Add(600, 8, 4, int64(1), 1e-6, 4, []byte{1, 2, 3, 4})
+	f.Add(-1, 0, 0, int64(0), 0.0, 2, []byte{})
+	f.Add(0, -3, 0, int64(0), 0.0, 2, []byte{})
+	f.Add(0, 0, -2, int64(0), 0.0, 2, []byte{})
+	f.Add(0, 0, 0, int64(0), -1e-9, 2, []byte{})
+	f.Add(0, 0, 0, int64(0), math.NaN(), 2, []byte{})
+	f.Add(0, 0, 0, int64(0), math.Inf(1), 2, []byte{})
+	f.Add(0, 0, 0, int64(0), 0.0, 2, []byte{0x7f, 0xf0, 0, 0, 0, 0, 0, 0})       // +Inf entry
+	f.Add(0, 0, 0, int64(0), 0.0, 1, []byte{0x7f, 0xf8, 0, 0, 0, 0, 0, 1, 0, 0}) // NaN entry
+
+	f.Fuzz(func(t *testing.T, maxIters, starts, workers int, seed int64, warmTol float64, n int, warmBytes []byte) {
+		// Decode the fuzzed bytes into a warm vector, 8 bytes per entry
+		// big-endian — arbitrary bit patterns, including every NaN/Inf
+		// encoding.
+		var warm []float64
+		for i := 0; i+8 <= len(warmBytes) && len(warm) < 64; i += 8 {
+			bits := uint64(0)
+			for j := 0; j < 8; j++ {
+				bits = bits<<8 | uint64(warmBytes[i+j])
+			}
+			warm = append(warm, math.Float64frombits(bits))
+		}
+		o := Options{
+			MaxIters: maxIters, Starts: starts, Workers: workers, Seed: seed,
+			WarmTol: warmTol, WarmStart: warm,
+		}
+		err := o.Validate(n)
+
+		wantErr := maxIters < 0 || starts < 0 || workers < 0 ||
+			warmTol < 0 || math.IsNaN(warmTol) || math.IsInf(warmTol, 0)
+		if len(warm) > 0 {
+			if n > 0 && len(warm) != n {
+				wantErr = true
+			}
+			for _, v := range warm {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					wantErr = true
+				}
+			}
+		}
+		if wantErr && err == nil {
+			t.Fatalf("Validate(%d) accepted malformed options %+v", n, o)
+		}
+		if !wantErr && err != nil {
+			t.Fatalf("Validate(%d) rejected well-formed options %+v: %v", n, o, err)
+		}
+	})
+}

@@ -133,11 +133,13 @@ func TestQuickProjectionMethodsAgree(t *testing.T) {
 	c.VarAtMost(2, 40).Ordered(0, 1)
 	f := func(a, b, d uint8) bool {
 		x0 := []float64{float64(a), float64(b), float64(d)}
-		as, ok := projectActiveSet(c, x0)
-		if !ok {
+		pr := newProjector(c)
+		if !pr.activeSet(x0) {
 			return true // fallback path; nothing to compare
 		}
-		dy := projectDykstra(c, x0, 6000, 1e-13)
+		as := clone(pr.res)
+		pr.dykstra(x0, 6000, 1e-13)
+		dy := clone(pr.res)
 		if !c.Feasible(as, 1e-6) || !c.Feasible(dy, 1e-6) {
 			return false
 		}
@@ -469,14 +471,14 @@ func TestParseStrategy(t *testing.T) {
 // Zero-value and sentinel option handling: zeros select defaults, the
 // sentinels select the literal values, negatives in count fields error.
 func TestOptionsZeroValuesAndSentinels(t *testing.T) {
-	o, err := Options{}.withDefaults()
+	o, err := Options{}.withDefaults(0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if o.MaxIters != 600 || o.Tol != 1e-9 || o.Starts != 8 || o.Seed != 1 || o.Workers < 1 {
 		t.Errorf("defaults = %+v", o)
 	}
-	o, err = Options{Tol: TolExact, Seed: SeedZero}.withDefaults()
+	o, err = Options{Tol: TolExact, Seed: SeedZero}.withDefaults(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -487,13 +489,13 @@ func TestOptionsZeroValuesAndSentinels(t *testing.T) {
 		t.Errorf("SeedZero should select the literal seed 0, got %v", o.Seed)
 	}
 	for _, bad := range []Options{{MaxIters: -1}, {Starts: -2}, {Workers: -1}, {Strategy: "nope"}} {
-		if _, err := bad.withDefaults(); err == nil {
+		if _, err := bad.withDefaults(0); err == nil {
 			t.Errorf("%+v should be rejected", bad)
 		}
 	}
 	// Alias spellings must normalize, not silently fall through to the
 	// default strategy.
-	o, err = Options{Strategy: "cd"}.withDefaults()
+	o, err = Options{Strategy: "cd"}.withDefaults(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -532,5 +534,164 @@ func TestNumGradMatchesAnalytic(t *testing.T) {
 		if !approx(g[i], want[i], 1e-4) {
 			t.Errorf("grad[%d] = %v, want %v", i, g[i], want[i])
 		}
+	}
+}
+
+// A fixed (seed, warm vector) pair must give bit-identical results
+// regardless of worker count, exactly like the cold solve.
+func TestWarmStartDeterministicAcrossWorkers(t *testing.T) {
+	p := perfPerCostProblem(3)
+	warm := []float64{40, 30, 20}
+	base := Options{Seed: 7, Starts: 8, WarmStart: warm, WarmTol: DefaultWarmTol}
+	seq := base
+	seq.Workers = 1
+	par := base
+	par.Workers = 8
+	r1, err := Minimize(p, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Minimize(p, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.F != r2.F || normDiff(r1.X, r2.X) != 0 || r1.Starts != r2.Starts || r1.WarmCut != r2.WarmCut {
+		t.Errorf("warm solve diverged across workers: %+v vs %+v", r1, r2)
+	}
+	r3, err := Minimize(p, seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.F != r3.F || normDiff(r1.X, r3.X) != 0 {
+		t.Errorf("warm solve not repeatable: %+v vs %+v", r1, r3)
+	}
+}
+
+// Seeding the solve with its own cold optimum must fire the adaptive
+// cutoff: the warm search re-converges to the proven basin, matches the
+// first cold start within WarmTol, and the remaining starts are skipped.
+func TestWarmStartCutoffFires(t *testing.T) {
+	p := perfPerCostProblem(3)
+	cold, err := Minimize(p, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Minimize(p, Options{Seed: 7, WarmStart: cold.X, WarmTol: DefaultWarmTol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.WarmCut || warm.Starts != 2 {
+		t.Fatalf("cutoff should stop after the warm + first cold start: %+v", warm)
+	}
+	if warm.F > cold.F*(1+1e-6) {
+		t.Errorf("warm-cut result %v worse than cold optimum %v", warm.F, cold.F)
+	}
+}
+
+// WarmTol 0 disables the cutoff: the warm point joins a full multistart,
+// adding exactly one start and never losing to the cold solve.
+func TestWarmStartZeroTolRunsFullMultistart(t *testing.T) {
+	p := perfPerCostProblem(3)
+	cold, err := Minimize(p, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Minimize(p, Options{Seed: 7, WarmStart: cold.X})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.WarmCut {
+		t.Errorf("WarmTol 0 must not cut: %+v", warm)
+	}
+	if warm.Starts != cold.Starts+1 {
+		t.Errorf("warm starts = %d, want cold %d + 1", warm.Starts, cold.Starts)
+	}
+	if warm.F > cold.F {
+		t.Errorf("adding a seed made the solve worse: %v vs %v", warm.F, cold.F)
+	}
+}
+
+// A warm point whose projection lands where the objective is +Inf is
+// dropped, and the solve is bit-identical to the cold one.
+func TestWarmStartInfeasibleDropped(t *testing.T) {
+	p := Problem{
+		N: 3,
+		Objective: func(x []float64) float64 {
+			if x[0] < 1 { // the warm point below projects to x[0] = 0.05
+				return math.Inf(1)
+			}
+			t, cost := 0.0, 0.0
+			for i := range x {
+				t += float64(10*(3-i)) / x[i]
+				cost += float64(1+3*i) * x[i]
+			}
+			return t * cost
+		},
+		Cons: NewConstraints(3).SumAtMost(100).SetAllLower(0.05),
+	}
+	cold, err := Minimize(p, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := Minimize(p, Options{Seed: 7, WarmStart: []float64{0.05, 50, 49}, WarmTol: DefaultWarmTol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.F != cold.F || normDiff(warm.X, cold.X) != 0 || warm.Starts != cold.Starts || warm.WarmCut {
+		t.Errorf("dropped warm start changed the solve: %+v vs %+v", warm, cold)
+	}
+}
+
+// WarmTol without WarmStart is inert: bit-identical to the plain cold
+// solve.
+func TestWarmTolIgnoredWithoutWarmStart(t *testing.T) {
+	p := perfPerCostProblem(3)
+	cold, err := Minimize(p, Options{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tol, err := Minimize(p, Options{Seed: 7, WarmTol: DefaultWarmTol})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.F != tol.F || normDiff(cold.X, tol.X) != 0 || cold.Starts != tol.Starts || tol.WarmCut {
+		t.Errorf("WarmTol alone changed the solve: %+v vs %+v", tol, cold)
+	}
+}
+
+// Validate must reject malformed warm-start state exactly like the other
+// zero/negative field rules, and accept the well-formed spellings.
+func TestOptionsValidateWarmFields(t *testing.T) {
+	bad := []Options{
+		{WarmTol: -1e-9},
+		{WarmTol: math.NaN()},
+		{WarmTol: math.Inf(1)},
+		{WarmStart: []float64{1, 2}},               // wrong length for n=3
+		{WarmStart: []float64{1, 2, math.NaN()}},   // NaN entry
+		{WarmStart: []float64{1, math.Inf(-1), 2}}, // -Inf entry
+		{WarmStart: []float64{math.Inf(1), 1, 2}},  // +Inf entry
+	}
+	for i, o := range bad {
+		if err := o.Validate(3); err == nil {
+			t.Errorf("case %d: Validate accepted malformed %+v", i, o)
+		}
+	}
+	good := []Options{
+		{},
+		{WarmStart: []float64{1, 2, 3}},
+		{WarmStart: []float64{1, 2, 3}, WarmTol: DefaultWarmTol},
+		{WarmTol: DefaultWarmTol}, // inert but valid
+	}
+	for i, o := range good {
+		if err := o.Validate(3); err != nil {
+			t.Errorf("case %d: Validate rejected %+v: %v", i, o, err)
+		}
+	}
+	// n ≤ 0 skips only the length check; entry finiteness still applies.
+	if err := (Options{WarmStart: []float64{1, 2}}).Validate(0); err != nil {
+		t.Errorf("unknown dimension should skip the length check: %v", err)
+	}
+	if err := (Options{WarmStart: []float64{math.NaN()}}).Validate(0); err == nil {
+		t.Error("NaN entry must fail even with unknown dimension")
 	}
 }

@@ -9,44 +9,134 @@ import (
 // back to Dykstra's alternating projections if the active-set method
 // stalls on a degenerate working set. The result is clipped into the box
 // bounds as a final guard.
+//
+// Hot loops that project repeatedly onto one constraint set should hold a
+// projector instead: Project builds the scratch buffers fresh on every
+// call.
 func Project(c *Constraints, x0 []float64) []float64 {
-	if c.Feasible(x0, 1e-12) {
-		return clone(x0)
-	}
-	if x, ok := projectActiveSet(c, x0); ok && c.Feasible(x, 1e-7) {
-		return x
-	}
-	return projectDykstra(c, x0, 2000, 1e-12)
+	pr := newProjector(c)
+	return clone(pr.project(x0))
 }
 
-// projectDykstra implements Dykstra's alternating-projection algorithm
-// over the polyhedron's halfspaces and hyperplanes. It converges to the
-// exact Euclidean projection for convex sets; each elementary projection
-// is closed-form.
-func projectDykstra(c *Constraints, x0 []float64, maxSweeps int, tol float64) []float64 {
+// projector performs repeated Euclidean projections onto one constraint
+// set, reusing the materialized row table and every correction/scratch
+// buffer across calls — the projection inner loops are the solver's
+// allocation hot spot. The slice project returns aliases internal scratch:
+// it is valid only until the next call, must be cloned if kept, and must
+// never be fed back in as a later input. Not safe for concurrent use; each
+// local search owns one.
+type projector struct {
+	c    *Constraints
+	rows []row
+	n    int
+	res  []float64 // result buffer aliased by project's return value
+	y    []float64 // Dykstra: x + p_i scratch
+	rp   []float64 // Dykstra: single-row projection scratch
+	corr []float64 // Dykstra: correction vectors, flat len(rows)·n
+	prev []float64 // Dykstra: previous iterate
+	// prevCorr mirrors corr for the drift test.
+	prevCorr  []float64
+	inWorking []bool
+	working   []int
+	// corrZero[i] marks a correction vector known to be all-zero, enabling
+	// dykstra's inactive-row fast path.
+	corrZero []bool
+	// Active-set KKT scratch: an augmented (A Aᵀ | rhs) system solved in
+	// place per iteration, plus the candidate point and step direction.
+	kktFlat []float64
+	kktRows [][]float64
+	lam     []float64
+	z       []float64
+	dir     []float64
+}
+
+func newProjector(c *Constraints) *projector {
 	rows := c.rows()
+	n := c.n
+	return &projector{
+		c:         c,
+		rows:      rows,
+		n:         n,
+		res:       make([]float64, n),
+		y:         make([]float64, n),
+		rp:        make([]float64, n),
+		corr:      make([]float64, len(rows)*n),
+		prev:      make([]float64, n),
+		prevCorr:  make([]float64, len(rows)*n),
+		inWorking: make([]bool, len(rows)),
+		working:   make([]int, 0, len(rows)),
+		corrZero:  make([]bool, len(rows)),
+		kktFlat:   make([]float64, len(rows)*(len(rows)+1)),
+		kktRows:   make([][]float64, len(rows)),
+		lam:       make([]float64, len(rows)),
+		z:         make([]float64, n),
+		dir:       make([]float64, n),
+	}
+}
+
+// project computes the projection of x0 into pr.res and returns it. x0
+// must not alias a previous return value.
+func (pr *projector) project(x0 []float64) []float64 {
+	if pr.c.Feasible(x0, 1e-12) {
+		copy(pr.res, x0)
+		return pr.res
+	}
+	if pr.activeSet(x0) && pr.c.Feasible(pr.res, 1e-7) {
+		return pr.res
+	}
+	pr.dykstra(x0, 2000, 1e-12)
+	return pr.res
+}
+
+// dykstra implements Dykstra's alternating-projection algorithm over the
+// polyhedron's halfspaces and hyperplanes, writing the result into pr.res.
+// It converges to the exact Euclidean projection for convex sets; each
+// elementary projection is closed-form.
+func (pr *projector) dykstra(x0 []float64, maxSweeps int, tol float64) {
+	rows := pr.rows
+	x := pr.res
+	copy(x, x0)
 	if len(rows) == 0 {
-		return clone(x0)
+		return
 	}
-	x := clone(x0)
-	// Dykstra correction vectors, one per constraint.
-	p := make([][]float64, len(rows))
-	prevP := make([][]float64, len(rows))
-	for i := range p {
-		p[i] = make([]float64, len(x))
-		prevP[i] = make([]float64, len(x))
+	n := pr.n
+	// Dykstra correction vectors, one per constraint, zeroed per call.
+	corr, prevCorr := pr.corr, pr.prevCorr
+	for i := range corr {
+		corr[i] = 0
+		prevCorr[i] = 0
 	}
-	prev := clone(x)
+	corrZero := pr.corrZero
+	for i := range corrZero {
+		corrZero[i] = true
+	}
+	prev := pr.prev
+	copy(prev, x)
+	y, proj := pr.y, pr.rp
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		for i, r := range rows {
 			// y = x + p_i, then project y onto constraint i.
-			y := clone(x)
-			axpy(1, p[i], y)
-			proj := projectRow(r, y)
+			pi := corr[i*n : (i+1)*n]
+			// Inactive inequality with a zero correction: y = x + 0 and
+			// the halfspace projection returns y unchanged, so the whole
+			// row op is a no-op — the dot product alone decides. Most rows
+			// of a sweep-state polyhedron (slack bounds) take this path
+			// every sweep.
+			if corrZero[i] && !r.eq && dot(r.a, x) <= r.b {
+				continue
+			}
+			copy(y, x)
+			axpy(1, pi, y)
+			projectRowInto(proj, r, y)
+			zero := true
 			for k := range x {
-				p[i][k] = y[k] - proj[k]
+				pi[k] = y[k] - proj[k]
+				if pi[k] != 0 {
+					zero = false
+				}
 				x[k] = proj[k]
 			}
+			corrZero[i] = zero
 		}
 		// Stop only when the whole sweep state — iterate AND corrections —
 		// has stopped moving. The iterate alone can sit still for a sweep
@@ -54,34 +144,32 @@ func projectDykstra(c *Constraints, x0 []float64, maxSweeps int, tol float64) []
 		// fixed point of x, not of the map), so watching x only can latch
 		// onto a feasible non-projection point.
 		drift := normDiff(x, prev)
-		for i := range p {
-			drift += normDiff(p[i], prevP[i])
+		for i := range rows {
+			drift += normDiff(corr[i*n:(i+1)*n], prevCorr[i*n:(i+1)*n])
 		}
-		if drift < tol*(1+norm2(x)) && c.Feasible(x, 1e-9) {
+		if drift < tol*(1+norm2(x)) && pr.c.Feasible(x, 1e-9) {
 			break
 		}
 		copy(prev, x)
-		for i := range p {
-			copy(prevP[i], p[i])
-		}
+		copy(prevCorr, corr)
 	}
-	return x
 }
 
-// projectRow projects y onto a single halfspace a·x ≤ b (or hyperplane
-// a·x = b).
-func projectRow(r row, y []float64) []float64 {
+// projectRowInto projects y onto a single halfspace a·x ≤ b (or hyperplane
+// a·x = b), writing into dst.
+func projectRowInto(dst []float64, r row, y []float64) {
 	v := dot(r.a, y) - r.b
 	if !r.eq && v <= 0 {
-		return clone(y)
+		copy(dst, y)
+		return
 	}
 	den := dot(r.a, r.a)
 	if den == 0 {
-		return clone(y)
+		copy(dst, y)
+		return
 	}
-	out := clone(y)
-	axpy(-v/den, r.a, out)
-	return out
+	copy(dst, y)
+	axpy(-v/den, r.a, dst)
 }
 
 func normDiff(a, b []float64) float64 {
@@ -93,22 +181,26 @@ func normDiff(a, b []float64) float64 {
 	return math.Sqrt(s)
 }
 
-// projectActiveSet solves min ½‖x−x0‖² s.t. the polyhedron, with a primal
-// active-set method. Returns ok=false if it fails to make progress (cycling
-// or singular KKT), in which case the caller should fall back to Dykstra.
-func projectActiveSet(c *Constraints, x0 []float64) ([]float64, bool) {
-	rows := c.rows()
-	n := c.n
+// activeSet solves min ½‖x−x0‖² s.t. the polyhedron, with a primal
+// active-set method, writing the result into pr.res. Returns false if it
+// fails to make progress (cycling or singular KKT), in which case the
+// caller should fall back to Dykstra.
+func (pr *projector) activeSet(x0 []float64) bool {
+	rows := pr.rows
 	// Feasible start: a few Dykstra sweeps are enough to get inside.
-	x := projectDykstra(c, x0, 300, 1e-11)
-	if !c.Feasible(x, 1e-7) {
-		return nil, false
+	pr.dykstra(x0, 300, 1e-11)
+	x := pr.res
+	if !pr.c.Feasible(x, 1e-7) {
+		return false
 	}
 
 	// Working set: all equalities plus inequalities active at x.
 	const actTol = 1e-8
-	working := make([]int, 0, len(rows))
-	inWorking := make([]bool, len(rows))
+	working := pr.working[:0]
+	inWorking := pr.inWorking
+	for i := range inWorking {
+		inWorking[i] = false
+	}
 	for i, r := range rows {
 		if r.eq || math.Abs(dot(r.a, x)-r.b) < actTol {
 			working = append(working, i)
@@ -119,21 +211,24 @@ func projectActiveSet(c *Constraints, x0 []float64) ([]float64, bool) {
 	for iter := 0; iter < 200; iter++ {
 		// Solve the equality-constrained projection onto the working set:
 		// min ½‖z−x0‖² s.t. a_w·z = b_w  →  KKT system in (z, λ).
-		z, lambda, ok := eqProject(x0, rows, working, n)
+		z, lambda, ok := pr.eqProject(x0, working)
 		if !ok {
 			// Degenerate working set: drop the most recently added row.
 			if len(working) == 0 {
-				return x, true
+				return true
 			}
 			last := working[len(working)-1]
 			if rows[last].eq {
-				return nil, false
+				return false
 			}
 			inWorking[last] = false
 			working = working[:len(working)-1]
 			continue
 		}
-		dir := sub(z, x)
+		dir := pr.dir
+		for k := range dir {
+			dir[k] = z[k] - x[k]
+		}
 		if norm2(dir) < 1e-10 {
 			// At the working-set minimizer: check inequality multipliers.
 			minLambda, minIdx := 0.0, -1
@@ -146,7 +241,7 @@ func projectActiveSet(c *Constraints, x0 []float64) ([]float64, bool) {
 				}
 			}
 			if minIdx < 0 || minLambda > -1e-9 {
-				return x, true // KKT satisfied
+				return true // KKT satisfied
 			}
 			inWorking[working[minIdx]] = false
 			working = append(working[:minIdx], working[minIdx+1:]...)
@@ -176,7 +271,7 @@ func projectActiveSet(c *Constraints, x0 []float64) ([]float64, bool) {
 			inWorking[blocking] = true
 		}
 	}
-	return nil, false
+	return false
 }
 
 // eqProject solves min ½‖z−x0‖² s.t. a_w·z = b_w for all w in the working
@@ -185,28 +280,71 @@ func projectActiveSet(c *Constraints, x0 []float64) ([]float64, bool) {
 //	[ I  Aᵀ ] [z]   [x0]
 //	[ A  0  ] [λ] = [b ]
 //
-// Eliminating z = x0 − Aᵀλ gives (A Aᵀ) λ = A x0 − b.
-func eqProject(x0 []float64, rows []row, working []int, n int) (z, lambda []float64, ok bool) {
+// Eliminating z = x0 − Aᵀλ gives (A Aᵀ) λ = A x0 − b. The returned slices
+// alias projector scratch, valid until the next call.
+func (pr *projector) eqProject(x0 []float64, working []int) (z, lambda []float64, ok bool) {
 	m := len(working)
+	z = pr.z
 	if m == 0 {
-		return clone(x0), nil, true
+		copy(z, x0)
+		return z, nil, true
 	}
-	AAt := make([][]float64, m)
-	rhs := make([]float64, m)
+	rows := pr.rows
+	kkt := pr.kktRows[:m]
+	w := m + 1
 	for i, wi := range working {
-		AAt[i] = make([]float64, m)
+		r := pr.kktFlat[i*w : i*w+w]
 		for j, wj := range working {
-			AAt[i][j] = dot(rows[wi].a, rows[wj].a)
+			r[j] = dot(rows[wi].a, rows[wj].a)
 		}
-		rhs[i] = dot(rows[wi].a, x0) - rows[wi].b
+		r[m] = dot(rows[wi].a, x0) - rows[wi].b
+		kkt[i] = r
 	}
-	lam, err := solveDense(AAt, rhs)
-	if err != nil {
+	lam := pr.lam[:m]
+	if !solveAugmented(kkt, lam) {
 		return nil, nil, false
 	}
-	z = clone(x0)
+	copy(z, x0)
 	for i, wi := range working {
 		axpy(-lam[i], rows[wi].a, z)
 	}
 	return z, lam, true
+}
+
+// solveAugmented runs Gaussian elimination with partial pivoting on an
+// in-place augmented system [A|b] (n rows of length n+1), writing the
+// solution into x. Returns false for (numerically) singular systems. The
+// arithmetic matches solveDense exactly, minus the defensive copies.
+func solveAugmented(m [][]float64, x []float64) bool {
+	n := len(m)
+	for col := 0; col < n; col++ {
+		piv := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(m[r][col]) > math.Abs(m[piv][col]) {
+				piv = r
+			}
+		}
+		if math.Abs(m[piv][col]) < 1e-12 {
+			return false
+		}
+		m[col], m[piv] = m[piv], m[col]
+		inv := 1 / m[col][col]
+		for r := col + 1; r < n; r++ {
+			f := m[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			for c := col; c <= n; c++ {
+				m[r][c] -= f * m[col][c]
+			}
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := m[i][n]
+		for c := i + 1; c < n; c++ {
+			s -= m[i][c] * x[c]
+		}
+		x[i] = s / m[i][i]
+	}
+	return true
 }

@@ -61,9 +61,46 @@ type Options struct {
 	// Strategy selects the per-start local search (default
 	// StrategyProjectedGradient).
 	Strategy Strategy
+	// WarmStart, when non-empty, seeds the multistart with a known-good
+	// solution from a neighboring problem (the previous point of a budget
+	// or cap sweep). The vector is projected onto the feasible set and
+	// runs as start 0, ahead of the regular deterministic seeds, which
+	// are unchanged — a warm solve explores the cold seed set plus the
+	// warm point. Its length must equal the problem dimension and every
+	// entry must be finite (see Validate); a warm start that projects
+	// outside the feasible set is dropped, falling back to the regular
+	// multistart.
+	WarmStart []float64
+	// WarmTol enables the adaptive warm-start cutoff. The warm start and
+	// the first cold (heuristic) start both run the full local search;
+	// when the warm search converged and its objective matches or beats
+	// the cold start's within a WarmTol relative margin, the neighbor's
+	// basin has proven itself against the strongest cold seed and the
+	// remaining starts are skipped. When the cold start wins by more than
+	// the margin, the full multistart continues unchanged. 0 disables the
+	// cutoff (the warm start joins a full multistart); negative or
+	// non-finite values are rejected. Ignored without WarmStart.
+	WarmTol float64
 }
 
-func (o Options) withDefaults() (Options, error) {
+// DefaultWarmTol is the warm-start cutoff margin the sweep layers
+// (frontier columns, cluster partition grids, figure sweeps) use: loose
+// enough that two converged descents into one basin always match, tight
+// enough that a genuinely better cold basin keeps the full multistart
+// alive.
+const DefaultWarmTol = 1e-6
+
+// Validate checks o against an n-variable problem without solving:
+// negative counts, unknown strategies, and malformed warm-start state
+// (wrong length, NaN/±Inf entries, negative WarmTol) are rejected exactly
+// as MinimizeContext would reject them. Pass n ≤ 0 to skip the
+// warm-start length check when the dimension is not yet known.
+func (o Options) Validate(n int) error {
+	_, err := o.withDefaults(n)
+	return err
+}
+
+func (o Options) withDefaults(n int) (Options, error) {
 	if o.MaxIters < 0 {
 		return o, fmt.Errorf("opt: negative MaxIters %d", o.MaxIters)
 	}
@@ -72,6 +109,19 @@ func (o Options) withDefaults() (Options, error) {
 	}
 	if o.Workers < 0 {
 		return o, fmt.Errorf("opt: negative Workers %d", o.Workers)
+	}
+	if o.WarmTol < 0 || math.IsNaN(o.WarmTol) || math.IsInf(o.WarmTol, 0) {
+		return o, fmt.Errorf("opt: invalid WarmTol %v (want a finite value ≥ 0)", o.WarmTol)
+	}
+	if len(o.WarmStart) > 0 {
+		if n > 0 && len(o.WarmStart) != n {
+			return o, fmt.Errorf("opt: WarmStart has %d entries for an %d-variable problem", len(o.WarmStart), n)
+		}
+		for i, v := range o.WarmStart {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return o, fmt.Errorf("opt: WarmStart[%d] = %v is not finite", i, v)
+			}
+		}
 	}
 	strat, err := ParseStrategy(string(o.Strategy))
 	if err != nil {
@@ -108,6 +158,10 @@ type Result struct {
 	F         float64
 	Starts    int
 	Converged bool
+	// WarmCut reports that the warm-start adaptive cutoff answered the
+	// solve: the warm start converged, matched or beat the first cold
+	// start within WarmTol, and the remaining starts were skipped.
+	WarmCut bool
 }
 
 // Minimize solves the problem with deterministic multistart local search
@@ -124,6 +178,12 @@ func Minimize(p Problem, o Options) (Result, error) {
 // Starts run concurrently on up to Options.Workers goroutines, but result
 // selection replays the sequential order, so the returned X/F/Starts are
 // bit-identical to a Workers: 1 solve for the same seed.
+//
+// Warm-starting (Options.WarmStart) is equally deterministic: the warm
+// point is prepended to the unchanged cold seed set, so a fixed
+// (seed, warm vector) pair always yields the same result regardless of
+// worker count, and a solve without WarmStart is bit-identical to one
+// from before the seam existed.
 func MinimizeContext(ctx context.Context, p Problem, o Options) (Result, error) {
 	if p.N < 1 || p.Objective == nil || p.Cons == nil {
 		return Result{}, fmt.Errorf("opt: problem needs N ≥ 1, an objective, and constraints")
@@ -131,12 +191,12 @@ func MinimizeContext(ctx context.Context, p Problem, o Options) (Result, error) 
 	if p.Cons.N() != p.N {
 		return Result{}, fmt.Errorf("opt: constraints over %d variables for an %d-variable problem", p.Cons.N(), p.N)
 	}
-	o, err := o.withDefaults()
+	o, err := o.withDefaults(p.N)
 	if err != nil {
 		return Result{}, err
 	}
 
-	seeds := seedPoints(p, o)
+	seeds, warm := seedPoints(p, o)
 	if len(seeds) == 0 {
 		return Result{}, fmt.Errorf("opt: could not build any feasible start (empty feasible set?)")
 	}
@@ -146,9 +206,9 @@ func MinimizeContext(ctx context.Context, p Problem, o Options) (Result, error) 
 		workers = len(seeds)
 	}
 	if workers <= 1 {
-		return minimizeSequential(ctx, p, seeds, o)
+		return minimizeSequential(ctx, p, seeds, o, warm)
 	}
-	return minimizeParallel(ctx, p, seeds, o, workers)
+	return minimizeParallel(ctx, p, seeds, o, workers, warm)
 }
 
 // startOutcome is the product of one multistart start: a locally-searched
@@ -162,7 +222,9 @@ type startOutcome struct {
 // runStart performs the full per-start local search under the selected
 // strategy. It is a pure function of (p, start, o) — scheduling cannot
 // change its result — which is what makes parallel multistart
-// deterministic.
+// deterministic. Warm and cold starts run the identical search: the
+// warm-start cutoff is a selection decision (see folder.fold), not a
+// different per-start algorithm.
 func runStart(ctx context.Context, p Problem, start []float64, o Options) startOutcome {
 	switch o.Strategy {
 	case StrategyCoordinateDescent:
@@ -179,38 +241,70 @@ func runStart(ctx context.Context, p Problem, start []float64, o Options) startO
 	}
 }
 
-// fold merges start si's outcome into the running best exactly as the
-// historical sequential loop did (strict improvement, first-come ties) and
-// reports whether the convex early exit fires. Both execution paths share
-// it, so their selection semantics cannot drift apart.
-func fold(best Result, out startOutcome, si int, o Options) (Result, bool) {
-	if out.f < best.F {
-		best = Result{X: out.x, F: out.f, Converged: out.conv}
-	}
-	best.Starts = si + 1
-	return best, o.Convex && out.conv
+// folder replays the historical sequential selection (strict improvement,
+// first-come ties) over per-start outcomes and decides the early exits:
+// the convex single-start exit and the warm-start adaptive cutoff. Both
+// execution paths drive one folder, so their selection semantics cannot
+// drift apart.
+type folder struct {
+	o    Options
+	warm bool // seeds[0] is an injected warm start
+	best Result
+	// warmOut holds start 0's outcome while the cutoff is undecided.
+	warmOut startOutcome
 }
 
-func minimizeSequential(ctx context.Context, p Problem, seeds [][]float64, o Options) (Result, error) {
-	best := Result{F: math.Inf(1)}
+func newFolder(o Options, warm bool) *folder {
+	return &folder{o: o, warm: warm, best: Result{F: math.Inf(1)}}
+}
+
+// fold merges start si's outcome into the running best and reports
+// whether to stop issuing starts.
+func (fd *folder) fold(out startOutcome, si int) bool {
+	if out.f < fd.best.F {
+		fd.best = Result{X: out.x, F: out.f, Converged: out.conv}
+	}
+	fd.best.Starts = si + 1
+	if fd.o.Convex && out.conv {
+		return true
+	}
+	if fd.warm && fd.o.WarmTol > 0 {
+		switch si {
+		case 0:
+			fd.warmOut = out
+		case 1:
+			// Adaptive cutoff: the warm search converged and matched or
+			// beat the strongest cold seed's full search within WarmTol,
+			// so the neighbor's basin has proven itself and the remaining
+			// starts are skipped.
+			if fd.warmOut.conv && fd.warmOut.f <= out.f+fd.o.WarmTol*math.Max(math.Abs(out.f), 1e-12) {
+				fd.best.WarmCut = true
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func minimizeSequential(ctx context.Context, p Problem, seeds [][]float64, o Options, warm bool) (Result, error) {
+	fd := newFolder(o, warm)
 	for si, s := range seeds {
 		out := runStart(ctx, p, s, o)
 		if err := ctx.Err(); err != nil {
 			return Result{}, fmt.Errorf("opt: solve canceled: %w", err)
 		}
-		var stop bool
-		if best, stop = fold(best, out, si, o); stop {
+		if fd.fold(out, si) {
 			break
 		}
 	}
-	return finish(best)
+	return finish(fd.best)
 }
 
 // minimizeParallel fans the starts out over a bounded worker pool and
 // replays the sequential selection over the per-start outcomes in seed
 // order. Outcomes past a convex early exit are computed speculatively and
 // discarded; the shared context cancels whatever is still in flight.
-func minimizeParallel(ctx context.Context, p Problem, seeds [][]float64, o Options, workers int) (Result, error) {
+func minimizeParallel(ctx context.Context, p Problem, seeds [][]float64, o Options, workers int, warm bool) (Result, error) {
 	runCtx, cancel := context.WithCancel(ctx)
 	var wg sync.WaitGroup
 	// On return: cancel speculative in-flight starts first, then wait for
@@ -245,7 +339,7 @@ func minimizeParallel(ctx context.Context, p Problem, seeds [][]float64, o Optio
 		close(jobs)
 	}()
 
-	best := Result{F: math.Inf(1)}
+	fd := newFolder(o, warm)
 	for si := range seeds {
 		<-done[si]
 		// A consumed outcome always ran under a live context here: cancel
@@ -253,12 +347,11 @@ func minimizeParallel(ctx context.Context, p Problem, seeds [][]float64, o Optio
 		if err := ctx.Err(); err != nil {
 			return Result{}, fmt.Errorf("opt: solve canceled: %w", err)
 		}
-		var stop bool
-		if best, stop = fold(best, outcomes[si], si, o); stop {
+		if fd.fold(outcomes[si], si) {
 			break
 		}
 	}
-	return finish(best)
+	return finish(fd.best)
 }
 
 func finish(best Result) (Result, error) {
@@ -268,11 +361,15 @@ func finish(best Result) (Result, error) {
 	return best, nil
 }
 
-// seedPoints builds deterministic feasible starting points: the projected
-// center of the box/budget, projected per-variable emphasis points, and
-// seeded-random interior points. The PRNG is consumed fully before any
-// start runs, so the seed set is independent of execution order.
-func seedPoints(p Problem, o Options) [][]float64 {
+// seedPoints builds deterministic feasible starting points: the optional
+// projected warm start first, then the projected center of the box/budget,
+// projected per-variable emphasis points, and seeded-random interior
+// points. The PRNG is consumed fully before any start runs, so the seed
+// set is independent of execution order. A warm start raises the seed cap
+// by one, so the cold seeds — and the PRNG draws producing them — are
+// exactly those of the equivalent cold solve. warm reports whether
+// seeds[0] is the warm start.
+func seedPoints(p Problem, o Options) (seeds [][]float64, warm bool) {
 	n := p.N
 	c := p.Cons
 	// Estimate a characteristic scale from bounds or budget rows.
@@ -305,7 +402,6 @@ func seedPoints(p Problem, o Options) [][]float64 {
 		}
 	}
 
-	var seeds [][]float64
 	add := func(raw []float64) {
 		x := Project(c, raw)
 		if !c.Feasible(x, 1e-6) {
@@ -315,6 +411,16 @@ func seedPoints(p Problem, o Options) [][]float64 {
 			return
 		}
 		seeds = append(seeds, x)
+	}
+	// Warm start first: an infeasible or non-finite warm point is simply
+	// dropped, falling back to the regular multistart.
+	if len(o.WarmStart) > 0 {
+		add(o.WarmStart)
+		warm = len(seeds) == 1
+	}
+	limit := o.Starts + n
+	if warm {
+		limit++
 	}
 	// Equal split.
 	eq := make([]float64, n)
@@ -341,7 +447,7 @@ func seedPoints(p Problem, o Options) [][]float64 {
 	add(g)
 	// Seeded random interior points.
 	rng := rand.New(rand.NewSource(o.Seed))
-	for len(seeds) < o.Starts+n {
+	for len(seeds) < limit {
 		r := make([]float64, n)
 		for i := range r {
 			r[i] = rng.Float64() * scale
@@ -351,18 +457,27 @@ func seedPoints(p Problem, o Options) [][]float64 {
 			break
 		}
 	}
-	if len(seeds) > o.Starts+n {
-		seeds = seeds[:o.Starts+n]
+	if len(seeds) > limit {
+		seeds = seeds[:limit]
 	}
-	return seeds
+	return seeds, warm
 }
 
 // numGrad computes a central-difference gradient.
 func numGrad(f func([]float64) float64, x []float64) []float64 {
 	g := make([]float64, len(x))
+	numGradInto(g, f, x, clone(x), clone(x))
+	return g
+}
+
+// numGradInto computes a central-difference gradient into g, using xp/xm
+// as perturbation scratch (each restored to x after its component), so a
+// gradient-heavy local search performs zero allocations per gradient.
+func numGradInto(g []float64, f func([]float64) float64, x, xp, xm []float64) {
+	copy(xp, x)
+	copy(xm, x)
 	for i := range x {
 		h := 1e-6 * math.Max(1, math.Abs(x[i]))
-		xp, xm := clone(x), clone(x)
 		xp[i] += h
 		xm[i] -= h
 		fp, fm := f(xp), f(xm)
@@ -376,20 +491,28 @@ func numGrad(f func([]float64) float64, x []float64) []float64 {
 			} else {
 				g[i] = 0
 			}
-			continue
+		} else {
+			g[i] = (fp - fm) / (2 * h)
 		}
-		g[i] = (fp - fm) / (2 * h)
+		xp[i] = x[i]
+		xm[i] = x[i]
 	}
-	return g
 }
 
 // projectedGradient runs monotone projected gradient descent with
 // backtracking line search from a feasible start.
 func projectedGradient(ctx context.Context, p Problem, start []float64, o Options) (x []float64, f float64, converged bool) {
+	n := len(start)
 	grad := p.Grad
 	if grad == nil {
-		grad = func(x []float64) []float64 { return numGrad(p.Objective, x) }
+		gbuf, xp, xm := make([]float64, n), make([]float64, n), make([]float64, n)
+		grad = func(x []float64) []float64 {
+			numGradInto(gbuf, p.Objective, x, xp, xm)
+			return gbuf
+		}
 	}
+	pr := newProjector(p.Cons)
+	cand := make([]float64, n)
 	x = clone(start)
 	f = p.Objective(x)
 	step := 1.0
@@ -407,12 +530,13 @@ func projectedGradient(ctx context.Context, p Problem, start []float64, o Option
 		t := step * math.Max(norm2(x), 1) / gn
 		improved := false
 		for try := 0; try < 40; try++ {
-			cand := clone(x)
+			copy(cand, x)
 			axpy(-t, g, cand)
-			cand = Project(p.Cons, cand)
-			fc := p.Objective(cand)
+			proj := pr.project(cand)
+			fc := p.Objective(proj)
 			if fc < f-1e-15*math.Abs(f) {
-				x, f = cand, fc
+				copy(x, proj)
+				f = fc
 				improved = true
 				step = math.Min(step*1.3, 4)
 				break
@@ -473,6 +597,14 @@ func nelderMead(ctx context.Context, p Problem, start []float64, o Options) ([]f
 			}
 		}
 	}
+	// Per-iteration scratch, reused across iterations: the centroid, a
+	// difference direction, and one buffer per candidate move. Accepted
+	// candidates swap buffers with the worst vertex instead of allocating.
+	cen := make([]float64, n)
+	dif := make([]float64, n)
+	refl := make([]float64, n)
+	expd := make([]float64, n)
+	con := make([]float64, n)
 	for iter := 0; iter < 400*n; iter++ {
 		if ctx.Err() != nil {
 			break
@@ -482,7 +614,9 @@ func nelderMead(ctx context.Context, p Problem, start []float64, o Options) ([]f
 			break
 		}
 		// Centroid of all but worst.
-		cen := make([]float64, n)
+		for j := range cen {
+			cen[j] = 0
+		}
 		for i := 0; i < n; i++ {
 			for j := 0; j < n; j++ {
 				cen[j] += simplex[i][j]
@@ -491,30 +625,43 @@ func nelderMead(ctx context.Context, p Problem, start []float64, o Options) ([]f
 		for j := range cen {
 			cen[j] /= float64(n)
 		}
-		refl := clone(cen)
-		axpy(alpha, sub(cen, simplex[n]), refl)
+		for j := range dif {
+			dif[j] = cen[j] - simplex[n][j]
+		}
+		copy(refl, cen)
+		axpy(alpha, dif, refl)
 		fr := pen(refl)
 		switch {
 		case fr < fs[0]:
-			exp := clone(cen)
-			axpy(gamma, sub(cen, simplex[n]), exp)
-			if fe := pen(exp); fe < fr {
-				simplex[n], fs[n] = exp, fe
+			copy(expd, cen)
+			axpy(gamma, dif, expd)
+			if fe := pen(expd); fe < fr {
+				simplex[n], expd = expd, simplex[n]
+				fs[n] = fe
 			} else {
-				simplex[n], fs[n] = refl, fr
+				simplex[n], refl = refl, simplex[n]
+				fs[n] = fr
 			}
 		case fr < fs[n-1]:
-			simplex[n], fs[n] = refl, fr
+			simplex[n], refl = refl, simplex[n]
+			fs[n] = fr
 		default:
-			con := clone(cen)
-			axpy(rho, sub(simplex[n], cen), con)
+			for j := range dif {
+				dif[j] = simplex[n][j] - cen[j]
+			}
+			copy(con, cen)
+			axpy(rho, dif, con)
 			if fc := pen(con); fc < fs[n] {
-				simplex[n], fs[n] = con, fc
+				simplex[n], con = con, simplex[n]
+				fs[n] = fc
 			} else {
 				for i := 1; i <= n; i++ {
-					shr := clone(simplex[0])
-					axpy(sigma, sub(simplex[i], simplex[0]), shr)
-					simplex[i], fs[i] = shr, pen(shr)
+					for j := range dif {
+						dif[j] = simplex[i][j] - simplex[0][j]
+					}
+					copy(simplex[i], simplex[0])
+					axpy(sigma, dif, simplex[i])
+					fs[i] = pen(simplex[i])
 				}
 			}
 		}

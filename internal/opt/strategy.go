@@ -48,6 +48,8 @@ func ParseStrategy(s string) (Strategy, error) {
 // improves, the quantum halves; the search converges once the quantum is
 // negligible relative to the point's scale.
 func coordinateDescent(ctx context.Context, p Problem, start []float64, o Options) (x []float64, f float64, converged bool) {
+	pr := newProjector(p.Cons)
+	cand := make([]float64, len(start))
 	x = clone(start)
 	f = p.Objective(x)
 	scale := math.Max(norm2(x), 1)
@@ -62,12 +64,13 @@ func coordinateDescent(ctx context.Context, p Problem, start []float64, o Option
 				if i == j {
 					continue
 				}
-				cand := clone(x)
+				copy(cand, x)
 				cand[i] += step
 				cand[j] -= step
-				cand = Project(p.Cons, cand)
-				if fc := p.Objective(cand); fc < f-1e-15*math.Abs(f) {
-					x, f = cand, fc
+				proj := pr.project(cand)
+				if fc := p.Objective(proj); fc < f-1e-15*math.Abs(f) {
+					copy(x, proj)
+					f = fc
 					improved = true
 				}
 			}

@@ -122,24 +122,29 @@ func (e *Estimator) Prepare(w *workload.Workload) (func(bw topology.BWConfig) (B
 	}, nil
 }
 
-// commCost prices one collective call, accumulating per-dim traffic/busy.
-func (e *Estimator) commCost(c workload.Comm, maps Mappings, bw topology.BWConfig, b *Breakdown) float64 {
+// commCost prices one collective call, accumulating per-dim traffic/busy
+// when the breakdown tracks them (nil DimTraffic marks the lean pricing
+// path, which only needs stage totals). tbuf is per-call traffic scratch.
+func (e *Estimator) commCost(c workload.Comm, maps Mappings, bw topology.BWConfig, b *Breakdown, tbuf []float64) float64 {
 	mapping := maps.ForScope(c.Scope)
 	ndims := e.Net.NumDims()
 	var traffic []float64
 	if e.InNetwork != nil {
-		traffic = collective.InNetworkTraffic(c.Op, c.Bytes, mapping, ndims, e.InNetwork)
+		traffic = collective.InNetworkTrafficInto(tbuf, c.Op, c.Bytes, mapping, ndims, e.InNetwork)
 	} else {
-		traffic = collective.Traffic(c.Op, c.Bytes, mapping, ndims)
+		traffic = collective.TrafficInto(tbuf, c.Op, c.Bytes, mapping, ndims)
 	}
+	track := b.DimTraffic != nil
 	worst := 0.0
 	for d, v := range traffic {
 		if v == 0 {
 			continue
 		}
 		t := v / (bw[d] * 1e9)
-		b.DimTraffic[d] += v
-		b.DimBusy[d] += t
+		if track {
+			b.DimTraffic[d] += v
+			b.DimBusy[d] += t
+		}
 		if t > worst {
 			worst = t
 		}
@@ -149,14 +154,36 @@ func (e *Estimator) commCost(c workload.Comm, maps Mappings, bw topology.BWConfi
 }
 
 func (e *Estimator) iterate(w *workload.Workload, bw topology.BWConfig, maps Mappings) Breakdown {
-	b := Breakdown{
-		DimTraffic: make([]float64, e.Net.NumDims()),
-		DimBusy:    make([]float64, e.Net.NumDims()),
+	return e.iterateTracked(w, bw, maps, true)
+}
+
+// iterateTracked prices one iteration. track=false is the optimizer's
+// lean path: per-dimension traffic/busy accumulators are skipped and all
+// scratch stays in fixed-size local buffers, so an evaluation allocates
+// nothing — the objective closures stay pure and safe for the solver's
+// concurrent multistart. Stage totals are computed by the same operations
+// in the same order either way.
+func (e *Estimator) iterateTracked(w *workload.Workload, bw topology.BWConfig, maps Mappings, track bool) Breakdown {
+	var b Breakdown
+	ndims := e.Net.NumDims()
+	var preTraffic, preBusy []float64
+	if track {
+		b.DimTraffic = make([]float64, ndims)
+		b.DimBusy = make([]float64, ndims)
+		preTraffic = make([]float64, ndims)
+		preBusy = make([]float64, ndims)
+	}
+	// Per-collective traffic scratch; LIBRA fabrics have ≤ 8 dimensions,
+	// so the backing array normally lives on this frame.
+	var tarr [8]float64
+	tbuf := tarr[:]
+	if ndims > len(tarr) {
+		tbuf = make([]float64, ndims)
 	}
 	sumComm := func(cs []workload.Comm) float64 {
 		t := 0.0
 		for _, c := range cs {
-			t += e.commCost(c, maps, bw, &b)
+			t += e.commCost(c, maps, bw, &b, tbuf)
 		}
 		return t
 	}
@@ -167,8 +194,10 @@ func (e *Estimator) iterate(w *workload.Workload, bw topology.BWConfig, maps Map
 		dpComp := e.Compute.Time(l.DPFLOPs, l.DPBytes)
 		// Communication is identical across the Count copies; price one
 		// layer and scale. Scale the shared accumulators afterwards.
-		preTraffic := append([]float64(nil), b.DimTraffic...)
-		preBusy := append([]float64(nil), b.DimBusy...)
+		if track {
+			copy(preTraffic, b.DimTraffic)
+			copy(preBusy, b.DimBusy)
+		}
 		preColl := b.CollectiveTime
 		fwdComm := sumComm(l.FwdComm)
 		tpComm := sumComm(l.TPComm)
@@ -215,7 +244,7 @@ func (e *Estimator) TimeFunc(w *workload.Workload) (func(bw topology.BWConfig) f
 		if err := bw.Validate(e.Net); err != nil {
 			return inf
 		}
-		b := e.iterate(w, bw, maps)
+		b := e.iterateTracked(w, bw, maps, false)
 		return b.Total
 	}, nil
 }
