@@ -79,6 +79,10 @@ bench-record:
 # benchmarks (the multistart fold and the warm-chained frontier sweep)
 # into $(PROFILEDIR). Inspect with `go tool pprof $(PROFILEDIR)/libra.test
 # $(PROFILEDIR)/cpu.pprof`. CI uploads the directory as an artifact.
+# To profile a live server instead, start libra-serve with
+# `-debug-addr 127.0.0.1:6060` and point pprof at
+# http://127.0.0.1:6060/debug/pprof/ (off by default; serve it on a
+# loopback or otherwise non-public address).
 profile:
 	mkdir -p $(PROFILEDIR)
 	$(GO) test -bench='^(BenchmarkMinimizeParallel|BenchmarkFrontier)$$' -benchmem \
@@ -106,7 +110,9 @@ fuzz-smoke:
 # smoke boots libra-serve on an OS-assigned port and drives the async
 # job API end to end through the client SDK (examples/jobsclient):
 # health probe, sync /v2/tasks optimize, /v2/jobs frontier submission,
-# SSE progress stream, result decode. What CI's server-smoke step runs.
+# SSE progress stream, result decode — then scrapes /healthz and
+# /metrics and asserts the core series actually moved. What CI's
+# server-smoke step runs.
 SMOKEDIR := $(or $(RUNNER_TEMP),/tmp)
 smoke:
 	@set -e; \
@@ -119,7 +125,17 @@ smoke:
 	addr=$$(head -n1 $(SMOKEDIR)/libra-serve.addr); \
 	if [ -z "$$addr" ]; then echo "libra-serve never came up:"; cat $(SMOKEDIR)/libra-serve.log; exit 1; fi; \
 	echo "smoke: libra-serve at $$addr"; \
-	$(SMOKEDIR)/jobsclient -addr "$$addr"
+	$(SMOKEDIR)/jobsclient -addr "$$addr"; \
+	echo "smoke: checking /healthz"; \
+	curl -fsS "$$addr/healthz" | grep -q '"ok"'; \
+	echo "smoke: checking /metrics"; \
+	curl -fsS "$$addr/metrics" > $(SMOKEDIR)/libra-metrics.txt; \
+	for series in libra_http_requests_total libra_tasks_total \
+		libra_engine_cache_misses_total libra_jobs_submitted_total; do \
+		grep -q "^$$series" $(SMOKEDIR)/libra-metrics.txt || \
+			{ echo "smoke: /metrics missing $$series"; exit 1; }; \
+	done; \
+	echo "smoke: metrics ok"
 
 # validate runs the analytical-vs-simulator conformance matrix and fails
 # when any scenario diverges beyond the committed tolerance.

@@ -32,6 +32,7 @@ import (
 	"libra"
 	"libra/internal/jobs"
 	"libra/internal/task"
+	"libra/internal/telemetry"
 )
 
 // Task aliases the envelope type (libra.Task); build values with the
@@ -267,6 +268,12 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	// A trace ID on the context (libra.WithTraceID) becomes the request's
+	// X-Request-Id, so server-side logs, metrics, and job spans correlate
+	// back to this call.
+	if id := telemetry.TraceID(ctx); id != "" {
+		req.Header.Set("X-Request-Id", id)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return err
@@ -499,9 +506,16 @@ func (c *Client) watchOnce(ctx context.Context, id string, lastSeq *int, onEvent
 	return false, scanner.Err()
 }
 
-// Stats fetches the engine's cache/load counters from GET /v1/stats.
-func (c *Client) Stats(ctx context.Context) (libra.EngineStats, error) {
-	var out libra.EngineStats
+// ServerStats is the GET /v1/stats payload: the engine's cache/load
+// counters plus the job manager's retention state.
+type ServerStats struct {
+	Engine libra.EngineStats `json:"engine"`
+	Jobs   libra.JobStats    `json:"jobs"`
+}
+
+// Stats fetches the server's counters from GET /v1/stats.
+func (c *Client) Stats(ctx context.Context) (ServerStats, error) {
+	var out ServerStats
 	err := c.do(ctx, http.MethodGet, "/v1/stats", nil, true, &out)
 	return out, err
 }
@@ -510,4 +524,43 @@ func (c *Client) Stats(ctx context.Context) (libra.EngineStats, error) {
 // doubles as a "wait for the server to come up" probe.
 func (c *Client) Healthy(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/healthz", nil, true, nil)
+}
+
+// Health is the combined probe answer: Live mirrors /healthz, Ready
+// mirrors /readyz (Reason carries the server's explanation when not).
+type Health struct {
+	Live   bool   `json:"live"`
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Health probes both /healthz and /readyz. A reachable-but-not-ready
+// server is not an error — Health.Ready is false and Reason says why;
+// the error return is reserved for an unreachable or broken server.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	if err := c.do(ctx, http.MethodGet, "/healthz", nil, true, nil); err != nil {
+		return Health{}, err
+	}
+	h := Health{Live: true}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/readyz", nil)
+	if err != nil {
+		return h, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return h, err
+	}
+	var body struct {
+		Status string `json:"status"`
+		Reason string `json:"reason"`
+	}
+	_ = json.Unmarshal(data, &body)
+	h.Ready = resp.StatusCode == http.StatusOK
+	h.Reason = body.Reason
+	return h, nil
 }

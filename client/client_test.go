@@ -2,6 +2,8 @@ package client
 
 import (
 	"context"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
@@ -27,7 +29,10 @@ func testClient(t *testing.T) *Client {
 	t.Cleanup(engine.Close)
 	manager := libra.NewJobManager(libra.JobConfig{Engine: engine, Capacity: 32})
 	t.Cleanup(manager.Close)
-	srv := httptest.NewServer(server.NewMux(engine, manager, 1<<20))
+	srv := httptest.NewServer(server.New(server.Options{
+		Engine: engine, Jobs: manager, MaxBody: 1 << 20,
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	}))
 	t.Cleanup(srv.Close)
 	return New(srv.URL)
 }
@@ -93,8 +98,16 @@ func TestClientDo(t *testing.T) {
 	}
 
 	stats, err := c.Stats(ctx)
-	if err != nil || stats.Misses == 0 {
+	if err != nil || stats.Engine.Misses == 0 {
 		t.Fatalf("stats %+v, %v", stats, err)
+	}
+	if stats.Jobs.Capacity == 0 {
+		t.Fatalf("stats missing jobs section: %+v", stats)
+	}
+
+	health, err := c.Health(ctx)
+	if err != nil || !health.Live || !health.Ready {
+		t.Fatalf("health %+v, %v", health, err)
 	}
 }
 

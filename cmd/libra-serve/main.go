@@ -13,8 +13,10 @@
 //	GET    /v2/jobs               ?status=&offset=&limit= → {"jobs": [...], "total": n}
 //	GET    /v2/jobs/{id}          → job (result included when done)
 //	DELETE /v2/jobs/{id}          cancel → job (status "cancelled")
-//	GET    /v2/jobs/{id}/events   Server-Sent Events: status + progress stream
-//	GET    /v1/stats | /healthz   engine stats | liveness
+//	GET    /v2/jobs/{id}/events   Server-Sent Events: status + progress + span stream
+//	GET    /v1/stats              engine + job-manager stats
+//	GET    /healthz | /readyz     liveness | readiness
+//	GET    /metrics               Prometheus text exposition
 //
 // The legacy per-kind endpoints remain as thin shims over the same
 // dispatch — each accepts exactly the envelope's kind payload and returns
@@ -31,6 +33,13 @@
 // with codes bad_spec, cancelled, unavailable, not_found,
 // method_not_allowed, too_large, too_many_jobs, internal.
 //
+// Every request is traced: a well-formed inbound X-Request-Id is honored
+// (otherwise an ID is minted), echoed back on the response, logged on the
+// access line, and carried onto async jobs where solver spans record
+// against it. Logs are structured (log/slog); -log-format json emits one
+// JSON object per line. -debug-addr starts a second listener serving
+// net/http/pprof and expvar — keep it off the public interface.
+//
 // Repeated identical requests are answered from the LRU result cache
 // (keyed by the spec's canonical fingerprint); identical concurrent
 // requests share one solve. Client disconnects cancel abandoned solves.
@@ -43,13 +52,16 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
+
+	_ "expvar"         // /debug/vars on the -debug-addr listener
+	_ "net/http/pprof" // /debug/pprof on the -debug-addr listener
 
 	"libra"
 	"libra/internal/cliutil"
@@ -59,15 +71,24 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", ":8080", "listen address")
-		workers  = flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
-		cache    = flag.Int("cache", 512, "LRU result-cache entries (negative disables)")
-		maxBody  = flag.Int64("max-body", 1<<20, "maximum request body bytes")
-		jobCap   = flag.Int("jobs", 512, "maximum retained async jobs (running + terminal)")
-		jobTTL   = flag.Duration("job-ttl", 15*time.Minute, "terminal job retention")
-		printURL = flag.Bool("print-addr", false, "print the resolved listen URL to stdout once serving (useful with :0)")
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 0, "max concurrent solves (0 = GOMAXPROCS)")
+		cache     = flag.Int("cache", 512, "LRU result-cache entries (negative disables)")
+		maxBody   = flag.Int64("max-body", 1<<20, "maximum request body bytes")
+		jobCap    = flag.Int("jobs", 512, "maximum retained async jobs (running + terminal)")
+		jobTTL    = flag.Duration("job-ttl", 15*time.Minute, "terminal job retention")
+		logLevel  = flag.String("log-level", "info", "log level: debug|info|warn|error")
+		logFormat = flag.String("log-format", "text", "log format: text|json")
+		debugAddr = flag.String("debug-addr", "", "listen address for pprof/expvar debug endpoints (empty disables)")
+		printURL  = flag.Bool("print-addr", false, "print the resolved listen URL to stdout once serving (useful with :0)")
 	)
 	flag.Parse()
+
+	logger, err := libra.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		cliutil.Fatal("libra-serve", err)
+	}
+	slog.SetDefault(logger)
 
 	engine := libra.NewEngine(libra.EngineConfig{Workers: *workers, CacheSize: *cache})
 	defer engine.Close()
@@ -78,7 +99,7 @@ func main() {
 	if err != nil {
 		cliutil.Fatal("libra-serve", err)
 	}
-	srv := &http.Server{Handler: newMux(engine, manager, *maxBody)}
+	srv := &http.Server{Handler: newMux(engine, manager, *maxBody, logger)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -88,7 +109,20 @@ func main() {
 		srv.Shutdown(shutdownCtx)
 	}()
 
-	log.Printf("libra-serve listening on %s (workers=%d, cache=%d, jobs=%d)", ln.Addr(), *workers, *cache, *jobCap)
+	if *debugAddr != "" {
+		// The debug listener serves http.DefaultServeMux, where the pprof
+		// and expvar imports registered — separate from the API listener so
+		// profiling endpoints never face API clients.
+		go func() {
+			logger.Info("debug listener serving pprof/expvar", "addr", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				logger.Error("debug listener failed", "addr", *debugAddr, "error", err)
+			}
+		}()
+	}
+
+	logger.Info("libra-serve listening",
+		"addr", ln.Addr().String(), "workers", *workers, "cache", *cache, "jobs", *jobCap)
 	if *printURL {
 		fmt.Printf("http://%s\n", ln.Addr())
 	}
@@ -98,6 +132,6 @@ func main() {
 }
 
 // newMux builds the full service handler (see internal/server).
-func newMux(engine *libra.Engine, manager *jobs.Manager, maxBody int64) http.Handler {
-	return server.NewMux(engine, manager, maxBody)
+func newMux(engine *libra.Engine, manager *jobs.Manager, maxBody int64, logger *slog.Logger) http.Handler {
+	return server.New(server.Options{Engine: engine, Jobs: manager, MaxBody: maxBody, Logger: logger})
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -12,6 +14,11 @@ import (
 	"libra"
 	"libra/internal/jobs"
 )
+
+// testLogger keeps per-request access logs out of test output.
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 func testServer(t *testing.T) *httptest.Server {
 	srv, _, _ := testServerParts(t)
@@ -26,7 +33,7 @@ func testServerParts(t *testing.T) (*httptest.Server, *libra.Engine, *jobs.Manag
 	t.Cleanup(engine.Close)
 	manager := jobs.NewManager(jobs.Config{Engine: engine, Capacity: 64})
 	t.Cleanup(manager.Close)
-	srv := httptest.NewServer(newMux(engine, manager, 1<<20))
+	srv := httptest.NewServer(newMux(engine, manager, 1<<20, testLogger()))
 	t.Cleanup(srv.Close)
 	return srv, engine, manager
 }

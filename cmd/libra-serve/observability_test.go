@@ -1,0 +1,308 @@
+package main
+
+// End-to-end observability coverage: the /metrics exposition after a
+// mixed workload, request-ID propagation through the middleware, and
+// trace spans landing in a job's SSE event log.
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"libra/internal/jobs"
+)
+
+// metricLine matches one Prometheus text-format sample:
+// name{labels} value.
+var metricLine = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})? (.+)$`)
+
+// scrapeMetrics fetches /metrics, validates the exposition shape, and
+// returns the sample lines keyed by full identity (name + label set).
+func scrapeMetrics(t *testing.T, base string) map[string]float64 {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples := map[string]float64{}
+	for _, line := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		m := metricLine.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("malformed exposition line %q", line)
+		}
+		v, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			t.Fatalf("unparseable value on line %q: %v", line, err)
+		}
+		samples[m[1]+m[2]] = v
+	}
+	return samples
+}
+
+// sampleWith finds a sample whose identity starts with name and contains
+// every given label fragment, returning its value.
+func sampleWith(t *testing.T, samples map[string]float64, name string, frags ...string) float64 {
+	t.Helper()
+outer:
+	for id, v := range samples {
+		if !strings.HasPrefix(id, name) {
+			continue
+		}
+		for _, f := range frags {
+			if !strings.Contains(id, f) {
+				continue outer
+			}
+		}
+		return v
+	}
+	t.Fatalf("no sample %s with labels %v", name, frags)
+	return 0
+}
+
+// A mixed workload — a fresh optimize, a repeat served from cache, an
+// async frontier job — must surface in every layer of the /metrics
+// exposition: HTTP request counts and latency histograms, task dispatch,
+// engine cache traffic, solver starts, sweep fan-out, and job lifecycle.
+func TestMetricsEndpointE2E(t *testing.T) {
+	srv := testServer(t)
+
+	before := scrapeMetrics(t, srv.URL)
+	// Distinct budget so the first optimize is a genuine cache miss even
+	// though the catalog aggregates across tests in this process.
+	spec := `{"topology":"RI(4)_SW(8)","budget_gbps":237,"workloads":[{"preset":"DLRM"}]}`
+	for i := 0; i < 2; i++ {
+		if resp, body := postJSON(t, srv.URL+"/v1/optimize", spec); resp.StatusCode != http.StatusOK {
+			t.Fatalf("optimize %d: %d %s", i, resp.StatusCode, body)
+		}
+	}
+	envelope := `{"kind":"frontier","spec":{"spec":` + tinyProblem + `,"frontier":{"budget_min":110,"budget_max":410,"budget_steps":4,"skip_equal_bw":true}}}`
+	resp, body := postJSON(t, srv.URL+"/v2/jobs", envelope)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	waitJob(t, srv.URL, submitted.ID)
+
+	after := scrapeMetrics(t, srv.URL)
+	// Counters are process-global, so assert deltas against the first
+	// scrape rather than absolute values.
+	delta := func(name string, frags ...string) float64 {
+		var beforeV float64
+	outer:
+		for bid, v := range before {
+			if !strings.HasPrefix(bid, name) {
+				continue
+			}
+			for _, f := range frags {
+				if !strings.Contains(bid, f) {
+					continue outer
+				}
+			}
+			beforeV = v
+			break
+		}
+		return sampleWith(t, after, name, frags...) - beforeV
+	}
+
+	if d := delta("libra_http_requests_total", `route="/v1/optimize"`, `method="POST"`, `code="200"`); d != 2 {
+		t.Errorf("optimize request count delta %v, want 2", d)
+	}
+	if d := delta("libra_http_request_duration_seconds_count", `route="/v1/optimize"`); d != 2 {
+		t.Errorf("optimize latency histogram count delta %v, want 2", d)
+	}
+	if d := delta("libra_http_request_duration_seconds_bucket", `route="/v1/optimize"`, `le="+Inf"`); d != 2 {
+		t.Errorf("optimize latency +Inf bucket delta %v, want 2", d)
+	}
+	if d := delta("libra_tasks_total", `kind="optimize"`, `outcome="ok"`); d != 2 {
+		t.Errorf("optimize task count delta %v, want 2", d)
+	}
+	if d := delta("libra_tasks_total", `kind="frontier"`, `outcome="ok"`); d != 1 {
+		t.Errorf("frontier task count delta %v, want 1", d)
+	}
+	// The repeated optimize is answered from the engine cache.
+	if d := delta("libra_engine_cache_hits_total"); d < 1 {
+		t.Errorf("engine cache hit delta %v, want >= 1", d)
+	}
+	if d := delta("libra_engine_cache_misses_total"); d < 1 {
+		t.Errorf("engine cache miss delta %v, want >= 1", d)
+	}
+	if d := delta("libra_solver_solves_total"); d < 1 {
+		t.Errorf("solver solve delta %v, want >= 1", d)
+	}
+	if d := delta("libra_solver_starts_total"); d < 1 {
+		t.Errorf("solver start delta %v, want >= 1", d)
+	}
+	if d := delta("libra_sweep_points_total", `stage="frontier"`); d != 4 {
+		t.Errorf("frontier sweep point delta %v, want 4", d)
+	}
+	if d := delta("libra_jobs_submitted_total"); d != 1 {
+		t.Errorf("job submission delta %v, want 1", d)
+	}
+	if d := delta("libra_job_events_total"); d < 3 {
+		t.Errorf("job event delta %v, want >= 3", d)
+	}
+	// Gauges must exist and be sane (non-negative) even when idle.
+	for _, g := range []string{
+		"libra_http_requests_in_flight",
+		"libra_engine_solves_in_flight",
+		"libra_engine_active_workers",
+		"libra_job_watchers",
+	} {
+		if v := sampleWith(t, after, g); v < 0 {
+			t.Errorf("gauge %s is %v, want >= 0", g, v)
+		}
+	}
+}
+
+// The middleware echoes a caller-supplied X-Request-Id, mints one when
+// absent, and rejects garbage.
+func TestRequestIDPropagation(t *testing.T) {
+	srv := testServer(t)
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v1/stats", nil)
+	req.Header.Set("X-Request-Id", "caller-trace-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got != "caller-trace-42" {
+		t.Errorf("echoed request ID %q, want caller-trace-42", got)
+	}
+
+	resp, err = http.Get(srv.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	minted := resp.Header.Get("X-Request-Id")
+	if !regexp.MustCompile(`^[0-9a-f]{16}$`).MatchString(minted) {
+		t.Errorf("minted request ID %q, want 16 hex chars", minted)
+	}
+
+	// Overlong IDs are rejected, so a fresh ID is minted instead of
+	// reflecting the unbounded header back into logs and event payloads.
+	long := strings.Repeat("x", 200)
+	req, _ = http.NewRequest(http.MethodGet, srv.URL+"/v1/stats", nil)
+	req.Header.Set("X-Request-Id", long)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-Id"); got == long || got == "" {
+		t.Errorf("overlong request ID handled as %q, want a freshly minted one", got)
+	}
+}
+
+// A trace ID submitted with a job (X-Request-Id on POST /v2/jobs) is
+// stamped onto the job and carried by the timed spans its SSE event log
+// records — the end-to-end tracing acceptance path.
+func TestTraceSpanInSSEEventLog(t *testing.T) {
+	srv := testServer(t)
+	const trace = "sse-trace-7f3a"
+
+	envelope := `{"kind":"frontier","spec":{"spec":` + tinyProblem + `,"frontier":{"budget_min":120,"budget_max":420,"budget_steps":4,"skip_equal_bw":true}}}`
+	req, _ := http.NewRequest(http.MethodPost, srv.URL+"/v2/jobs", strings.NewReader(envelope))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("X-Request-Id", trace)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var submitted struct {
+		ID      string `json:"id"`
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal(body, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	if submitted.TraceID != trace {
+		t.Errorf("job snapshot trace_id %q, want %q", submitted.TraceID, trace)
+	}
+	waitJob(t, srv.URL, submitted.ID)
+
+	stream, err := http.Get(srv.URL + "/v2/jobs/" + submitted.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Body.Close()
+	var spans []jobs.Event
+	scanner := bufio.NewScanner(stream.Body)
+	for scanner.Scan() {
+		line := scanner.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev jobs.Event
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev.Type == jobs.EventSpan {
+			spans = append(spans, ev)
+		}
+	}
+	if len(spans) == 0 {
+		t.Fatal("no span events in the job's SSE stream")
+	}
+	names := map[string]bool{}
+	for _, ev := range spans {
+		if ev.Span == nil {
+			t.Fatalf("span event %d has no span payload", ev.Seq)
+		}
+		if ev.Span.TraceID != trace {
+			t.Errorf("span %q trace %q, want %q", ev.Span.Name, ev.Span.TraceID, trace)
+		}
+		if ev.Span.DurationMS < 0 {
+			t.Errorf("span %q has negative duration %v", ev.Span.Name, ev.Span.DurationMS)
+		}
+		if ev.Span.Start.IsZero() {
+			t.Errorf("span %q has zero start time", ev.Span.Name)
+		}
+		names[ev.Span.Name] = true
+	}
+	// The dispatch span and at least one engine solve span must be there.
+	if !names["task:frontier"] {
+		t.Errorf("span names %v missing task:frontier", keys(names))
+	}
+	if !names["engine:optimize"] {
+		t.Errorf("span names %v missing engine:optimize", keys(names))
+	}
+}
+
+func keys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -448,8 +448,11 @@ func TestV2CancelClusterJob(t *testing.T) {
 func TestV2CancelCoDesignJob(t *testing.T) {
 	srv, engine, manager := testServerParts(t)
 	// A heavy multistart budget times a dense budget axis keeps the study
-	// running long enough to cancel mid-solve deterministically.
-	budgets := make([]string, 64)
+	// running long enough to cancel mid-solve deterministically: the
+	// window must dwarf the tens of milliseconds an HTTP round trip can
+	// stall while the solver saturates every core (acute on one-CPU CI,
+	// where the serving goroutine waits behind CPU-bound solver work).
+	budgets := make([]string, 512)
 	for i := range budgets {
 		budgets[i] = fmt.Sprintf("%d", 200+5*i)
 	}
@@ -610,13 +613,22 @@ func TestErrorCodes(t *testing.T) {
 	resp, body = postJSON(t, srv.URL+"/v2/jobs", huge)
 	check(resp, body, http.StatusRequestEntityTooLarge, "too_large")
 
-	// GET /v1/stats still works.
+	// GET /v1/stats still works, now reporting both sections.
 	resp, body = getJSON(t, srv.URL+"/v1/stats")
 	if resp.StatusCode != http.StatusOK {
 		t.Errorf("GET /v1/stats: %d %s", resp.StatusCode, body)
 	}
-	var stats libra.EngineStats
+	var stats struct {
+		Engine libra.EngineStats `json:"engine"`
+		Jobs   libra.JobStats    `json:"jobs"`
+	}
 	if err := json.Unmarshal(body, &stats); err != nil {
 		t.Errorf("stats decode: %v", err)
+	}
+	if stats.Engine.Workers == 0 {
+		t.Errorf("stats engine section empty: %s", body)
+	}
+	if stats.Jobs.Capacity == 0 {
+		t.Errorf("stats jobs section empty: %s", body)
 	}
 }

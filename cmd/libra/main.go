@@ -208,15 +208,23 @@ func (r *remoteRunner) close() {}
 // An interrupted run cancels the job server-side so no orphaned solve
 // keeps burning the service's workers.
 func (r *remoteRunner) run(ctx context.Context, t *libra.Task) (any, error) {
+	// Mint a trace ID per submission: the client sends it as X-Request-Id,
+	// the server stamps it onto the job, and its spans in the event log
+	// carry it — one greppable handle from CLI stderr to server logs.
+	trace := libra.NewTraceID()
+	ctx = libra.WithTraceID(ctx, trace)
 	job, err := r.c.Submit(ctx, t)
 	if err != nil {
 		return nil, err
+	}
+	if !r.quiet {
+		fmt.Fprintf(os.Stderr, "libra: remote job %s submitted (trace %s)\n", job.ID, trace)
 	}
 	final, err := r.c.Watch(ctx, job.ID, r.onEvent)
 	if err != nil {
 		if ctx.Err() != nil {
 			// Best-effort server-side cancel, detached from the dead ctx.
-			cancelCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			cancelCtx, cancel := context.WithTimeout(libra.WithTraceID(context.Background(), trace), 5*time.Second)
 			defer cancel()
 			r.c.Cancel(cancelCtx, job.ID) //nolint:errcheck // the interrupt wins either way
 		}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"libra/internal/telemetry"
 	"libra/internal/topology"
 )
 
@@ -52,11 +53,13 @@ type Engine struct {
 	cfg EngineConfig
 	sem chan struct{}
 
-	mu       sync.Mutex
-	cache    *lruCache
-	inflight map[string]*flight
-	hits     uint64
-	misses   uint64
+	mu        sync.Mutex
+	cache     *lruCache
+	inflight  map[string]*flight
+	hits      uint64
+	misses    uint64
+	coalesces uint64
+	evictions uint64
 
 	baseCtx context.Context
 	stop    context.CancelFunc
@@ -110,8 +113,13 @@ type EngineResult struct {
 
 // EngineStats reports cache effectiveness and current load.
 type EngineStats struct {
-	Hits         uint64 `json:"hits"`
-	Misses       uint64 `json:"misses"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Coalesces counts requests that joined an identical in-flight
+	// computation instead of starting their own (single-flight dedup).
+	Coalesces uint64 `json:"coalesces"`
+	// Evictions counts cache entries displaced by the LRU capacity bound.
+	Evictions    uint64 `json:"evictions"`
 	CacheEntries int    `json:"cache_entries"`
 	InFlight     int    `json:"in_flight"`
 	Workers      int    `json:"workers"`
@@ -121,11 +129,23 @@ type EngineStats struct {
 func (e *Engine) Stats() EngineStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	s := EngineStats{Hits: e.hits, Misses: e.misses, InFlight: len(e.inflight), Workers: e.cfg.Workers}
+	s := EngineStats{
+		Hits: e.hits, Misses: e.misses,
+		Coalesces: e.coalesces, Evictions: e.evictions,
+		InFlight: len(e.inflight), Workers: e.cfg.Workers,
+	}
 	if e.cache != nil {
 		s.CacheEntries = e.cache.len()
 	}
 	return s
+}
+
+// Ready reports whether the engine accepts work (nil) or has been closed.
+func (e *Engine) Ready() error {
+	if err := e.baseCtx.Err(); err != nil {
+		return fmt.Errorf("core: engine closed: %w", err)
+	}
+	return nil
 }
 
 // prepare builds and fingerprints the spec once per request — the built
@@ -209,22 +229,43 @@ func (e *Engine) doResult(ctx context.Context, key, fp string, solve func(contex
 	}, nil
 }
 
+// opOf maps a computation key to its metric/span label. Keys are
+// prefixed by the operation that minted them; the returned strings are
+// constants so labeling stays allocation-free on the solve path.
+func opOf(key string) (op, span string) {
+	switch {
+	case strings.HasPrefix(key, "optimize|"):
+		return "optimize", "engine:optimize"
+	case strings.HasPrefix(key, "evaluate|"):
+		return "evaluate", "engine:evaluate"
+	case strings.HasPrefix(key, "validate|"):
+		return "validate", "engine:validate"
+	}
+	return "other", "engine:do"
+}
+
 // doShared runs one cached, single-flighted, worker-bounded computation.
 func (e *Engine) doShared(ctx context.Context, key string, compute func(context.Context) (any, error)) (cacheEntry, bool, error) {
 	if err := e.baseCtx.Err(); err != nil {
 		return cacheEntry{}, false, fmt.Errorf("core: engine closed: %w", err)
 	}
+	op, span := opOf(key)
+	end := telemetry.StartSpan(ctx, span)
+	defer end()
 	e.mu.Lock()
 	if e.cache != nil {
 		if r, ok := e.cache.get(key); ok {
 			e.hits++
 			e.mu.Unlock()
+			telemetry.EngineCacheHits.Inc()
 			return r, true, nil
 		}
 	}
 	if f, ok := e.inflight[key]; ok {
 		f.waiters++
+		e.coalesces++
 		e.mu.Unlock()
+		telemetry.EngineCoalesced.Inc()
 		return e.wait(ctx, f)
 	}
 	e.misses++
@@ -232,6 +273,8 @@ func (e *Engine) doShared(ctx context.Context, key string, compute func(context.
 	f := &flight{done: make(chan struct{}), waiters: 1, cancel: cancel}
 	e.inflight[key] = f
 	e.mu.Unlock()
+	telemetry.EngineCacheMisses.Inc()
+	telemetry.EngineInFlight.Inc()
 
 	go func() {
 		defer cancel()
@@ -239,20 +282,35 @@ func (e *Engine) doShared(ctx context.Context, key string, compute func(context.
 		var err error
 		select {
 		case e.sem <- struct{}{}:
+			telemetry.EngineActiveWorkers.Inc()
 			start := time.Now()
 			var v any
 			v, err = compute(solveCtx)
+			elapsed := time.Since(start)
 			<-e.sem
-			res = cacheEntry{value: v, elapsedMS: float64(time.Since(start)) / float64(time.Millisecond)}
+			telemetry.EngineActiveWorkers.Dec()
+			telemetry.EngineSolveDuration.With(op).Observe(elapsed.Seconds())
+			res = cacheEntry{value: v, elapsedMS: float64(elapsed) / float64(time.Millisecond)}
 		case <-solveCtx.Done():
 			err = solveCtx.Err()
 		}
+		var added bool
+		var evicted int
 		e.mu.Lock()
 		delete(e.inflight, key)
 		if err == nil && e.cache != nil {
-			e.cache.add(key, res)
+			added, evicted = e.cache.add(key, res)
+			e.evictions += uint64(evicted)
 		}
 		e.mu.Unlock()
+		telemetry.EngineInFlight.Dec()
+		if added {
+			telemetry.EngineCacheEntries.Inc()
+		}
+		if evicted > 0 {
+			telemetry.EngineCacheEvictions.Add(uint64(evicted))
+			telemetry.EngineCacheEntries.Add(int64(-evicted))
+		}
 		f.res, f.err = res, err
 		close(f.done)
 	}()
@@ -403,16 +461,21 @@ func (c *lruCache) get(key string) (cacheEntry, bool) {
 	return el.Value.(*lruEntry).res, true
 }
 
-func (c *lruCache) add(key string, res cacheEntry) {
+// add inserts or refreshes a key, reporting whether a new entry was
+// created and how many entries the capacity bound displaced — callers
+// feed both into the cache gauges.
+func (c *lruCache) add(key string, res cacheEntry) (added bool, evicted int) {
 	if el, ok := c.items[key]; ok {
 		el.Value.(*lruEntry).res = res
 		c.order.MoveToFront(el)
-		return
+		return false, 0
 	}
 	c.items[key] = c.order.PushFront(&lruEntry{key: key, res: res})
 	for c.order.Len() > c.cap {
 		last := c.order.Back()
 		c.order.Remove(last)
 		delete(c.items, last.Value.(*lruEntry).key)
+		evicted++
 	}
+	return true, evicted
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"sync"
+
+	"libra/internal/telemetry"
 )
 
 // Progress is one observation of a batch fan-out: how many of a stage's
@@ -85,9 +87,18 @@ func (t *ProgressTracker) Tick(cached bool) {
 
 // TickN records n landed points, hits of them cache-served. The hook runs
 // under the tracker lock: per-stage observations are totally ordered and
-// Done never regresses from a watcher's point of view.
+// Done never regresses from a watcher's point of view. The per-stage
+// sweep counters are bumped whether or not a hook is installed —
+// /metrics sees every fan-out, not just the watched ones.
 func (t *ProgressTracker) TickN(n, hits int) {
-	if t == nil || t.fn == nil {
+	if t == nil || t.stage == "" {
+		return
+	}
+	telemetry.SweepPoints.With(t.stage).Add(uint64(n))
+	if hits > 0 {
+		telemetry.SweepCacheHits.With(t.stage).Add(uint64(hits))
+	}
+	if t.fn == nil {
 		return
 	}
 	t.mu.Lock()

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"libra/internal/core"
+	"libra/internal/telemetry"
 	"libra/internal/topology"
 )
 
@@ -273,6 +274,7 @@ func Compute(ctx context.Context, s Solver, base *core.ProblemSpec, req Request)
 				// the warm answer for this fingerprint) and keep the better.
 				if warm != nil && perfObjective &&
 					pt.Result.WeightedTime > prev.Result.WeightedTime*(1+1e-9) {
+					telemetry.WarmGuardTrips.Inc()
 					if p, err := pointSpec(pt, nil).Build(); err == nil {
 						if r, err := p.OptimizeContext(ctx); err == nil && r.WeightedTime < pt.Result.WeightedTime {
 							pt.Result = r

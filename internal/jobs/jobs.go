@@ -26,6 +26,7 @@ import (
 
 	"libra/internal/core"
 	"libra/internal/task"
+	"libra/internal/telemetry"
 )
 
 // Status is a job's lifecycle state.
@@ -52,7 +53,16 @@ const (
 	EventStatus = "status"
 	// EventProgress carries one batch-progress observation.
 	EventProgress = "progress"
+	// EventSpan carries one finished trace span — where the job's time
+	// went (task dispatch, engine solves), tagged with the trace ID the
+	// submission carried.
+	EventSpan = "span"
 )
+
+// maxSpanEvents caps span events per job so a span-heavy computation (a
+// wide sweep is thousands of engine solves) cannot balloon the event log
+// the SSE endpoint replays. Overflow is counted, not silently eaten.
+const maxSpanEvents = 256
 
 // Event is one entry of a job's append-only event log — what the SSE
 // endpoint streams. Seq is the 1-based position in the log, so clients
@@ -62,6 +72,8 @@ type Event struct {
 	Type     string         `json:"type"`
 	Status   Status         `json:"status,omitempty"`
 	Progress *core.Progress `json:"progress,omitempty"`
+	// Span carries one finished trace span on an EventSpan entry.
+	Span *telemetry.Span `json:"span,omitempty"`
 	// Error carries the failure message on a terminal failed/cancelled
 	// status event.
 	Error string `json:"error,omitempty"`
@@ -74,6 +86,7 @@ type Job struct {
 	ID          string     `json:"id"`
 	Kind        task.Kind  `json:"kind"`
 	Fingerprint string     `json:"fingerprint,omitempty"`
+	TraceID     string     `json:"trace_id,omitempty"`
 	Status      Status     `json:"status"`
 	Created     time.Time  `json:"created"`
 	Started     *time.Time `json:"started,omitempty"`
@@ -127,6 +140,8 @@ type job struct {
 	id          string
 	task        *task.Task
 	fingerprint string
+	traceID     string
+	spans       int // span events recorded, against maxSpanEvents
 
 	status   Status
 	created  time.Time
@@ -152,14 +167,81 @@ type job struct {
 type Manager struct {
 	cfg Config
 
-	mu     sync.Mutex
-	jobs   map[string]*job
-	order  []string // submission order, oldest first
-	seq    int
-	closed bool
+	mu        sync.Mutex
+	jobs      map[string]*job
+	order     []string // submission order, oldest first
+	seq       int
+	closed    bool
+	submitted uint64
+	evictions uint64
 
 	// now is the clock, swappable in tests.
 	now func() time.Time
+}
+
+// Stats reports the manager's retention state — what /v1/stats serves
+// and /readyz checks.
+type Stats struct {
+	// Depth is how many jobs the store currently retains (live and
+	// terminal), against Capacity.
+	Depth    int `json:"depth"`
+	Capacity int `json:"capacity"`
+	// States counts retained jobs by lifecycle status.
+	States map[string]int `json:"states"`
+	// Submitted and Evictions are lifetime totals (TTL and capacity
+	// evictions together).
+	Submitted uint64 `json:"submitted"`
+	Evictions uint64 `json:"evictions"`
+}
+
+// Stats snapshots the manager counters.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.sweepLocked(m.now())
+	s := Stats{
+		Depth:     len(m.jobs),
+		Capacity:  m.cfg.Capacity,
+		States:    map[string]int{},
+		Submitted: m.submitted,
+		Evictions: m.evictions,
+	}
+	for _, j := range m.jobs {
+		s.States[string(j.status)]++
+	}
+	return s
+}
+
+// Ready reports whether a submission would be accepted now: the manager
+// is open and either below capacity or holding an evictable terminal
+// job. The readiness probe (/readyz) calls this.
+func (m *Manager) Ready() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrClosed
+	}
+	m.sweepLocked(m.now())
+	if len(m.jobs) < m.cfg.Capacity {
+		return nil
+	}
+	for _, j := range m.jobs {
+		if j.status.Terminal() {
+			return nil // a submission can evict this one
+		}
+	}
+	return fmt.Errorf("%w: %d jobs retained, none terminal", ErrFull, m.cfg.Capacity)
+}
+
+// setStatusGauges moves a job between the per-status gauge buckets; ""
+// means absent (entering on submit, leaving on eviction).
+func setStatusGauges(from, to Status) {
+	if from != "" {
+		telemetry.JobsCurrent.With(string(from)).Dec()
+	}
+	if to != "" {
+		telemetry.JobsCurrent.With(string(to)).Inc()
+	}
 }
 
 // NewManager builds a Manager over the engine in cfg.
@@ -190,7 +272,14 @@ func (m *Manager) Close() {
 // Submit validates the task (a spec that cannot fingerprint is rejected
 // here, synchronously, as ErrBadSpec), registers a pending job, and
 // starts its worker. The returned snapshot is the job at submission.
-func (m *Manager) Submit(t *task.Task) (*Job, error) {
+//
+// ctx is read, not retained: a trace ID attached to it
+// (telemetry.WithTraceID — the HTTP layer does this from X-Request-Id)
+// is stamped onto the job and rides the worker's own context, so spans
+// recorded during execution correlate back to the submitting request.
+// Execution itself is never bounded by ctx — submission is fire-and-
+// forget; cancel via Cancel.
+func (m *Manager) Submit(ctx context.Context, t *task.Task) (*Job, error) {
 	if t == nil {
 		return nil, fmt.Errorf("%w: nil task", core.ErrBadSpec)
 	}
@@ -211,11 +300,13 @@ func (m *Manager) Submit(t *task.Task) (*Job, error) {
 		return nil, fmt.Errorf("%w: %d jobs retained, none terminal", ErrFull, m.cfg.Capacity)
 	}
 	m.seq++
-	ctx, cancel := context.WithCancel(context.Background())
+	m.submitted++
+	runCtx, cancel := context.WithCancel(context.Background())
 	j := &job{
 		id:          fmt.Sprintf("job-%06d", m.seq),
 		task:        t,
 		fingerprint: fp,
+		traceID:     telemetry.TraceID(ctx),
 		status:      StatusPending,
 		created:     now,
 		stageIdx:    map[string]int{},
@@ -228,8 +319,10 @@ func (m *Manager) Submit(t *task.Task) (*Job, error) {
 	m.order = append(m.order, j.id)
 	snap := j.snapshotLocked(true)
 	m.mu.Unlock()
+	telemetry.JobsSubmitted.Inc()
+	setStatusGauges("", StatusPending)
 
-	go m.run(ctx, j)
+	go m.run(runCtx, j)
 	return snap, nil
 }
 
@@ -246,10 +339,32 @@ func (m *Manager) run(ctx context.Context, j *job) {
 	j.started = m.now()
 	j.appendEventLocked(Event{Type: EventStatus, Status: StatusRunning})
 	m.mu.Unlock()
+	setStatusGauges(StatusPending, StatusRunning)
 
 	pctx := core.WithProgress(ctx, func(p core.Progress) { m.recordProgress(j, p) })
+	// Re-attach the submission's trace ID and record finished spans on
+	// the event log, so SSE watchers see where the job's time went.
+	if j.traceID != "" {
+		pctx = telemetry.WithTraceID(pctx, j.traceID)
+	}
+	pctx = telemetry.WithSpanRecorder(pctx, func(sp telemetry.Span) { m.recordSpan(j, sp) })
 	result, err := task.Run(pctx, m.cfg.Engine, j.task)
 	m.finish(j, result, err, ctx.Err() != nil)
+}
+
+// recordSpan appends a span event, bounded by maxSpanEvents per job.
+// Spans arriving after the job sealed (a cancelled worker unwinding) are
+// dropped so the terminal status event stays last in the log.
+func (m *Manager) recordSpan(j *job, sp telemetry.Span) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if j.status.Terminal() || j.spans >= maxSpanEvents {
+		telemetry.SpansDropped.Inc()
+		return
+	}
+	j.spans++
+	s := sp
+	j.appendEventLocked(Event{Type: EventSpan, Span: &s})
 }
 
 // recordProgress appends a progress event and updates the per-stage
@@ -281,6 +396,7 @@ func (m *Manager) finish(j *job, result any, err error, cancelled bool) {
 		return
 	}
 	j.finished = m.now()
+	prev := j.status
 	switch {
 	case cancelled || errors.Is(err, context.Canceled):
 		j.status = StatusCancelled
@@ -295,6 +411,7 @@ func (m *Manager) finish(j *job, result any, err error, cancelled bool) {
 		j.result = result
 		j.appendEventLocked(Event{Type: EventStatus, Status: StatusDone})
 	}
+	setStatusGauges(prev, j.status)
 }
 
 // Cancel cancels a live job: the job seals to cancelled immediately (the
@@ -310,11 +427,13 @@ func (m *Manager) Cancel(id string) (*Job, error) {
 	}
 	var cancel context.CancelFunc
 	if !j.status.Terminal() {
+		prev := j.status
 		j.status = StatusCancelled
 		j.finished = m.now()
 		j.err = context.Canceled
 		j.appendEventLocked(Event{Type: EventStatus, Status: StatusCancelled, Error: "cancelled"})
 		cancel = j.cancel
+		setStatusGauges(prev, StatusCancelled)
 	}
 	snap := j.snapshotLocked(true)
 	m.mu.Unlock()
@@ -432,6 +551,7 @@ func (m *Manager) EventsSince(id string, from int) ([]Event, <-chan struct{}, er
 func (j *job) appendEventLocked(ev Event) {
 	ev.Seq = len(j.events) + 1
 	j.events = append(j.events, ev)
+	telemetry.JobEvents.Inc()
 	close(j.notify)
 	j.notify = make(chan struct{})
 }
@@ -442,6 +562,7 @@ func (j *job) snapshotLocked(withResult bool) *Job {
 		ID:          j.id,
 		Kind:        j.task.Kind,
 		Fingerprint: j.fingerprint,
+		TraceID:     j.traceID,
 		Status:      j.status,
 		Created:     j.created,
 		Events:      len(j.events),
@@ -476,6 +597,9 @@ func (m *Manager) sweepLocked(now time.Time) {
 		}
 		if j.status.Terminal() && now.Sub(j.finished) >= m.cfg.TTL {
 			delete(m.jobs, id)
+			m.evictions++
+			telemetry.JobsEvicted.With("ttl").Inc()
+			setStatusGauges(j.status, "")
 			continue
 		}
 		keep = append(keep, id)
@@ -494,6 +618,9 @@ func (m *Manager) evictOldestTerminalLocked() bool {
 		if j.status.Terminal() {
 			delete(m.jobs, id)
 			m.order = append(m.order[:i], m.order[i+1:]...)
+			m.evictions++
+			telemetry.JobsEvicted.With("capacity").Inc()
+			setStatusGauges(j.status, "")
 			return true
 		}
 	}

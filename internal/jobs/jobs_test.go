@@ -34,7 +34,7 @@ func testManager(t *testing.T, cfg Config) (*Manager, *core.Engine) {
 // in its event log, and the result survives until TTL.
 func TestJobLifecycleDone(t *testing.T) {
 	m, _ := testManager(t, Config{})
-	snap, err := m.Submit(task.NewOptimize(tinySpec()))
+	snap, err := m.Submit(context.Background(), task.NewOptimize(tinySpec()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,10 +92,10 @@ func TestSubmitRejectsBadSpec(t *testing.T) {
 	m, _ := testManager(t, Config{})
 	bad := tinySpec()
 	bad.Topology = "nope"
-	if _, err := m.Submit(task.NewOptimize(bad)); !errors.Is(err, core.ErrBadSpec) {
+	if _, err := m.Submit(context.Background(), task.NewOptimize(bad)); !errors.Is(err, core.ErrBadSpec) {
 		t.Fatalf("bad spec submit: %v", err)
 	}
-	if _, err := m.Submit(nil); !errors.Is(err, core.ErrBadSpec) {
+	if _, err := m.Submit(context.Background(), nil); !errors.Is(err, core.ErrBadSpec) {
 		t.Fatalf("nil task submit: %v", err)
 	}
 }
@@ -108,7 +108,7 @@ func TestJobFailed(t *testing.T) {
 	m := NewManager(Config{Engine: engine})
 	t.Cleanup(m.Close)
 	engine.Close() // every solve now errors
-	snap, err := m.Submit(task.NewOptimize(tinySpec()))
+	snap, err := m.Submit(context.Background(), task.NewOptimize(tinySpec()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +134,7 @@ func TestCancelRunningJob(t *testing.T) {
 	// A frontier with many points keeps the 1-2 worker engine busy long
 	// enough to cancel mid-solve deterministically.
 	tk := task.NewFrontier(tinySpec(), frontier.Request{BudgetMin: 100, BudgetMax: 400, BudgetSteps: 64, SkipEqualBW: true})
-	snap, err := m.Submit(tk)
+	snap, err := m.Submit(context.Background(), tk)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,7 +194,7 @@ func TestCancelRunningJob(t *testing.T) {
 func TestProgressEventsMonotonic(t *testing.T) {
 	m, _ := testManager(t, Config{})
 	budgets := frontier.Request{BudgetMin: 100, BudgetMax: 300, BudgetSteps: 8, SkipEqualBW: true}
-	snap, err := m.Submit(task.NewFrontier(tinySpec(), budgets))
+	snap, err := m.Submit(context.Background(), task.NewFrontier(tinySpec(), budgets))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -256,7 +256,7 @@ func TestTTLEviction(t *testing.T) {
 	clock := time.Now()
 	m.now = func() time.Time { return clock }
 
-	snap, err := m.Submit(task.NewOptimize(tinySpec()))
+	snap, err := m.Submit(context.Background(), task.NewOptimize(tinySpec()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -281,7 +281,7 @@ func TestCapacityEviction(t *testing.T) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
 
-	a, err := m.Submit(task.NewOptimize(tinySpec()))
+	a, err := m.Submit(context.Background(), task.NewOptimize(tinySpec()))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -290,7 +290,7 @@ func TestCapacityEviction(t *testing.T) {
 	}
 	spec2 := tinySpec()
 	spec2.BudgetGBps = 300
-	b, err := m.Submit(task.NewOptimize(spec2))
+	b, err := m.Submit(context.Background(), task.NewOptimize(spec2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -300,7 +300,7 @@ func TestCapacityEviction(t *testing.T) {
 	// Third submission evicts a (the oldest terminal).
 	spec3 := tinySpec()
 	spec3.BudgetGBps = 400
-	c, err := m.Submit(task.NewOptimize(spec3))
+	c, err := m.Submit(context.Background(), task.NewOptimize(spec3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,11 +314,11 @@ func TestCapacityEviction(t *testing.T) {
 	// Fill the store with unfinishable jobs: further submissions fail.
 	m2, _ := testManager(t, Config{Capacity: 1})
 	slow := task.NewFrontier(tinySpec(), frontier.Request{BudgetMin: 100, BudgetMax: 400, BudgetSteps: 64, SkipEqualBW: true})
-	live, err := m2.Submit(slow)
+	live, err := m2.Submit(context.Background(), slow)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m2.Submit(task.NewOptimize(tinySpec())); !errors.Is(err, ErrFull) {
+	if _, err := m2.Submit(context.Background(), task.NewOptimize(tinySpec())); !errors.Is(err, ErrFull) {
 		t.Fatalf("over-capacity submit: %v", err)
 	}
 	if _, err := m2.Cancel(live.ID); err != nil {
@@ -335,7 +335,7 @@ func TestListPagination(t *testing.T) {
 	for i := 0; i < 3; i++ {
 		spec := tinySpec()
 		spec.BudgetGBps = 100 + 50*float64(i)
-		snap, err := m.Submit(task.NewOptimize(spec))
+		snap, err := m.Submit(context.Background(), task.NewOptimize(spec))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -380,7 +380,7 @@ func TestConcurrentAccess(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			snap, err := m.Submit(task.NewOptimize(tinySpec()))
+			snap, err := m.Submit(context.Background(), task.NewOptimize(tinySpec()))
 			if err != nil {
 				t.Error(err)
 				return

@@ -7,6 +7,8 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+
+	"libra/internal/telemetry"
 )
 
 // Problem is a constrained minimization over an n-vector.
@@ -205,10 +207,28 @@ func MinimizeContext(ctx context.Context, p Problem, o Options) (Result, error) 
 	if workers > len(seeds) {
 		workers = len(seeds)
 	}
+	var res Result
 	if workers <= 1 {
-		return minimizeSequential(ctx, p, seeds, o, warm)
+		res, err = minimizeSequential(ctx, p, seeds, o, warm)
+	} else {
+		res, err = minimizeParallel(ctx, p, seeds, o, workers, warm)
 	}
-	return minimizeParallel(ctx, p, seeds, o, workers, warm)
+	if err != nil {
+		return res, err
+	}
+	// Solve-level accounting: one atomic bump per solve, nothing inside
+	// the per-start searches.
+	telemetry.SolverSolves.Inc()
+	if warm {
+		telemetry.SolverWarmSolves.Inc()
+		if res.WarmCut {
+			telemetry.SolverWarmCuts.Inc()
+			if skipped := len(seeds) - res.Starts; skipped > 0 {
+				telemetry.SolverStartsSkipped.Add(uint64(skipped))
+			}
+		}
+	}
+	return res, nil
 }
 
 // startOutcome is the product of one multistart start: a locally-searched
@@ -226,14 +246,19 @@ type startOutcome struct {
 // warm-start cutoff is a selection decision (see folder.fold), not a
 // different per-start algorithm.
 func runStart(ctx context.Context, p Problem, start []float64, o Options) startOutcome {
+	telemetry.SolverStarts.Inc()
 	switch o.Strategy {
 	case StrategyCoordinateDescent:
 		x, f, conv := coordinateDescent(ctx, p, start, o)
 		return startOutcome{x: x, f: f, conv: conv}
 	default: // StrategyProjectedGradient
-		x, f, conv := projectedGradient(ctx, p, start, o)
+		x, f, conv, pgdIters := projectedGradient(ctx, p, start, o)
 		// Polish with direct search from the PGD endpoint.
-		x2, f2 := nelderMead(ctx, p, x, o)
+		x2, f2, nmIters := nelderMead(ctx, p, x, o)
+		// Iteration totals land as two atomic adds per start — the inner
+		// loops stay untouched.
+		telemetry.SolverPGDIterations.Add(uint64(pgdIters))
+		telemetry.SolverNMIterations.Add(uint64(nmIters))
 		if f2 < f {
 			x, f = x2, f2
 		}
@@ -500,8 +525,9 @@ func numGradInto(g []float64, f func([]float64) float64, x, xp, xm []float64) {
 }
 
 // projectedGradient runs monotone projected gradient descent with
-// backtracking line search from a feasible start.
-func projectedGradient(ctx context.Context, p Problem, start []float64, o Options) (x []float64, f float64, converged bool) {
+// backtracking line search from a feasible start. iters reports how many
+// descent iterations executed, for the caller's telemetry.
+func projectedGradient(ctx context.Context, p Problem, start []float64, o Options) (x []float64, f float64, converged bool, iters int) {
 	n := len(start)
 	grad := p.Grad
 	if grad == nil {
@@ -518,13 +544,14 @@ func projectedGradient(ctx context.Context, p Problem, start []float64, o Option
 	step := 1.0
 	stall := 0
 	for iter := 0; iter < o.MaxIters; iter++ {
+		iters = iter + 1
 		if ctx.Err() != nil {
-			return x, f, false
+			return x, f, false, iters
 		}
 		g := grad(x)
 		gn := norm2(g)
 		if gn == 0 {
-			return x, f, true
+			return x, f, true, iters
 		}
 		// Scale the step to the current point magnitude.
 		t := step * math.Max(norm2(x), 1) / gn
@@ -547,19 +574,20 @@ func projectedGradient(ctx context.Context, p Problem, start []float64, o Option
 			step = math.Max(step/4, 1e-6)
 			stall++
 			if stall >= 3 {
-				return x, f, true
+				return x, f, true, iters
 			}
 			continue
 		}
 		stall = 0
 	}
-	return x, f, false
+	return x, f, false, iters
 }
 
 // nelderMead polishes a point with a penalized Nelder-Mead direct search;
 // constraint violations are penalized quadratically, and the returned
-// point is re-projected into the feasible set.
-func nelderMead(ctx context.Context, p Problem, start []float64, o Options) ([]float64, float64) {
+// point is re-projected into the feasible set. iters reports how many
+// simplex iterations executed, for the caller's telemetry.
+func nelderMead(ctx context.Context, p Problem, start []float64, o Options) (_ []float64, _ float64, iters int) {
 	n := p.N
 	mu := 1e6 * math.Max(1, math.Abs(p.Objective(start)))
 	pen := func(x []float64) float64 {
@@ -606,6 +634,7 @@ func nelderMead(ctx context.Context, p Problem, start []float64, o Options) ([]f
 	expd := make([]float64, n)
 	con := make([]float64, n)
 	for iter := 0; iter < 400*n; iter++ {
+		iters = iter + 1
 		if ctx.Err() != nil {
 			break
 		}
@@ -670,7 +699,7 @@ func nelderMead(ctx context.Context, p Problem, start []float64, o Options) ([]f
 	best := Project(p.Cons, simplex[0])
 	fb := p.Objective(best)
 	if math.IsInf(fb, 1) {
-		return clone(start), p.Objective(start)
+		return clone(start), p.Objective(start), iters
 	}
-	return best, fb
+	return best, fb, iters
 }

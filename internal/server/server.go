@@ -2,7 +2,14 @@
 // (sync tasks, async jobs with SSE progress) plus the legacy /v1 per-kind
 // endpoints, every one a thin shim over the same task.Run dispatch.
 // cmd/libra-serve wires it to a listener; tests (and embedders) mount
-// NewMux directly.
+// New (or the NewMux shim) directly.
+//
+// Every route is wrapped by one instrument middleware: it mints a trace
+// ID per request (honoring a well-formed inbound X-Request-Id), echoes
+// it back as the X-Request-Id response header, carries it on the request
+// context for task dispatch and job submission, counts the request into
+// the per-route/method/status series, times it into the per-route
+// latency histogram, and emits one structured access-log line.
 package server
 
 import (
@@ -11,12 +18,15 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
+	"strconv"
+	"time"
 
 	"libra/internal/core"
 	"libra/internal/jobs"
 	"libra/internal/task"
+	"libra/internal/telemetry"
 )
 
 // Stable machine-readable error codes, shared by the v1 and v2 surfaces
@@ -37,31 +47,142 @@ type server struct {
 	engine  *core.Engine
 	jobs    *jobs.Manager
 	maxBody int64
+	log     *slog.Logger
+}
+
+// Options configures the HTTP layer.
+type Options struct {
+	// Engine answers the tasks; required.
+	Engine *core.Engine
+	// Jobs runs the async /v2/jobs API; required.
+	Jobs *jobs.Manager
+	// MaxBody bounds request bodies in bytes.
+	MaxBody int64
+	// Logger receives access and error logs; nil selects slog.Default().
+	Logger *slog.Logger
 }
 
 // NewMux wires the full service surface onto a fresh mux — what main
-// serves and what httptest drives are the same handler.
+// serves and what httptest drives are the same handler. Logging goes to
+// slog.Default(); use New to inject a logger.
 func NewMux(engine *core.Engine, manager *jobs.Manager, maxBody int64) http.Handler {
-	s := &server{engine: engine, jobs: manager, maxBody: maxBody}
+	return New(Options{Engine: engine, Jobs: manager, MaxBody: maxBody})
+}
+
+// New wires the full service surface onto a fresh mux.
+func New(opts Options) http.Handler {
+	lg := opts.Logger
+	if lg == nil {
+		lg = slog.Default()
+	}
+	s := &server{engine: opts.Engine, jobs: opts.Jobs, maxBody: opts.MaxBody, log: lg}
 	mux := http.NewServeMux()
+	handle := func(route string, h http.HandlerFunc) {
+		mux.Handle(route, s.instrument(route, h))
+	}
 	// v1: one shim per kind over the same dispatch v2 uses.
-	mux.HandleFunc("/v1/optimize", s.v1(task.KindOptimize))
-	mux.HandleFunc("/v1/evaluate", s.v1(task.KindEvaluate))
-	mux.HandleFunc("/v1/sweep", s.v1(task.KindSweep))
-	mux.HandleFunc("/v1/frontier", s.v1(task.KindFrontier))
-	mux.HandleFunc("/v1/codesign", s.v1(task.KindCoDesign))
-	mux.HandleFunc("/v1/validate", s.v1(task.KindValidate))
-	mux.HandleFunc("/v1/cluster", s.v1(task.KindCluster))
-	mux.HandleFunc("/v1/stats", s.handleStats)
+	handle("/v1/optimize", s.v1(task.KindOptimize))
+	handle("/v1/evaluate", s.v1(task.KindEvaluate))
+	handle("/v1/sweep", s.v1(task.KindSweep))
+	handle("/v1/frontier", s.v1(task.KindFrontier))
+	handle("/v1/codesign", s.v1(task.KindCoDesign))
+	handle("/v1/validate", s.v1(task.KindValidate))
+	handle("/v1/cluster", s.v1(task.KindCluster))
+	handle("/v1/stats", s.handleStats)
 	// v2: the task envelope, sync and async.
-	mux.HandleFunc("/v2/tasks", s.handleTasks)
-	mux.HandleFunc("/v2/jobs", s.handleJobs)
-	mux.HandleFunc("/v2/jobs/", s.handleJob)
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ok")
-	})
+	handle("/v2/tasks", s.handleTasks)
+	handle("/v2/jobs", s.handleJobs)
+	handle("/v2/jobs/", s.handleJob)
+	// Operational surface. /metrics is deliberately uninstrumented — a
+	// scraper polling every few seconds would drown the request series
+	// with its own traffic.
+	mux.Handle("/metrics", telemetry.Default.Handler())
+	handle("/healthz", s.handleHealthz)
+	handle("/readyz", s.handleReadyz)
 	return mux
+}
+
+// instrument is the per-route middleware: request-ID handling, request
+// metrics, and the access log.
+func (s *server) instrument(route string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rid := telemetry.SanitizeRequestID(r.Header.Get("X-Request-Id"))
+		if rid == "" {
+			rid = telemetry.NewTraceID()
+		}
+		w.Header().Set("X-Request-Id", rid)
+		r = r.WithContext(telemetry.WithTraceID(r.Context(), rid))
+
+		sw := wrapStatusWriter(w)
+		telemetry.HTTPInFlight.Inc()
+		start := time.Now()
+		h(sw, r)
+		elapsed := time.Since(start)
+		telemetry.HTTPInFlight.Dec()
+		code := strconv.Itoa(sw.statusCode())
+		telemetry.HTTPRequests.With(route, r.Method, code).Inc()
+		telemetry.HTTPDuration.With(route).Observe(elapsed.Seconds())
+		s.log.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"route", route,
+			"status", sw.statusCode(),
+			"duration_ms", float64(elapsed)/float64(time.Millisecond),
+			"request_id", rid,
+		)
+	})
+}
+
+// statusWriter captures the response status for metrics and logs.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(p)
+}
+
+func (sw *statusWriter) statusCode() int {
+	if sw.status == 0 {
+		return http.StatusOK
+	}
+	return sw.status
+}
+
+// flushStatusWriter adds Flush passthrough so the SSE endpoint still
+// sees an http.Flusher through the instrumented writer.
+type flushStatusWriter struct {
+	*statusWriter
+	f http.Flusher
+}
+
+func (fw *flushStatusWriter) Flush() { fw.f.Flush() }
+
+// statusCapturer is the common view instrument takes of both wrappers.
+type statusCapturer interface {
+	http.ResponseWriter
+	statusCode() int
+}
+
+// wrapStatusWriter picks the wrapper that preserves the underlying
+// writer's streaming ability.
+func wrapStatusWriter(w http.ResponseWriter) statusCapturer {
+	sw := &statusWriter{ResponseWriter: w}
+	if f, ok := w.(http.Flusher); ok {
+		return &flushStatusWriter{statusWriter: sw, f: f}
+	}
+	return sw
 }
 
 // v1 builds the legacy per-kind handler: the body is exactly the
@@ -120,12 +241,47 @@ func (s *server) readLimitedBody(w http.ResponseWriter, r *http.Request) ([]byte
 	return data, true
 }
 
+// ServerStats is the GET /v1/stats payload: the engine's cache/load
+// counters plus the job manager's retention state.
+type ServerStats struct {
+	Engine core.EngineStats `json:"engine"`
+	Jobs   jobs.Stats       `json:"jobs"`
+}
+
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeMethodNotAllowed(w, http.MethodGet)
 		return
 	}
-	writeJSON(w, s.engine.Stats())
+	writeJSON(w, ServerStats{Engine: s.engine.Stats(), Jobs: s.jobs.Stats()})
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeMethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 200 when the engine accepts work
+// and the job manager would accept a submission, 503 with the reason
+// otherwise.
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeMethodNotAllowed(w, http.MethodGet)
+		return
+	}
+	if err := s.engine.Ready(); err != nil {
+		writeJSONStatus(w, http.StatusServiceUnavailable, map[string]string{"status": "unavailable", "reason": err.Error()})
+		return
+	}
+	if err := s.jobs.Ready(); err != nil {
+		writeJSONStatus(w, http.StatusServiceUnavailable, map[string]string{"status": "unavailable", "reason": err.Error()})
+		return
+	}
+	writeJSON(w, map[string]string{"status": "ready"})
 }
 
 // solveStatus maps a solve error to HTTP status and code: bad specs are
@@ -153,7 +309,7 @@ func writeJSONStatus(w http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		log.Printf("libra-serve: encode: %v", err)
+		slog.Error("response encode failed", "error", err)
 	}
 }
 

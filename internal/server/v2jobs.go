@@ -4,7 +4,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net/http"
 	"strconv"
 	"strings"
@@ -12,6 +11,7 @@ import (
 	"libra/internal/core"
 	"libra/internal/jobs"
 	"libra/internal/task"
+	"libra/internal/telemetry"
 )
 
 // handleTasks is POST /v2/tasks: run one task envelope synchronously and
@@ -43,7 +43,7 @@ func (s *server) handleJobs(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusBadRequest, CodeBadSpec, err)
 			return
 		}
-		job, err := s.jobs.Submit(t)
+		job, err := s.jobs.Submit(r.Context(), t)
 		if err != nil {
 			status, code := jobStatus(err)
 			writeError(w, status, code, err)
@@ -137,6 +137,9 @@ func (s *server) streamJobEvents(w http.ResponseWriter, r *http.Request, id stri
 	w.WriteHeader(http.StatusOK)
 	flusher.Flush()
 
+	telemetry.JobWatchers.Inc()
+	defer telemetry.JobWatchers.Dec()
+
 	idx := from
 	for {
 		events, more, err := s.jobs.EventsSince(id, idx)
@@ -147,10 +150,18 @@ func (s *server) streamJobEvents(w http.ResponseWriter, r *http.Request, id stri
 		for _, ev := range events {
 			data, err := json.Marshal(ev)
 			if err != nil {
-				log.Printf("libra-serve: sse encode: %v", err)
+				// An unencodable event poisons the whole stream: log it and
+				// drop this watcher rather than ship a gap silently.
+				s.log.Error("sse encode failed, closing stream",
+					"job", id, "seq", ev.Seq, "error", err)
 				return
 			}
-			fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data)
+			if _, err := fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", ev.Type, ev.Seq, data); err != nil {
+				// The watcher's connection is gone; unwinding unregisters it.
+				s.log.Debug("sse write failed, closing stream",
+					"job", id, "seq", ev.Seq, "error", err)
+				return
+			}
 			if ev.Type == jobs.EventStatus && ev.Status.Terminal() {
 				flusher.Flush()
 				return

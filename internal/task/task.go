@@ -27,11 +27,13 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"libra/internal/cluster"
 	"libra/internal/codesign"
 	"libra/internal/core"
 	"libra/internal/frontier"
+	"libra/internal/telemetry"
 	"libra/internal/topology"
 	"libra/internal/validate"
 )
@@ -431,7 +433,31 @@ func (t *Task) Fingerprint() (string, error) {
 //
 // Batch kinds report per-point progress through the context's
 // core.WithProgress hook as they land.
+//
+// Run is also the task-level instrument point: it times the dispatch
+// into the per-kind duration histogram and outcome counter, and marks
+// the whole dispatch as a "task:<kind>" span when the context carries a
+// span recorder (the async job manager's workers do).
 func Run(ctx context.Context, engine *core.Engine, t *Task) (any, error) {
+	kind := "invalid"
+	if t != nil && t.Kind.Valid() {
+		kind = string(t.Kind)
+	}
+	end := telemetry.StartSpan(ctx, "task:"+kind)
+	start := time.Now()
+	result, err := dispatch(ctx, engine, t)
+	end()
+	telemetry.TaskDuration.With(kind).Observe(time.Since(start).Seconds())
+	outcome := "ok"
+	if err != nil {
+		outcome = "error"
+	}
+	telemetry.TaskRuns.With(kind, outcome).Inc()
+	return result, err
+}
+
+// dispatch is the uninstrumented envelope→engine switch.
+func dispatch(ctx context.Context, engine *core.Engine, t *Task) (any, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("task: nil engine")
 	}

@@ -1,0 +1,45 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+)
+
+// NewLogger builds the structured logger the commands install as
+// slog.Default: level is debug|info|warn|error, format is text|json.
+// Unknown values are rejected so a typoed flag fails loudly at boot
+// instead of silencing logs.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	lvl, err := ParseLevel(level)
+	if err != nil {
+		return nil, err
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	var h slog.Handler
+	switch strings.ToLower(format) {
+	case "", "text":
+		h = slog.NewTextHandler(w, opts)
+	case "json":
+		h = slog.NewJSONHandler(w, opts)
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text or json)", format)
+	}
+	return slog.New(h), nil
+}
+
+// ParseLevel maps a level name to its slog.Level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "", "info":
+		return slog.LevelInfo, nil
+	case "debug":
+		return slog.LevelDebug, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("telemetry: unknown log level %q (want debug, info, warn, or error)", s)
+}

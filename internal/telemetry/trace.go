@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"time"
+)
+
+// Tracing in LIBRA is deliberately lightweight: a trace ID minted (or
+// honored from X-Request-Id) per HTTP request rides the context through
+// task.Run into the engine, and subsystems mark timed spans via
+// StartSpan. Spans go nowhere unless a recorder is installed — the async
+// job manager installs one that appends span events to the job's event
+// log, so SSE watchers and the client SDK see where the time went.
+
+type traceIDKey struct{}
+type spanFuncKey struct{}
+
+// NewTraceID mints a 16-hex-character random trace ID.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; a constant beats a panic
+		// in a middleware path.
+		return "0000000000000000"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// maxRequestIDLen bounds an inbound X-Request-Id so a hostile header
+// cannot bloat logs and event payloads.
+const maxRequestIDLen = 128
+
+// SanitizeRequestID validates an inbound request ID: printable ASCII,
+// bounded length. Anything else returns "" (mint a fresh ID instead).
+func SanitizeRequestID(s string) string {
+	if s == "" || len(s) > maxRequestIDLen {
+		return ""
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] < 0x21 || s[i] > 0x7e {
+			return ""
+		}
+	}
+	return s
+}
+
+// WithTraceID attaches a trace/request ID to the context.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, traceIDKey{}, id)
+}
+
+// TraceID returns the context's trace ID, "" when none is attached.
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceIDKey{}).(string)
+	return id
+}
+
+// Span is one timed unit of work inside a trace, as recorded on a job's
+// event log.
+type Span struct {
+	TraceID    string    `json:"trace_id,omitempty"`
+	Name       string    `json:"name"`
+	Start      time.Time `json:"start"`
+	DurationMS float64   `json:"duration_ms"`
+}
+
+// SpanFunc receives finished spans. Implementations must be safe for
+// concurrent use.
+type SpanFunc func(Span)
+
+// WithSpanRecorder installs a span recorder on the context; nil detaches
+// any inherited recorder.
+func WithSpanRecorder(ctx context.Context, fn SpanFunc) context.Context {
+	return context.WithValue(ctx, spanFuncKey{}, fn)
+}
+
+var nopEnd = func() {}
+
+// StartSpan begins a span and returns the function that ends and records
+// it. Without a recorder on the context the returned func is a shared
+// no-op and the call performs no allocation — solver paths pay only a
+// context lookup.
+func StartSpan(ctx context.Context, name string) func() {
+	fn, _ := ctx.Value(spanFuncKey{}).(SpanFunc)
+	if fn == nil {
+		return nopEnd
+	}
+	start := time.Now()
+	return func() {
+		fn(Span{
+			TraceID:    TraceID(ctx),
+			Name:       name,
+			Start:      start,
+			DurationMS: float64(time.Since(start)) / float64(time.Millisecond),
+		})
+	}
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestTraceIDContext(t *testing.T) {
+	ctx := context.Background()
+	if TraceID(ctx) != "" {
+		t.Error("empty context carries a trace id")
+	}
+	ctx = WithTraceID(ctx, "abc123")
+	if got := TraceID(ctx); got != "abc123" {
+		t.Errorf("TraceID = %q", got)
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	a, b := NewTraceID(), NewTraceID()
+	if len(a) != 16 || len(b) != 16 {
+		t.Fatalf("trace ids %q, %q: want 16 hex chars", a, b)
+	}
+	if a == b {
+		t.Errorf("two minted ids collide: %q", a)
+	}
+	if SanitizeRequestID(a) != a {
+		t.Errorf("minted id %q does not survive sanitization", a)
+	}
+}
+
+func TestSanitizeRequestID(t *testing.T) {
+	cases := map[string]string{
+		"":                       "",
+		"ok-id_123.456":          "ok-id_123.456",
+		"has space":              "",
+		"has\nnewline":           "",
+		"non-ascii-é":            "",
+		strings.Repeat("a", 128): strings.Repeat("a", 128),
+		strings.Repeat("a", 129): "",
+	}
+	for in, want := range cases {
+		if got := SanitizeRequestID(in); got != want {
+			t.Errorf("SanitizeRequestID(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStartSpanRecordsWithRecorder(t *testing.T) {
+	var got []Span
+	ctx := WithTraceID(context.Background(), "trace-1")
+	ctx = WithSpanRecorder(ctx, func(sp Span) { got = append(got, sp) })
+
+	end := StartSpan(ctx, "task:optimize")
+	end()
+	if len(got) != 1 {
+		t.Fatalf("recorded %d spans, want 1", len(got))
+	}
+	sp := got[0]
+	if sp.Name != "task:optimize" || sp.TraceID != "trace-1" {
+		t.Errorf("span = %+v", sp)
+	}
+	if sp.DurationMS < 0 || sp.Start.IsZero() {
+		t.Errorf("span timing not populated: %+v", sp)
+	}
+}
+
+func TestStartSpanNoRecorderIsNoop(t *testing.T) {
+	end := StartSpan(context.Background(), "anything")
+	end() // must not panic
+
+	// The no-op path must not allocate: it is on the engine solve path.
+	n := testing.AllocsPerRun(100, func() {
+		StartSpan(context.Background(), "solve:optimize")()
+	})
+	if n != 0 {
+		t.Errorf("no-recorder StartSpan allocates %v per call, want 0", n)
+	}
+}
+
+func TestWithSpanRecorderNilDetaches(t *testing.T) {
+	called := false
+	ctx := WithSpanRecorder(context.Background(), func(Span) { called = true })
+	ctx = WithSpanRecorder(ctx, nil)
+	StartSpan(ctx, "x")()
+	if called {
+		t.Error("nil recorder did not detach the inherited hook")
+	}
+}
+
+func TestNewLoggerFormats(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "info", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("hello", "k", "v")
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("json log line does not parse: %v (%q)", err, buf.String())
+	}
+	if line["msg"] != "hello" || line["k"] != "v" {
+		t.Errorf("log line = %v", line)
+	}
+
+	buf.Reset()
+	lg, err = NewLogger(&buf, "warn", "text")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Info("suppressed")
+	if buf.Len() != 0 {
+		t.Errorf("info leaked past warn level: %q", buf.String())
+	}
+	lg.Warn("kept")
+	if !strings.Contains(buf.String(), "kept") {
+		t.Errorf("warn not emitted: %q", buf.String())
+	}
+}
+
+func TestNewLoggerRejectsUnknown(t *testing.T) {
+	if _, err := NewLogger(io_discard{}, "loud", "text"); err == nil {
+		t.Error("unknown level accepted")
+	}
+	if _, err := NewLogger(io_discard{}, "info", "yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+	if _, err := ParseLevel("debug"); err != nil {
+		t.Error(err)
+	}
+	if lvl, err := ParseLevel("warning"); err != nil || lvl != slog.LevelWarn {
+		t.Errorf("ParseLevel(warning) = %v, %v", lvl, err)
+	}
+}
+
+type io_discard struct{}
+
+func (io_discard) Write(p []byte) (int, error) { return len(p), nil }

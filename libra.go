@@ -46,6 +46,8 @@ package libra
 import (
 	"context"
 	"io"
+	"log/slog"
+	"net/http"
 
 	"libra/internal/cluster"
 	"libra/internal/codesign"
@@ -60,6 +62,7 @@ import (
 	"libra/internal/sim"
 	"libra/internal/tacos"
 	"libra/internal/task"
+	"libra/internal/telemetry"
 	"libra/internal/themis"
 	"libra/internal/timemodel"
 	"libra/internal/topology"
@@ -512,8 +515,45 @@ type (
 	JobListResult  = jobs.ListResult
 )
 
+// JobStats reports the job manager's retention state: store depth
+// against capacity, retained jobs by status, and lifetime
+// submission/eviction totals — what GET /v1/stats serves alongside
+// EngineStats.
+type JobStats = jobs.Stats
+
 // NewJobManager builds a JobManager; Close cancels every live job.
 func NewJobManager(cfg JobConfig) *JobManager { return jobs.NewManager(cfg) }
+
+// ---- Observability ----
+
+// MetricsHandler serves the process-wide metric registry in Prometheus
+// text exposition format — what libra-serve mounts at GET /metrics.
+// Embedders running their own HTTP server mount it wherever they like.
+func MetricsHandler() http.Handler { return telemetry.Default.Handler() }
+
+// TraceSpan is one timed unit of work inside a trace, as recorded on a
+// job's event log (JobEvent.Span).
+type TraceSpan = telemetry.Span
+
+// NewTraceID mints a random 16-hex-character trace ID.
+func NewTraceID() string { return telemetry.NewTraceID() }
+
+// WithTraceID attaches a trace/request ID to the context. The client SDK
+// forwards it as X-Request-Id; JobManager.Submit stamps it onto the job
+// so its event-log spans carry it.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	return telemetry.WithTraceID(ctx, id)
+}
+
+// TraceIDFrom returns the context's trace ID, "" when none is attached.
+func TraceIDFrom(ctx context.Context) string { return telemetry.TraceID(ctx) }
+
+// NewLogger builds a structured slog logger: level is
+// debug|info|warn|error, format is text|json — the same construction
+// libra-serve's -log-level/-log-format flags use.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	return telemetry.NewLogger(w, level, format)
+}
 
 // ---- Cost–performance frontiers ----
 
