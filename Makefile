@@ -22,7 +22,7 @@ FUZZTIME    ?= 10s
 # pkg:target pairs — `go test -fuzz` takes one target per package run.
 FUZZTARGETS ?= ./internal/core:FuzzParseSpec ./internal/codesign:FuzzParseSpec \
 	./internal/validate:FuzzParseSpec ./internal/cluster:FuzzParseSpec \
-	./internal/opt:FuzzOptionsValidate
+	./internal/opt:FuzzOptionsValidate ./internal/store:FuzzStoreLog
 
 # Where profile writes its pprof output.
 PROFILEDIR ?= profiles
@@ -107,18 +107,23 @@ fuzz-smoke:
 		$(GO) test -run '^$$' -fuzz $$target -fuzztime $(FUZZTIME) $$pkg || exit 1; \
 	done
 
-# smoke boots libra-serve on an OS-assigned port and drives the async
-# job API end to end through the client SDK (examples/jobsclient):
-# health probe, sync /v2/tasks optimize, /v2/jobs frontier submission,
-# SSE progress stream, result decode — then scrapes /healthz and
-# /metrics and asserts the core series actually moved. What CI's
-# server-smoke step runs.
+# smoke boots libra-serve on an OS-assigned port (with the persistent
+# result cache enabled) and drives the async job API end to end through
+# the client SDK (examples/jobsclient): health probe, sync /v2/tasks
+# optimize, /v2/jobs frontier submission, SSE progress stream, result
+# decode — then scrapes /healthz and /metrics and asserts the core
+# series actually moved. It then hard-kills the server and reboots it on
+# the same -cache-dir with a -warmup file: the warmup replay must be
+# answered from disk (libra_store_hits_total > 0, zero new solver
+# solves for the warmed spec). What CI's server-smoke step runs.
 SMOKEDIR := $(or $(RUNNER_TEMP),/tmp)
 smoke:
 	@set -e; \
 	$(GO) build -o $(SMOKEDIR)/libra-serve ./cmd/libra-serve; \
 	$(GO) build -o $(SMOKEDIR)/jobsclient ./examples/jobsclient; \
-	$(SMOKEDIR)/libra-serve -addr 127.0.0.1:0 -print-addr > $(SMOKEDIR)/libra-serve.addr 2> $(SMOKEDIR)/libra-serve.log & \
+	rm -rf $(SMOKEDIR)/libra-cache; \
+	$(SMOKEDIR)/libra-serve -addr 127.0.0.1:0 -print-addr -cache-dir $(SMOKEDIR)/libra-cache \
+		> $(SMOKEDIR)/libra-serve.addr 2> $(SMOKEDIR)/libra-serve.log & \
 	pid=$$!; \
 	trap 'kill $$pid 2>/dev/null || true' EXIT; \
 	for i in $$(seq 1 100); do [ -s $(SMOKEDIR)/libra-serve.addr ] && break; sleep 0.1; done; \
@@ -131,11 +136,32 @@ smoke:
 	echo "smoke: checking /metrics"; \
 	curl -fsS "$$addr/metrics" > $(SMOKEDIR)/libra-metrics.txt; \
 	for series in libra_http_requests_total libra_tasks_total \
-		libra_engine_cache_misses_total libra_jobs_submitted_total; do \
+		libra_engine_cache_misses_total libra_jobs_submitted_total \
+		libra_store_puts_total; do \
 		grep -q "^$$series" $(SMOKEDIR)/libra-metrics.txt || \
 			{ echo "smoke: /metrics missing $$series"; exit 1; }; \
 	done; \
-	echo "smoke: metrics ok"
+	echo "smoke: metrics ok"; \
+	echo "smoke: hard-killing the server (crash, not shutdown)"; \
+	kill -9 $$pid; wait $$pid 2>/dev/null || true; \
+	printf '%s\n' '{"kind":"optimize","spec":{"topology":"RI(4)_SW(8)","budget_gbps":300,"workloads":[{"preset":"DLRM"}]}}' \
+		> $(SMOKEDIR)/libra-warmup.jsonl; \
+	$(SMOKEDIR)/libra-serve -addr 127.0.0.1:0 -print-addr -cache-dir $(SMOKEDIR)/libra-cache \
+		-warmup $(SMOKEDIR)/libra-warmup.jsonl \
+		> $(SMOKEDIR)/libra-serve2.addr 2> $(SMOKEDIR)/libra-serve2.log & \
+	pid=$$!; \
+	for i in $$(seq 1 100); do [ -s $(SMOKEDIR)/libra-serve2.addr ] && break; sleep 0.1; done; \
+	addr=$$(head -n1 $(SMOKEDIR)/libra-serve2.addr); \
+	if [ -z "$$addr" ]; then echo "restarted libra-serve never came up:"; cat $(SMOKEDIR)/libra-serve2.log; exit 1; fi; \
+	echo "smoke: restarted at $$addr (warm cache + warmup replay)"; \
+	curl -fsS "$$addr/v1/optimize" -d '{"topology":"RI(4)_SW(8)","budget_gbps":300,"workloads":[{"preset":"DLRM"}]}' \
+		| grep -q '"cached": true' || { echo "smoke: restarted server did not answer from cache"; exit 1; }; \
+	curl -fsS "$$addr/metrics" > $(SMOKEDIR)/libra-metrics2.txt; \
+	hits=$$(awk '/^libra_store_hits_total/ {s+=$$NF} END {print s+0}' $(SMOKEDIR)/libra-metrics2.txt); \
+	if [ "$$hits" -lt 1 ]; then echo "smoke: libra_store_hits_total = $$hits after restart, want > 0"; exit 1; fi; \
+	solves=$$(awk '/^libra_solver_solves_total/ {s+=$$NF} END {print s+0}' $(SMOKEDIR)/libra-metrics2.txt); \
+	if [ "$$solves" -ne 0 ]; then echo "smoke: restarted server ran $$solves solves, want 0"; exit 1; fi; \
+	echo "smoke: persistent cache ok (store hits $$hits, solves $$solves)"
 
 # validate runs the analytical-vs-simulator conformance matrix and fails
 # when any scenario diverges beyond the committed tolerance.

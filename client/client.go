@@ -88,6 +88,10 @@ type ListOptions struct {
 type TaskResult struct {
 	Kind task.Kind
 	Raw  json.RawMessage
+	// ETag is the response's entity tag (the task's canonical
+	// fingerprint, quoted) — pass it to DoConditional to revalidate this
+	// result for free instead of re-downloading it.
+	ETag string
 }
 
 // Decode unmarshals the raw payload into v.
@@ -227,7 +231,17 @@ func New(baseURL string, opts ...Option) *Client {
 // retryable HTTP statuses) when idempotent is set. POST bodies are byte
 // slices, so every attempt resends identical bytes.
 func (c *Client) do(ctx context.Context, method, path string, body []byte, idempotent bool, out any) error {
+	_, _, err := c.request(ctx, method, path, body, idempotent, nil, out)
+	return err
+}
+
+// request is do with the response status and headers surfaced (for
+// conditional requests) and extra request headers injected. A 304 Not
+// Modified is a success that leaves out untouched.
+func (c *Client) request(ctx context.Context, method, path string, body []byte, idempotent bool, hdr map[string]string, out any) (int, http.Header, error) {
 	var lastErr error
+	var lastStatus int
+	var lastHeader http.Header
 	attempts := 1
 	if idempotent {
 		attempts += c.retries
@@ -237,36 +251,39 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, idemp
 			select {
 			case <-time.After(c.backoff << (attempt - 1)):
 			case <-ctx.Done():
-				return ctx.Err()
+				return lastStatus, lastHeader, ctx.Err()
 			}
 		}
-		err := c.once(ctx, method, path, body, out)
+		status, header, err := c.once(ctx, method, path, body, hdr, out)
 		if err == nil {
-			return nil
+			return status, header, nil
 		}
-		lastErr = err
+		lastErr, lastStatus, lastHeader = err, status, header
 		if ctx.Err() != nil {
-			return err
+			return status, header, err
 		}
 		var apiErr *APIError
 		if errors.As(err, &apiErr) && !apiErr.Temporary() {
-			return err // definitive server answer; retrying cannot help
+			return status, header, err // definitive server answer; retrying cannot help
 		}
 	}
-	return lastErr
+	return lastStatus, lastHeader, lastErr
 }
 
-func (c *Client) once(ctx context.Context, method, path string, body []byte, out any) error {
+func (c *Client) once(ctx context.Context, method, path string, body []byte, hdr map[string]string, out any) (int, http.Header, error) {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
 	}
 	// A trace ID on the context (libra.WithTraceID) becomes the request's
 	// X-Request-Id, so server-side logs, metrics, and job spans correlate
@@ -276,20 +293,23 @@ func (c *Client) once(ctx context.Context, method, path string, body []byte, out
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return err
+		return 0, nil, err
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		return resp.StatusCode, resp.Header, err
+	}
+	if resp.StatusCode == http.StatusNotModified {
+		return resp.StatusCode, resp.Header, nil
 	}
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return decodeAPIError(resp.StatusCode, data)
+		return resp.StatusCode, resp.Header, decodeAPIError(resp.StatusCode, data)
 	}
 	if out == nil {
-		return nil
+		return resp.StatusCode, resp.Header, nil
 	}
-	return json.Unmarshal(data, out)
+	return resp.StatusCode, resp.Header, json.Unmarshal(data, out)
 }
 
 func decodeAPIError(status int, data []byte) *APIError {
@@ -313,15 +333,34 @@ func decodeAPIError(status int, data []byte) *APIError {
 // result payload. Not retried: a non-idempotent solve should fail loudly
 // rather than run twice.
 func (c *Client) Do(ctx context.Context, t *Task) (*TaskResult, error) {
+	res, _, err := c.DoConditional(ctx, t, "")
+	return res, err
+}
+
+// DoConditional is Do with revalidation: when etag is the entity tag of
+// a previously fetched result for this task (TaskResult.ETag), the
+// request carries If-None-Match and a server-side fingerprint match
+// answers 304 without solving or resending the payload — notModified is
+// true and the result nil, so keep using the copy you already hold. An
+// empty etag behaves exactly like Do.
+func (c *Client) DoConditional(ctx context.Context, t *Task, etag string) (res *TaskResult, notModified bool, err error) {
 	body, err := json.Marshal(t)
 	if err != nil {
-		return nil, err
+		return nil, false, err
+	}
+	var hdr map[string]string
+	if etag != "" {
+		hdr = map[string]string{"If-None-Match": etag}
 	}
 	var raw json.RawMessage
-	if err := c.do(ctx, http.MethodPost, "/v2/tasks", body, false, &raw); err != nil {
-		return nil, err
+	status, header, err := c.request(ctx, http.MethodPost, "/v2/tasks", body, false, hdr, &raw)
+	if err != nil {
+		return nil, false, err
 	}
-	return &TaskResult{Kind: t.Kind, Raw: raw}, nil
+	if status == http.StatusNotModified {
+		return nil, true, nil
+	}
+	return &TaskResult{Kind: t.Kind, Raw: raw, ETag: header.Get("ETag")}, false, nil
 }
 
 // Submit enqueues the task through POST /v2/jobs and returns the job

@@ -260,3 +260,53 @@ func asTestAPIError(err error, target **APIError) bool {
 	}
 	return ok
 }
+
+// TestClientConditional: the SDK's conditional round-trip. A first Do
+// yields an ETag; replaying it with DoConditional answers notModified
+// without a payload; a stale tag refetches the full result with the
+// current tag attached.
+func TestClientConditional(t *testing.T) {
+	c := testClient(t)
+	ctx := context.Background()
+
+	task := libra.NewOptimizeTask(tinySpec())
+	res, err := c.Do(ctx, task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ETag == "" {
+		t.Fatal("Do returned no ETag")
+	}
+
+	cached, notModified, err := c.DoConditional(ctx, task, res.ETag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !notModified || cached != nil {
+		t.Fatalf("matching tag: notModified=%v res=%v, want bare 304", notModified, cached)
+	}
+
+	fresh, notModified, err := c.DoConditional(ctx, task, `"0000000000000000"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if notModified || fresh == nil {
+		t.Fatal("stale tag must refetch")
+	}
+	if fresh.ETag != res.ETag {
+		t.Fatalf("refetch tag %q, want %q", fresh.ETag, res.ETag)
+	}
+	eng, err := fresh.Engine()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eng.Result.WeightedTime <= 0 {
+		t.Fatalf("refetched result %+v", eng)
+	}
+
+	// An empty tag degrades to a plain Do.
+	plain, notModified, err := c.DoConditional(ctx, task, "")
+	if err != nil || notModified || plain == nil {
+		t.Fatalf("empty tag: res=%v notModified=%v err=%v", plain, notModified, err)
+	}
+}

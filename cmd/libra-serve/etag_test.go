@@ -1,0 +1,184 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"libra/internal/jobs"
+)
+
+// postWithHeaders is postJSON plus arbitrary request headers, for
+// conditional requests.
+func postWithHeaders(t *testing.T, url, body string, hdr map[string]string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(http.MethodPost, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestETagAllResultEndpoints: every /v1 result endpoint and /v2/tasks
+// answer with a quoted ETag, a matching If-None-Match short-circuits to
+// 304 with an empty body, and the v1 and v2 tags for the same spec are
+// identical (both are the task's canonical fingerprint).
+func TestETagAllResultEndpoints(t *testing.T) {
+	srv := testServer(t)
+	for _, tc := range v1Bodies {
+		resp, body := postJSON(t, srv.URL+tc.path, tc.body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status %d: %s", tc.kind, resp.StatusCode, body)
+		}
+		etag := resp.Header.Get("ETag")
+		if len(etag) < 3 || !strings.HasPrefix(etag, `"`) || !strings.HasSuffix(etag, `"`) {
+			t.Fatalf("%s: malformed ETag %q", tc.kind, etag)
+		}
+
+		cond, condBody := postWithHeaders(t, srv.URL+tc.path, tc.body, map[string]string{"If-None-Match": etag})
+		if cond.StatusCode != http.StatusNotModified {
+			t.Fatalf("%s: conditional status %d, want 304", tc.kind, cond.StatusCode)
+		}
+		if len(condBody) != 0 {
+			t.Fatalf("%s: 304 carried a body: %q", tc.kind, condBody)
+		}
+		if got := cond.Header.Get("ETag"); got != etag {
+			t.Fatalf("%s: 304 ETag %q, want %q", tc.kind, got, etag)
+		}
+
+		envelope := fmt.Sprintf(`{"kind":%q,"spec":%s}`, tc.kind, tc.body)
+		v2, v2Body := postJSON(t, srv.URL+"/v2/tasks", envelope)
+		if v2.StatusCode != http.StatusOK {
+			t.Fatalf("%s: /v2/tasks status %d: %s", tc.kind, v2.StatusCode, v2Body)
+		}
+		if got := v2.Header.Get("ETag"); got != etag {
+			t.Fatalf("%s: /v2/tasks ETag %q diverged from %s's %q", tc.kind, got, tc.path, etag)
+		}
+		v2cond, _ := postWithHeaders(t, srv.URL+"/v2/tasks", envelope, map[string]string{"If-None-Match": etag})
+		if v2cond.StatusCode != http.StatusNotModified {
+			t.Fatalf("%s: /v2/tasks conditional status %d, want 304", tc.kind, v2cond.StatusCode)
+		}
+	}
+}
+
+// TestETagStableAcrossRestart: the tag is a pure function of the spec —
+// a completely fresh server (new engine, empty caches) mints the same
+// ETag, so clients may hold tags across server restarts.
+func TestETagStableAcrossRestart(t *testing.T) {
+	first := testServer(t)
+	resp, body := postJSON(t, first.URL+"/v1/optimize", tinyProblem)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	etag := resp.Header.Get("ETag")
+
+	second := testServer(t) // a "restarted" server: nothing shared
+	cond, condBody := postWithHeaders(t, second.URL+"/v1/optimize", tinyProblem, map[string]string{"If-None-Match": etag})
+	if cond.StatusCode != http.StatusNotModified {
+		t.Fatalf("restarted server: status %d body %s, want 304 for ETag %q", cond.StatusCode, condBody, etag)
+	}
+}
+
+// TestETagIfNoneMatchGrammar pins the RFC 9110 comparison: wildcard
+// matches, comma lists match any member, weak prefixes compare equal,
+// and a stale tag recomputes (200 with a body).
+func TestETagIfNoneMatchGrammar(t *testing.T) {
+	srv := testServer(t)
+	resp, _ := postJSON(t, srv.URL+"/v1/optimize", tinyProblem)
+	etag := resp.Header.Get("ETag")
+
+	for _, tc := range []struct {
+		name, inm string
+		want      int
+	}{
+		{"wildcard", "*", http.StatusNotModified},
+		{"list", `"nope", ` + etag + `, "other"`, http.StatusNotModified},
+		{"weak", "W/" + etag, http.StatusNotModified},
+		{"stale", `"0000000000000000"`, http.StatusOK},
+	} {
+		cond, body := postWithHeaders(t, srv.URL+"/v1/optimize", tinyProblem, map[string]string{"If-None-Match": tc.inm})
+		if cond.StatusCode != tc.want {
+			t.Errorf("%s: status %d body %s, want %d", tc.name, cond.StatusCode, body, tc.want)
+		}
+	}
+}
+
+// TestETagJobGet: a done job's GET carries the task ETag (equal to the
+// sync endpoints' tag for the same spec) and honors If-None-Match; a
+// job that has not finished never advertises one.
+func TestETagJobGet(t *testing.T) {
+	srv := testServer(t)
+	sync, _ := postJSON(t, srv.URL+"/v1/optimize", tinyProblem)
+	wantTag := sync.Header.Get("ETag")
+
+	resp, body := postJSON(t, srv.URL+"/v2/jobs", `{"kind":"optimize","spec":`+tinyProblem+`}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d %s", resp.StatusCode, body)
+	}
+	var submitted struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(body, &submitted); err != nil {
+		t.Fatal(err)
+	}
+	final := waitJob(t, srv.URL, submitted.ID)
+	var status string
+	json.Unmarshal(final["status"], &status)
+	if status != string(jobs.StatusDone) {
+		t.Fatalf("job finished %q", status)
+	}
+
+	get, err := http.Get(srv.URL + "/v2/jobs/" + submitted.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, get.Body)
+	get.Body.Close()
+	if got := get.Header.Get("ETag"); got != wantTag {
+		t.Fatalf("job ETag %q, sync endpoints said %q", got, wantTag)
+	}
+
+	req, _ := http.NewRequest(http.MethodGet, srv.URL+"/v2/jobs/"+submitted.ID, nil)
+	req.Header.Set("If-None-Match", wantTag)
+	cond, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	condBody, _ := io.ReadAll(cond.Body)
+	cond.Body.Close()
+	if cond.StatusCode != http.StatusNotModified || len(condBody) != 0 {
+		t.Fatalf("done-job conditional GET: status %d body %q, want bare 304", cond.StatusCode, condBody)
+	}
+}
+
+// TestETagAbsentOnError: a request that fails to solve must not carry
+// an ETag — the tag asserts a representation exists for the
+// fingerprint, and an error body is not it.
+func TestETagAbsentOnError(t *testing.T) {
+	srv := testServer(t)
+	// Structurally valid JSON, semantically bad spec: fingerprinting may
+	// succeed but the solve fails.
+	resp, body := postJSON(t, srv.URL+"/v1/optimize", `{"topology":"RI(4)_SW(8)","budget_gbps":-5,"workloads":[{"preset":"DLRM"}]}`)
+	if resp.StatusCode == http.StatusOK {
+		t.Fatalf("negative budget solved: %s", body)
+	}
+	if got := resp.Header.Get("ETag"); got != "" {
+		t.Fatalf("error response carried ETag %q", got)
+	}
+}

@@ -67,6 +67,7 @@ import (
 	"libra/internal/cliutil"
 	"libra/internal/jobs"
 	"libra/internal/server"
+	"libra/internal/store"
 )
 
 func main() {
@@ -81,6 +82,21 @@ func main() {
 		logFormat = flag.String("log-format", "text", "log format: text|json")
 		debugAddr = flag.String("debug-addr", "", "listen address for pprof/expvar debug endpoints (empty disables)")
 		printURL  = flag.Bool("print-addr", false, "print the resolved listen URL to stdout once serving (useful with :0)")
+
+		cacheDir = flag.String("cache-dir", "",
+			"directory for the persistent result cache (empty = memory-only)")
+		ttlOptimize = flag.Duration("cache-ttl-optimize", 0,
+			"disk-cache TTL for optimize/frontier/codesign/cluster results (0 = never expire; solves are pure functions of the fingerprint on a pinned model version)")
+		ttlEvaluate = flag.Duration("cache-ttl-evaluate", 0,
+			"disk-cache TTL for evaluate results (0 = never expire)")
+		ttlValidate = flag.Duration("cache-ttl-validate", 24*time.Hour,
+			"disk-cache TTL for validate conformance outcomes (they age with the simulator code; 0 = never expire)")
+		compactBytes = flag.Int64("cache-compact-bytes", 4<<20,
+			"append-log size that triggers snapshot compaction (negative disables)")
+		sweepEvery = flag.Duration("cache-sweep", 10*time.Minute,
+			"background expiry-sweep interval for the disk cache (0 disables; expiry is still enforced lazily on reads)")
+		warmupPath = flag.String("warmup", "",
+			"JSONL file of task envelopes replayed through the engine before serving (hot-spec warmup)")
 	)
 	flag.Parse()
 
@@ -90,8 +106,35 @@ func main() {
 	}
 	slog.SetDefault(logger)
 
-	engine := libra.NewEngine(libra.EngineConfig{Workers: *workers, CacheSize: *cache})
+	engineCfg := libra.EngineConfig{Workers: *workers, CacheSize: *cache}
+	if *cacheDir != "" {
+		st, err := store.Open(store.Config{
+			Dir: *cacheDir,
+			TTLs: map[string]time.Duration{
+				"optimize": *ttlOptimize,
+				"evaluate": *ttlEvaluate,
+				"validate": *ttlValidate,
+			},
+			CompactBytes:  *compactBytes,
+			SweepInterval: *sweepEvery,
+		})
+		if err != nil {
+			cliutil.Fatal("libra-serve", err)
+		}
+		defer st.Close()
+		engineCfg.Store = st
+		ds := st.Stats()
+		logger.Info("persistent cache open",
+			"dir", *cacheDir, "entries", ds.Entries, "bytes", ds.Bytes)
+	}
+	engine := libra.NewEngine(engineCfg)
 	defer engine.Close()
+
+	if *warmupPath != "" {
+		if err := replayWarmup(context.Background(), engine, *warmupPath, logger); err != nil {
+			cliutil.Fatal("libra-serve", err)
+		}
+	}
 	manager := libra.NewJobManager(libra.JobConfig{Engine: engine, Capacity: *jobCap, TTL: *jobTTL})
 	defer manager.Close()
 

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"os"
+	"time"
+
+	"libra"
+	"libra/internal/telemetry"
+)
+
+// replayWarmup runs every task envelope in a JSONL warmup file through
+// the engine before the listener opens, so a fresh (or restarted)
+// server answers its hot specs from cache on the first real request.
+// Each line is one {"kind": ..., "spec": ...} envelope — the same shape
+// POST /v2/tasks accepts. Malformed lines and failed solves are logged
+// and skipped: a stale warmup file must never keep the server down.
+// Replay is serial, keeping boot deterministic; with a persistent cache
+// most lines are disk hits and cost one read each.
+func replayWarmup(ctx context.Context, engine *libra.Engine, path string, logger *slog.Logger) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("warmup: %w", err)
+	}
+	defer f.Close()
+
+	start := time.Now()
+	var ok, failed, skipped int
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	for line := 1; sc.Scan(); line++ {
+		data := bytes.TrimSpace(sc.Bytes())
+		if len(data) == 0 || data[0] == '#' {
+			continue
+		}
+		t, err := libra.ParseTask(data)
+		if err != nil {
+			skipped++
+			telemetry.WarmupReplayed.With("skipped").Inc()
+			logger.Warn("warmup: skipping malformed line", "path", path, "line", line, "error", err)
+			continue
+		}
+		if _, err := libra.RunTask(ctx, engine, t); err != nil {
+			failed++
+			telemetry.WarmupReplayed.With("error").Inc()
+			logger.Warn("warmup: task failed", "path", path, "line", line, "kind", t.Kind, "error", err)
+			continue
+		}
+		ok++
+		telemetry.WarmupReplayed.With("ok").Inc()
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("warmup: read %s: %w", path, err)
+	}
+	logger.Info("warmup replay complete",
+		"path", path, "ok", ok, "failed", failed, "skipped", skipped,
+		"elapsed_ms", float64(time.Since(start))/float64(time.Millisecond))
+	return nil
+}

@@ -32,6 +32,12 @@ type EngineConfig struct {
 	// CacheSize bounds the LRU result cache in entries (default 512;
 	// negative disables caching).
 	CacheSize int
+	// Store is the optional second cache tier, consulted on LRU miss and
+	// written behind fresh solves (memory → disk → solve). Nil keeps the
+	// engine memory-only with zero overhead on the solve path. Results
+	// are persisted on insert, so an LRU eviction loses nothing the
+	// store doesn't already hold.
+	Store ResultStore
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -50,8 +56,9 @@ func (c EngineConfig) withDefaults() EngineConfig {
 // cache keyed by the spec's canonical fingerprint. An Engine is safe for
 // concurrent use; create one per process and share it.
 type Engine struct {
-	cfg EngineConfig
-	sem chan struct{}
+	cfg   EngineConfig
+	sem   chan struct{}
+	store ResultStore
 
 	mu        sync.Mutex
 	cache     *lruCache
@@ -68,9 +75,12 @@ type Engine struct {
 // flight is one in-progress computation shared by every caller requesting
 // the same key. The work is canceled once the last waiter walks away.
 type flight struct {
-	done    chan struct{}
-	res     cacheEntry
-	err     error
+	done chan struct{}
+	res  cacheEntry
+	err  error
+	// cached marks a flight answered by the disk tier rather than a
+	// fresh computation; every waiter reports it.
+	cached  bool
 	waiters int
 	cancel  context.CancelFunc
 }
@@ -89,6 +99,7 @@ func NewEngine(cfg EngineConfig) *Engine {
 	e := &Engine{
 		cfg:      cfg,
 		sem:      make(chan struct{}, cfg.Workers),
+		store:    cfg.Store,
 		inflight: map[string]*flight{},
 		baseCtx:  ctx,
 		stop:     stop,
@@ -123,6 +134,9 @@ type EngineStats struct {
 	CacheEntries int    `json:"cache_entries"`
 	InFlight     int    `json:"in_flight"`
 	Workers      int    `json:"workers"`
+	// Disk reports the persistent second tier; nil when the engine runs
+	// memory-only.
+	Disk *DiskStats `json:"disk,omitempty"`
 }
 
 // Stats snapshots the engine counters.
@@ -136,6 +150,10 @@ func (e *Engine) Stats() EngineStats {
 	}
 	if e.cache != nil {
 		s.CacheEntries = e.cache.len()
+	}
+	if e.store != nil {
+		ds := e.store.Stats()
+		s.Disk = &ds
 	}
 	return s
 }
@@ -206,7 +224,16 @@ func (e *Engine) Evaluate(ctx context.Context, spec *ProblemSpec, bw topology.BW
 // payloads (internal/validate's conformance scenarios) run through here;
 // choose keys that fully determine the computation's inputs.
 func (e *Engine) Do(ctx context.Context, key string, compute func(context.Context) (any, error)) (value any, cached bool, err error) {
-	entry, cached, err := e.doShared(ctx, key, compute)
+	return e.DoCodec(ctx, key, nil, compute)
+}
+
+// DoCodec is Do with a persistence codec: when the engine has a disk
+// store, the computation's value is spilled through codec on insert and
+// revived on a memory miss (memory → disk → solve, still single-flight —
+// concurrent callers of one key share a single disk read). A nil codec
+// keeps the key memory-only.
+func (e *Engine) DoCodec(ctx context.Context, key string, codec Codec, compute func(context.Context) (any, error)) (value any, cached bool, err error) {
+	entry, cached, err := e.doShared(ctx, key, codec, compute)
 	if err != nil {
 		return nil, false, err
 	}
@@ -215,7 +242,7 @@ func (e *Engine) Do(ctx context.Context, key string, compute func(context.Contex
 
 // doResult adapts the generic machinery to the typed Result operations.
 func (e *Engine) doResult(ctx context.Context, key, fp string, solve func(context.Context) (Result, error)) (EngineResult, error) {
-	entry, cached, err := e.doShared(ctx, key, func(ctx context.Context) (any, error) {
+	entry, cached, err := e.doShared(ctx, key, resultCodec, func(ctx context.Context) (any, error) {
 		return solve(ctx)
 	})
 	if err != nil {
@@ -244,8 +271,12 @@ func opOf(key string) (op, span string) {
 	return "other", "engine:do"
 }
 
-// doShared runs one cached, single-flighted, worker-bounded computation.
-func (e *Engine) doShared(ctx context.Context, key string, compute func(context.Context) (any, error)) (cacheEntry, bool, error) {
+// doShared runs one cached, single-flighted, worker-bounded computation:
+// memory LRU, then (when a store and codec are present) the disk tier,
+// then the computation itself. The memory tier deliberately skips TTL
+// checks — TTLs bound disk-tier staleness across restarts; an in-process
+// LRU entry is at most as old as the process.
+func (e *Engine) doShared(ctx context.Context, key string, codec Codec, compute func(context.Context) (any, error)) (cacheEntry, bool, error) {
 	if err := e.baseCtx.Err(); err != nil {
 		return cacheEntry{}, false, fmt.Errorf("core: engine closed: %w", err)
 	}
@@ -280,19 +311,46 @@ func (e *Engine) doShared(ctx context.Context, key string, compute func(context.
 		defer cancel()
 		var res cacheEntry
 		var err error
-		select {
-		case e.sem <- struct{}{}:
-			telemetry.EngineActiveWorkers.Inc()
-			start := time.Now()
-			var v any
-			v, err = compute(solveCtx)
-			elapsed := time.Since(start)
-			<-e.sem
-			telemetry.EngineActiveWorkers.Dec()
-			telemetry.EngineSolveDuration.With(op).Observe(elapsed.Seconds())
-			res = cacheEntry{value: v, elapsedMS: float64(elapsed) / float64(time.Millisecond)}
-		case <-solveCtx.Done():
-			err = solveCtx.Err()
+		var fromDisk bool
+		// Disk tier: one read per flight, before a worker slot is taken —
+		// a disk hit never occupies the solver pool. A payload that fails
+		// to decode (schema drift, bit rot past the CRC) falls through to
+		// a fresh solve rather than surfacing an error.
+		if e.store != nil && codec != nil {
+			if data, elapsedMS, ok := e.store.Get(op, key); ok {
+				if v, derr := codec.Decode(data); derr == nil {
+					res = cacheEntry{value: v, elapsedMS: elapsedMS}
+					fromDisk = true
+				}
+			}
+		}
+		if !fromDisk {
+			select {
+			case e.sem <- struct{}{}:
+				telemetry.EngineActiveWorkers.Inc()
+				start := time.Now()
+				var v any
+				v, err = compute(solveCtx)
+				elapsed := time.Since(start)
+				<-e.sem
+				telemetry.EngineActiveWorkers.Dec()
+				telemetry.EngineSolveDuration.With(op).Observe(elapsed.Seconds())
+				res = cacheEntry{value: v, elapsedMS: float64(elapsed) / float64(time.Millisecond)}
+			case <-solveCtx.Done():
+				err = solveCtx.Err()
+			}
+		}
+		// Spill fresh results before the flight is released: once the key
+		// leaves the inflight map, the disk tier must already hold the
+		// answer, or a racing request that also misses the LRU would
+		// recompute it. The write is one unsynced append — microseconds
+		// against a solve — and absent a store it costs nothing.
+		if err == nil && !fromDisk && e.store != nil && codec != nil {
+			if data, eerr := codec.Encode(res.value); eerr == nil {
+				_ = e.store.Put(op, key, data, res.elapsedMS)
+			} else {
+				telemetry.StorePutErrors.Inc()
+			}
 		}
 		var added bool
 		var evicted int
@@ -311,7 +369,7 @@ func (e *Engine) doShared(ctx context.Context, key string, compute func(context.
 			telemetry.EngineCacheEvictions.Add(uint64(evicted))
 			telemetry.EngineCacheEntries.Add(int64(-evicted))
 		}
-		f.res, f.err = res, err
+		f.res, f.err, f.cached = res, err, fromDisk
 		close(f.done)
 	}()
 	return e.wait(ctx, f)
@@ -319,12 +377,13 @@ func (e *Engine) doShared(ctx context.Context, key string, compute func(context.
 
 // wait blocks on a shared flight under the caller's context; the last
 // waiter to abandon a flight cancels its computation. Joined flights
-// report cached == false: the answer was computed for this request wave,
-// not served from the LRU.
+// report cached == false unless the flight was answered by the disk
+// tier: a fresh answer was computed for this request wave, not served
+// from a cache.
 func (e *Engine) wait(ctx context.Context, f *flight) (cacheEntry, bool, error) {
 	select {
 	case <-f.done:
-		return f.res, false, f.err
+		return f.res, f.cached, f.err
 	case <-ctx.Done():
 		e.mu.Lock()
 		f.waiters--

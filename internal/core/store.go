@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// ResultStore is the engine's second cache tier: a durable,
+// fingerprint-keyed byte store consulted on LRU miss and written behind
+// fresh solves (memory → disk → solve). internal/store provides the
+// disk-backed implementation; core only sees this seam, so persistence
+// stays pluggable (ROADMAP: distributed serving swaps in a remote tier).
+// Implementations must be safe for concurrent use. kind is the TTL class
+// the engine derives from the key prefix (optimize|evaluate|validate|other).
+type ResultStore interface {
+	// Get returns the stored payload and the original computation's wall
+	// time. ok is false when the key is absent or its TTL has elapsed.
+	Get(kind, key string) (data []byte, elapsedMS float64, ok bool)
+	// Put persists one computed result. Errors are reported but must not
+	// fail the computation — the disk tier is an accelerator, not a
+	// dependency.
+	Put(kind, key string, data []byte, elapsedMS float64) error
+	// Stats snapshots the store's counters for EngineStats.
+	Stats() DiskStats
+}
+
+// DiskStats is the disk tier's view of cache effectiveness, surfaced
+// through EngineStats and the libra_store_* metric series.
+type DiskStats struct {
+	Hits        uint64 `json:"hits"`
+	Misses      uint64 `json:"misses"`
+	Expired     uint64 `json:"expired"`
+	Puts        uint64 `json:"puts"`
+	PutErrors   uint64 `json:"put_errors"`
+	Compactions uint64 `json:"compactions"`
+	Entries     int    `json:"entries"`
+	Bytes       int64  `json:"bytes"`
+}
+
+// Codec translates one computation's in-memory value to and from the
+// byte payload a ResultStore persists. A computation without a codec
+// (plain Engine.Do) stays memory-only.
+type Codec interface {
+	Encode(v any) ([]byte, error)
+	Decode(data []byte) (any, error)
+}
+
+// jsonCodec persists values of a concrete type T as compact JSON. The
+// decode side returns T (not *T) so cached values round-trip with the
+// same dynamic type a fresh computation produces.
+type jsonCodec[T any] struct{}
+
+func (jsonCodec[T]) Encode(v any) ([]byte, error) {
+	t, ok := v.(T)
+	if !ok {
+		return nil, fmt.Errorf("core: codec got %T", v)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	if err := enc.Encode(t); err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(buf.Bytes(), "\n"), nil
+}
+
+func (jsonCodec[T]) Decode(data []byte) (any, error) {
+	var t T
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// JSONCodec builds a Codec persisting values of type T as JSON. Decoding
+// rejects unknown fields so a payload written by a different result
+// schema falls back to a fresh solve instead of loading half a value.
+func JSONCodec[T any]() Codec { return jsonCodec[T]{} }
+
+// resultCodec persists the typed Optimize/Evaluate results.
+var resultCodec = JSONCodec[Result]()

@@ -1,0 +1,56 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+)
+
+// Conditional GET support. Every result a task endpoint serves is a
+// deterministic function of the task's canonical fingerprint (solves are
+// pure given a pinned model version), so the fingerprint IS the entity
+// tag: a client holding any previous answer for a spec can revalidate
+// with If-None-Match and be told 304 Not Modified without the server
+// solving, caching, or even having seen that spec before. The same tag
+// is served by /v1/<kind>, /v2/tasks, and a done /v2/jobs/{id}, and is
+// stable across restarts.
+
+// taskETag formats a fingerprint as a strong entity tag.
+func taskETag(fingerprint string) string { return `"` + fingerprint + `"` }
+
+// etagMatch implements the If-None-Match comparison (RFC 9110 §13.1.2):
+// a comma-separated list of entity tags or "*", compared weakly — a W/
+// prefix on either side is ignored, since a fingerprint match guarantees
+// semantic equivalence.
+func etagMatch(ifNoneMatch, etag string) bool {
+	ifNoneMatch = strings.TrimSpace(ifNoneMatch)
+	if ifNoneMatch == "" {
+		return false
+	}
+	if ifNoneMatch == "*" {
+		return true
+	}
+	etag = strings.TrimPrefix(etag, "W/")
+	for _, candidate := range strings.Split(ifNoneMatch, ",") {
+		candidate = strings.TrimPrefix(strings.TrimSpace(candidate), "W/")
+		if candidate == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// writeConditional sets the ETag header and answers 304 (no body) when
+// the request's If-None-Match matches. Returns true when the response
+// is complete.
+func writeConditional(w http.ResponseWriter, r *http.Request, fingerprint string) bool {
+	if fingerprint == "" {
+		return false
+	}
+	etag := taskETag(fingerprint)
+	w.Header().Set("ETag", etag)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
+}

@@ -204,10 +204,17 @@ func (s *server) v1(kind task.Kind) http.HandlerFunc {
 }
 
 // runTask answers one task synchronously — the shared tail of every v1
-// shim and of POST /v2/tasks.
+// shim and of POST /v2/tasks. The canonical fingerprint doubles as the
+// response ETag, and a matching If-None-Match short-circuits to 304
+// before any solving happens (see etag.go).
 func (s *server) runTask(w http.ResponseWriter, r *http.Request, t *task.Task) {
+	fp, fpErr := t.Fingerprint()
+	if fpErr == nil && writeConditional(w, r, fp) {
+		return
+	}
 	res, err := task.Run(r.Context(), s.engine, t)
 	if err != nil {
+		w.Header().Del("ETag")
 		status, code := solveStatus(r, err)
 		writeError(w, status, code, err)
 		return

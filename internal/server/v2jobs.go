@@ -94,6 +94,12 @@ func (s *server) handleJob(w http.ResponseWriter, r *http.Request) {
 			writeError(w, status, code, err)
 			return
 		}
+		// A successfully finished job's payload is determined by its task
+		// fingerprint, so it revalidates like a sync result. Non-done
+		// snapshots still change (progress, status) and stay untagged.
+		if job.Status == jobs.StatusDone && writeConditional(w, r, job.Fingerprint) {
+			return
+		}
 		writeJSON(w, job)
 	case http.MethodDelete:
 		job, err := s.jobs.Cancel(id)

@@ -1,0 +1,538 @@
+// Package store is the engine's disk tier: a fingerprint-keyed result
+// store persisted as an append log plus a compacted snapshot (both in
+// the log.go record format), with per-kind TTLs driven by an injectable
+// clock. It implements core.ResultStore.
+//
+// Durability model: every Put appends one CRC-framed record to
+// store.log; when the log outgrows Config.CompactBytes the live index
+// is rewritten to store.snap.tmp, fsynced, atomically renamed over
+// store.snap, and the log truncated back to its header. Open replays
+// snapshot then log (log wins), drops corrupt records individually,
+// truncates a torn tail, and removes an orphaned tmp from a compaction
+// that died before its rename — so a hard kill at any instant loses at
+// most the record being written.
+package store
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"libra/internal/core"
+	"libra/internal/telemetry"
+)
+
+const (
+	logName  = "store.log"
+	snapName = "store.snap"
+	tmpName  = "store.snap.tmp"
+)
+
+// ErrClosed is returned by operations on a closed store.
+var ErrClosed = errors.New("store: closed")
+
+// DefaultTTLs is the per-kind expiry policy used when Config.TTLs is
+// nil: validate results age (the simulator conformance surface moves
+// with the code), while optimize/evaluate results on a pinned model
+// version never expire — the solve is a pure function of the
+// fingerprint. Frontier/codesign/cluster sweeps fan out through
+// engine.Optimize, so their points are governed by the optimize kind.
+var DefaultTTLs = map[string]time.Duration{
+	"validate": 24 * time.Hour,
+}
+
+// Config tunes a Store. Zero values select defaults.
+type Config struct {
+	// Dir is the cache directory (required); created if absent.
+	Dir string
+	// TTLs maps a kind to its time-to-live; 0 or absent means never
+	// expire. Nil selects DefaultTTLs.
+	TTLs map[string]time.Duration
+	// Now is the clock (default time.Now) — injectable for TTL tests.
+	Now func() time.Time
+	// CompactBytes triggers log→snapshot compaction once the append log
+	// exceeds this size (default 4 MiB; negative disables auto-compaction).
+	CompactBytes int64
+	// SweepInterval runs a background expiry sweep this often
+	// (default 0: disabled; Get still enforces expiry lazily).
+	SweepInterval time.Duration
+}
+
+// indexEntry locates one live entry's payload inside the snapshot or
+// log file plus the metadata needed without touching disk.
+type indexEntry struct {
+	src        *os.File
+	off        int64
+	n          int
+	kind       string
+	insertedAt int64
+	expiresAt  int64
+	elapsedMS  float64
+}
+
+// Store is a disk-backed result store. Safe for concurrent use.
+type Store struct {
+	dir          string
+	ttls         map[string]time.Duration
+	now          func() time.Time
+	compactBytes int64
+
+	mu       sync.RWMutex
+	closed   bool
+	index    map[string]indexEntry
+	log      *os.File
+	snap     *os.File // nil until the first compaction (or when no snapshot exists)
+	logSize  int64
+	snapSize int64
+
+	// Lock-free counters: Get bumps them under the read lock.
+	hits, misses, expired, puts, putErrors, compactions atomic.Uint64
+
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+}
+
+// Open opens (or initializes) the store under cfg.Dir, recovering
+// whatever a previous process — cleanly stopped or killed — left behind.
+func Open(cfg Config) (*Store, error) {
+	if cfg.Dir == "" {
+		return nil, errors.New("store: Config.Dir required")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:          cfg.Dir,
+		ttls:         cfg.TTLs,
+		now:          cfg.Now,
+		compactBytes: cfg.CompactBytes,
+		index:        map[string]indexEntry{},
+	}
+	if s.ttls == nil {
+		s.ttls = DefaultTTLs
+	}
+	if s.now == nil {
+		s.now = time.Now
+	}
+	if s.compactBytes == 0 {
+		s.compactBytes = 4 << 20
+	}
+
+	// A tmp file is a compaction that died before its atomic rename; the
+	// previous snapshot+log pair is still the authoritative state.
+	_ = os.Remove(filepath.Join(cfg.Dir, tmpName))
+
+	if err := s.loadSnapshot(); err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	if err := s.loadLog(); err != nil {
+		s.closeFiles()
+		return nil, err
+	}
+	s.publishGauges()
+
+	if cfg.SweepInterval > 0 {
+		s.sweepStop = make(chan struct{})
+		s.sweepDone = make(chan struct{})
+		go s.sweepLoop(cfg.SweepInterval)
+	}
+	return s, nil
+}
+
+// loadSnapshot indexes store.snap if present. A snapshot that is not a
+// store file at all (foreign magic) is ignored wholesale — compaction
+// will rewrite it; individually corrupt records are dropped.
+func (s *Store) loadSnapshot() error {
+	path := filepath.Join(s.dir, snapName)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read snapshot: %w", err)
+	}
+	recs, _, dropped, derr := DecodeLog(data)
+	if derr != nil {
+		telemetry.StoreDroppedRecords.Inc()
+		return nil
+	}
+	if dropped > 0 {
+		telemetry.StoreDroppedRecords.Add(uint64(dropped))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("store: open snapshot: %w", err)
+	}
+	s.snap = f
+	s.snapSize = int64(len(data))
+	for _, r := range recs {
+		s.index[r.Key] = indexEntry{
+			src: f, off: r.DataOff, n: len(r.Data),
+			kind: r.Kind, insertedAt: r.InsertedAt, expiresAt: r.ExpiresAt,
+			elapsedMS: r.ElapsedMS,
+		}
+	}
+	return nil
+}
+
+// loadLog indexes store.log (its records override snapshot entries),
+// truncating a torn tail so the next append lands on a clean boundary.
+// A log that is not a store file is reset to an empty header.
+func (s *Store) loadLog() error {
+	path := filepath.Join(s.dir, logName)
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: open log: %w", err)
+	}
+	s.log = f
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("store: read log: %w", err)
+	}
+	if len(data) == 0 {
+		return s.resetLog()
+	}
+	recs, tail, dropped, derr := DecodeLog(data)
+	if derr != nil {
+		telemetry.StoreDroppedRecords.Inc()
+		return s.resetLog()
+	}
+	if dropped > 0 {
+		telemetry.StoreDroppedRecords.Add(uint64(dropped))
+	}
+	for _, r := range recs {
+		s.index[r.Key] = indexEntry{
+			src: f, off: r.DataOff, n: len(r.Data),
+			kind: r.Kind, insertedAt: r.InsertedAt, expiresAt: r.ExpiresAt,
+			elapsedMS: r.ElapsedMS,
+		}
+	}
+	if tail < int64(len(data)) {
+		telemetry.StoreDroppedRecords.Inc()
+		if err := f.Truncate(tail); err != nil {
+			return fmt.Errorf("store: truncate torn tail: %w", err)
+		}
+	}
+	s.logSize = tail
+	return nil
+}
+
+// resetLog rewrites the log as an empty headered file.
+func (s *Store) resetLog() error {
+	if err := s.log.Truncate(0); err != nil {
+		return fmt.Errorf("store: reset log: %w", err)
+	}
+	if _, err := s.log.WriteAt(HeaderBytes(), 0); err != nil {
+		return fmt.Errorf("store: reset log: %w", err)
+	}
+	s.logSize = headerLen
+	return nil
+}
+
+func (s *Store) closeFiles() {
+	if s.log != nil {
+		_ = s.log.Close()
+	}
+	if s.snap != nil {
+		_ = s.snap.Close()
+	}
+}
+
+// expiredAt reports whether e is dead at unix-nano instant now.
+func (e indexEntry) expiredAt(now int64) bool {
+	return e.expiresAt != 0 && now >= e.expiresAt
+}
+
+// Get implements core.ResultStore. An expired entry is a miss (and is
+// dropped from the index so a sweep isn't required for correctness).
+func (s *Store) Get(kind, key string) ([]byte, float64, bool) {
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, 0, false
+	}
+	e, ok := s.index[key]
+	if ok && e.expiredAt(s.now().UnixNano()) {
+		s.mu.RUnlock()
+		s.dropExpired(key)
+		s.misses.Add(1)
+		telemetry.StoreMisses.With(kind).Inc()
+		return nil, 0, false
+	}
+	if !ok {
+		s.mu.RUnlock()
+		s.misses.Add(1)
+		telemetry.StoreMisses.With(kind).Inc()
+		return nil, 0, false
+	}
+	data := make([]byte, e.n)
+	_, err := e.src.ReadAt(data, e.off)
+	s.mu.RUnlock()
+	if err != nil {
+		s.misses.Add(1)
+		telemetry.StoreMisses.With(kind).Inc()
+		return nil, 0, false
+	}
+	s.hits.Add(1)
+	telemetry.StoreHits.With(kind).Inc()
+	return data, e.elapsedMS, true
+}
+
+// dropExpired removes key if (still) expired, under the write lock.
+func (s *Store) dropExpired(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	e, ok := s.index[key]
+	if !ok || !e.expiredAt(s.now().UnixNano()) {
+		return
+	}
+	delete(s.index, key)
+	s.expired.Add(1)
+	telemetry.StoreExpired.With(e.kind).Inc()
+	telemetry.StoreEntries.Set(int64(len(s.index)))
+}
+
+// Put implements core.ResultStore: append one record to the log,
+// stamping the entry's absolute expiry from the kind's TTL. Triggers a
+// compaction when the log outgrows its bound.
+func (s *Store) Put(kind, key string, data []byte, elapsedMS float64) error {
+	if kind == "" || key == "" {
+		return errors.New("store: kind and key required")
+	}
+	now := s.now()
+	var expiresAt int64
+	if ttl := s.ttls[kind]; ttl > 0 {
+		expiresAt = now.Add(ttl).UnixNano()
+	}
+	rec := EncodeRecord(Entry{
+		Kind: kind, Key: key,
+		InsertedAt: now.UnixNano(), ExpiresAt: expiresAt,
+		ElapsedMS: elapsedMS, Data: data,
+	})
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	if _, err := s.log.WriteAt(rec, s.logSize); err != nil {
+		s.putErrors.Add(1)
+		telemetry.StorePutErrors.Inc()
+		return fmt.Errorf("store: append: %w", err)
+	}
+	s.index[key] = indexEntry{
+		src: s.log, off: s.logSize + int64(len(rec)-len(data)), n: len(data),
+		kind: kind, insertedAt: now.UnixNano(), expiresAt: expiresAt,
+		elapsedMS: elapsedMS,
+	}
+	s.logSize += int64(len(rec))
+	s.puts.Add(1)
+	telemetry.StorePuts.With(kind).Inc()
+	s.publishGauges()
+	if s.compactBytes > 0 && s.logSize > s.compactBytes {
+		if err := s.compactLocked(); err != nil {
+			return fmt.Errorf("store: auto-compact: %w", err)
+		}
+	}
+	return nil
+}
+
+// SweepExpired drops every expired entry from the index, returning how
+// many it removed. Disk space is reclaimed by the next compaction.
+func (s *Store) SweepExpired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0
+	}
+	now := s.now().UnixNano()
+	removed := 0
+	for k, e := range s.index {
+		if e.expiredAt(now) {
+			delete(s.index, k)
+			s.expired.Add(1)
+			telemetry.StoreExpired.With(e.kind).Inc()
+			removed++
+		}
+	}
+	if removed > 0 {
+		s.publishGauges()
+	}
+	return removed
+}
+
+func (s *Store) sweepLoop(interval time.Duration) {
+	defer close(s.sweepDone)
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.SweepExpired()
+		case <-s.sweepStop:
+			return
+		}
+	}
+}
+
+// Compact rewrites the live, unexpired index into a fresh snapshot
+// (write tmp → fsync → atomic rename) and truncates the log.
+func (s *Store) Compact() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	return s.compactLocked()
+}
+
+func (s *Store) compactLocked() error {
+	tmpPath := filepath.Join(s.dir, tmpName)
+	snapPath := filepath.Join(s.dir, snapName)
+	tmp, err := os.Create(tmpPath)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmpPath) // no-op after a successful rename
+
+	w := bufio.NewWriter(tmp)
+	if _, err := w.Write(HeaderBytes()); err != nil {
+		tmp.Close()
+		return err
+	}
+	// Deterministic order: a compaction of a given index always produces
+	// the same snapshot bytes.
+	keys := make([]string, 0, len(s.index))
+	for k := range s.index {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	type placed struct {
+		off int64
+		n   int
+	}
+	now := s.now().UnixNano()
+	offsets := make(map[string]placed, len(keys))
+	off := int64(headerLen)
+	for _, k := range keys {
+		e := s.index[k]
+		if e.expiredAt(now) {
+			// Compaction is where expired entries' disk space dies.
+			delete(s.index, k)
+			s.expired.Add(1)
+			telemetry.StoreExpired.With(e.kind).Inc()
+			continue
+		}
+		data := make([]byte, e.n)
+		if _, err := e.src.ReadAt(data, e.off); err != nil {
+			tmp.Close()
+			return fmt.Errorf("store: compact read %q: %w", k, err)
+		}
+		rec := EncodeRecord(Entry{
+			Kind: e.kind, Key: k,
+			InsertedAt: e.insertedAt, ExpiresAt: e.expiresAt,
+			ElapsedMS: e.elapsedMS, Data: data,
+		})
+		if _, err := w.Write(rec); err != nil {
+			tmp.Close()
+			return err
+		}
+		offsets[k] = placed{off: off + int64(len(rec)-len(data)), n: len(data)}
+		off += int64(len(rec))
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmpPath, snapPath); err != nil {
+		return err
+	}
+	newSnap, err := os.Open(snapPath)
+	if err != nil {
+		return err
+	}
+	// The rename is the commit point: if the process dies before the log
+	// truncation below, recovery replays snapshot then log and the log's
+	// duplicates simply win with identical payloads.
+	if err := s.resetLog(); err != nil {
+		newSnap.Close()
+		return err
+	}
+	if s.snap != nil {
+		_ = s.snap.Close()
+	}
+	s.snap = newSnap
+	s.snapSize = off
+	for k, p := range offsets {
+		e := s.index[k]
+		e.src, e.off, e.n = newSnap, p.off, p.n
+		s.index[k] = e
+	}
+	s.compactions.Add(1)
+	telemetry.StoreCompactions.Inc()
+	s.publishGauges()
+	return nil
+}
+
+// Len reports the number of live index entries.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.index)
+}
+
+// Stats implements core.ResultStore.
+func (s *Store) Stats() core.DiskStats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return core.DiskStats{
+		Hits: s.hits.Load(), Misses: s.misses.Load(), Expired: s.expired.Load(),
+		Puts: s.puts.Load(), PutErrors: s.putErrors.Load(), Compactions: s.compactions.Load(),
+		Entries: len(s.index), Bytes: s.logSize + s.snapSize,
+	}
+}
+
+// publishGauges refreshes the size gauges; callers hold s.mu.
+func (s *Store) publishGauges() {
+	telemetry.StoreEntries.Set(int64(len(s.index)))
+	telemetry.StoreBytes.Set(s.logSize + s.snapSize)
+}
+
+// Close stops the sweeper and releases file handles. It deliberately
+// does not compact: shutdown leaves exactly the crash-recovery state, so
+// the recovery path is the only open path there is.
+func (s *Store) Close() error {
+	if s.sweepStop != nil {
+		close(s.sweepStop)
+		<-s.sweepDone
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.closeFiles()
+	return nil
+}
+
+// Store implements the engine's disk-tier seam.
+var _ core.ResultStore = (*Store)(nil)

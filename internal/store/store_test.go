@@ -1,0 +1,379 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// openTest opens a store in dir with test-friendly defaults, failing the
+// test on error and closing on cleanup.
+func openTest(t *testing.T, dir string, cfg Config) *Store {
+	t.Helper()
+	cfg.Dir = dir
+	s, err := Open(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func mustPut(t *testing.T, s *Store, kind, key string, data []byte) {
+	t.Helper()
+	if err := s.Put(kind, key, data, 1.5); err != nil {
+		t.Fatalf("put %s/%s: %v", kind, key, err)
+	}
+}
+
+func mustGet(t *testing.T, s *Store, kind, key string) []byte {
+	t.Helper()
+	data, _, ok := s.Get(kind, key)
+	if !ok {
+		t.Fatalf("get %s/%s: miss, want hit", kind, key)
+	}
+	return data
+}
+
+// TestRoundTrip pins the basic contract: a Put is readable back (with
+// its elapsed metadata), an absent key is a miss, both are counted.
+func TestRoundTrip(t *testing.T) {
+	s := openTest(t, t.TempDir(), Config{})
+	payload := []byte(`{"answer":42}`)
+	if err := s.Put("optimize", "optimize|abc", payload, 12.5); err != nil {
+		t.Fatal(err)
+	}
+	data, elapsed, ok := s.Get("optimize", "optimize|abc")
+	if !ok || !bytes.Equal(data, payload) {
+		t.Fatalf("get = %q, %v", data, ok)
+	}
+	if elapsed != 12.5 {
+		t.Fatalf("elapsed %v, want 12.5", elapsed)
+	}
+	if _, _, ok := s.Get("optimize", "optimize|nope"); ok {
+		t.Fatal("absent key must miss")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Entries != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.Bytes <= 0 {
+		t.Fatalf("bytes %d", st.Bytes)
+	}
+}
+
+// TestReopenPersistence: entries survive Close/Open, byte-identical,
+// including an overwrite where the log's later record must win.
+func TestReopenPersistence(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Config{})
+	mustPut(t, s, "optimize", "optimize|a", []byte("v1"))
+	mustPut(t, s, "optimize", "optimize|b", []byte("other"))
+	mustPut(t, s, "optimize", "optimize|a", []byte("v2-overwrites"))
+	s.Close()
+
+	r := openTest(t, dir, Config{})
+	if got := mustGet(t, r, "optimize", "optimize|a"); !bytes.Equal(got, []byte("v2-overwrites")) {
+		t.Fatalf("replayed %q, want the later record", got)
+	}
+	if got := mustGet(t, r, "optimize", "optimize|b"); !bytes.Equal(got, []byte("other")) {
+		t.Fatalf("replayed %q", got)
+	}
+	if r.Len() != 2 {
+		t.Fatalf("entries %d, want 2 (overwrite must not duplicate)", r.Len())
+	}
+}
+
+// TestTornTailRecovery: a partial record at the log's end (the shape a
+// kill mid-write leaves) is dropped on reopen — and only it; every
+// complete record before it survives. The reopened log accepts new
+// appends cleanly.
+func TestTornTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Config{})
+	mustPut(t, s, "optimize", "optimize|keep1", []byte("payload-1"))
+	mustPut(t, s, "optimize", "optimize|keep2", []byte("payload-2"))
+	s.Close()
+
+	logPath := filepath.Join(dir, logName)
+	full := EncodeRecord(Entry{Kind: "optimize", Key: "optimize|torn", InsertedAt: 1, Data: []byte("torn-away")})
+	f, err := os.OpenFile(logPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write(full[:len(full)-3]); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	r := openTest(t, dir, Config{})
+	if r.Len() != 2 {
+		t.Fatalf("entries %d, want the 2 intact records", r.Len())
+	}
+	mustGet(t, r, "optimize", "optimize|keep1")
+	mustGet(t, r, "optimize", "optimize|keep2")
+	if _, _, ok := r.Get("optimize", "optimize|torn"); ok {
+		t.Fatal("torn record must be dropped")
+	}
+	// The tail was truncated, so a fresh append must round-trip.
+	mustPut(t, r, "optimize", "optimize|after", []byte("post-recovery"))
+	r.Close()
+	r2 := openTest(t, dir, Config{})
+	if got := mustGet(t, r2, "optimize", "optimize|after"); !bytes.Equal(got, []byte("post-recovery")) {
+		t.Fatalf("post-recovery append %q", got)
+	}
+}
+
+// TestCorruptRecordSkipped: a bit flip inside one record's payload fails
+// its CRC; recovery drops exactly that record and keeps its neighbors on
+// both sides.
+func TestCorruptRecordSkipped(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Config{})
+	mustPut(t, s, "optimize", "optimize|before", []byte("intact-before"))
+	victimStart := s.logSize
+	mustPut(t, s, "optimize", "optimize|victim", []byte("to-be-corrupted"))
+	mustPut(t, s, "optimize", "optimize|after", []byte("intact-after"))
+	s.Close()
+
+	logPath := filepath.Join(dir, logName)
+	raw, err := os.ReadFile(logPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[victimStart+frameLen+10] ^= 0xFF // flip a payload byte → CRC mismatch
+	if err := os.WriteFile(logPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTest(t, dir, Config{})
+	if r.Len() != 2 {
+		t.Fatalf("entries %d, want 2 survivors", r.Len())
+	}
+	mustGet(t, r, "optimize", "optimize|before")
+	mustGet(t, r, "optimize", "optimize|after")
+	if _, _, ok := r.Get("optimize", "optimize|victim"); ok {
+		t.Fatal("corrupt record must be rejected by its CRC")
+	}
+}
+
+// TestForeignLogReset: a log file that is not a store log at all (wrong
+// magic) is reset rather than crashing or poisoning the index.
+func TestForeignLogReset(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, logName), []byte("definitely not a store log"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := openTest(t, dir, Config{})
+	if s.Len() != 0 {
+		t.Fatalf("entries %d", s.Len())
+	}
+	mustPut(t, s, "optimize", "optimize|x", []byte("fresh"))
+	s.Close()
+	r := openTest(t, dir, Config{})
+	mustGet(t, r, "optimize", "optimize|x")
+}
+
+// TestCompaction: compaction folds the log into the snapshot, shrinks
+// disk usage when entries were overwritten, keeps every live entry
+// readable, and the compacted state reopens identically.
+func TestCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Config{CompactBytes: -1})
+	// Overwrite one key many times: the log holds every version, the
+	// snapshot only the last.
+	for i := 0; i < 50; i++ {
+		mustPut(t, s, "optimize", "optimize|hot", []byte(fmt.Sprintf("version-%02d", i)))
+	}
+	mustPut(t, s, "optimize", "optimize|cold", []byte("steady"))
+	before := s.Stats().Bytes
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	after := s.Stats().Bytes
+	if after >= before {
+		t.Fatalf("compaction grew disk use: %d → %d", before, after)
+	}
+	if got := mustGet(t, s, "optimize", "optimize|hot"); !bytes.Equal(got, []byte("version-49")) {
+		t.Fatalf("post-compact read %q", got)
+	}
+	mustGet(t, s, "optimize", "optimize|cold")
+	if s.Stats().Compactions != 1 {
+		t.Fatalf("compactions %d", s.Stats().Compactions)
+	}
+	// Appends after compaction land in the (now-empty) log and win over
+	// the snapshot on reopen.
+	mustPut(t, s, "optimize", "optimize|hot", []byte("post-compact"))
+	s.Close()
+	r := openTest(t, dir, Config{})
+	if got := mustGet(t, r, "optimize", "optimize|hot"); !bytes.Equal(got, []byte("post-compact")) {
+		t.Fatalf("reopen after compact %q", got)
+	}
+	if got := mustGet(t, r, "optimize", "optimize|cold"); !bytes.Equal(got, []byte("steady")) {
+		t.Fatalf("reopen after compact %q", got)
+	}
+}
+
+// TestAutoCompaction: Put triggers compaction once the log passes
+// CompactBytes.
+func TestAutoCompaction(t *testing.T) {
+	s := openTest(t, t.TempDir(), Config{CompactBytes: 512})
+	payload := bytes.Repeat([]byte("x"), 64)
+	for i := 0; i < 32; i++ {
+		mustPut(t, s, "optimize", "optimize|hot", payload)
+	}
+	if s.Stats().Compactions == 0 {
+		t.Fatal("auto-compaction never triggered")
+	}
+	mustGet(t, s, "optimize", "optimize|hot")
+}
+
+// TestOrphanTmpRemoved: a tmp file from a compaction killed before its
+// rename must be discarded on open — the old snapshot+log state is the
+// truth.
+func TestOrphanTmpRemoved(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Config{})
+	mustPut(t, s, "optimize", "optimize|live", []byte("authoritative"))
+	s.Close()
+	tmpPath := filepath.Join(dir, tmpName)
+	if err := os.WriteFile(tmpPath, []byte("half-written snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := openTest(t, dir, Config{})
+	if _, err := os.Stat(tmpPath); !os.IsNotExist(err) {
+		t.Fatalf("orphan tmp still present (err %v)", err)
+	}
+	if got := mustGet(t, r, "optimize", "optimize|live"); !bytes.Equal(got, []byte("authoritative")) {
+		t.Fatalf("read %q", got)
+	}
+}
+
+// TestCrashBetweenRenameAndTruncate: the instant after a compaction's
+// rename commits, the snapshot holds everything and the log still holds
+// duplicates. Recovery must come up with one copy of each entry and the
+// log's (identical) records winning harmlessly.
+func TestCrashBetweenRenameAndTruncate(t *testing.T) {
+	dir := t.TempDir()
+	s := openTest(t, dir, Config{CompactBytes: -1})
+	mustPut(t, s, "optimize", "optimize|a", []byte("alpha"))
+	mustPut(t, s, "validate", "validate|b", []byte("beta"))
+	s.Close()
+
+	// Build the snapshot the compactor would have written, but leave the
+	// log untruncated — the post-rename pre-truncate crash window.
+	logData, err := os.ReadFile(filepath.Join(dir, logName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, _, _, err := DecodeLog(logData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := HeaderBytes()
+	for _, r := range recs {
+		snap = append(snap, EncodeRecord(r.Entry)...)
+	}
+	if err := os.WriteFile(filepath.Join(dir, snapName), snap, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	r := openTest(t, dir, Config{})
+	if r.Len() != 2 {
+		t.Fatalf("entries %d, want 2", r.Len())
+	}
+	if got := mustGet(t, r, "optimize", "optimize|a"); !bytes.Equal(got, []byte("alpha")) {
+		t.Fatalf("read %q", got)
+	}
+	if got := mustGet(t, r, "validate", "validate|b"); !bytes.Equal(got, []byte("beta")) {
+		t.Fatalf("read %q", got)
+	}
+}
+
+// TestClosedStore: operations on a closed store fail cleanly.
+func TestClosedStore(t *testing.T) {
+	s := openTest(t, t.TempDir(), Config{})
+	mustPut(t, s, "optimize", "optimize|x", []byte("v"))
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Get("optimize", "optimize|x"); ok {
+		t.Fatal("closed store must miss")
+	}
+	if err := s.Put("optimize", "optimize|y", []byte("v"), 0); err != ErrClosed {
+		t.Fatalf("put on closed store: %v", err)
+	}
+	if err := s.Compact(); err != ErrClosed {
+		t.Fatalf("compact on closed store: %v", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+// TestOpenValidation: a store needs a directory, and rejects kindless or
+// keyless puts (they could not round-trip through the codec).
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Config{}); err == nil {
+		t.Fatal("empty Dir must be rejected")
+	}
+	s := openTest(t, t.TempDir(), Config{})
+	if err := s.Put("", "key", []byte("v"), 0); err == nil {
+		t.Fatal("empty kind must be rejected")
+	}
+	if err := s.Put("optimize", "", []byte("v"), 0); err == nil {
+		t.Fatal("empty key must be rejected")
+	}
+}
+
+// TestDecodeLogBounds covers the decoder's framing edges directly: bad
+// header, implausible length field, and an empty-but-valid file.
+func TestDecodeLogBounds(t *testing.T) {
+	if _, _, _, err := DecodeLog(nil); err != ErrBadHeader {
+		t.Fatalf("nil input: %v", err)
+	}
+	if _, _, _, err := DecodeLog([]byte("WRONGMAGIC__")); err != ErrBadHeader {
+		t.Fatalf("foreign magic: %v", err)
+	}
+	recs, tail, dropped, err := DecodeLog(HeaderBytes())
+	if err != nil || len(recs) != 0 || tail != headerLen || dropped != 0 {
+		t.Fatalf("empty log: %v %d %d %v", recs, tail, dropped, err)
+	}
+	// A length field past maxRecord ends the scan at that offset.
+	data := HeaderBytes()
+	var frame [8]byte
+	binary.BigEndian.PutUint32(frame[:4], maxRecord+1)
+	data = append(data, frame[:]...)
+	data = append(data, bytes.Repeat([]byte("z"), 64)...)
+	_, tail, _, err = DecodeLog(data)
+	if err != nil || tail != headerLen {
+		t.Fatalf("oversized length: tail %d err %v", tail, err)
+	}
+}
+
+// TestSweepInterval: the background sweeper drops expired entries
+// without any Get traffic.
+func TestSweepInterval(t *testing.T) {
+	clk := newFakeClock()
+	s := openTest(t, t.TempDir(), Config{
+		TTLs:          map[string]time.Duration{"validate": time.Minute},
+		Now:           clk.Now,
+		SweepInterval: time.Millisecond,
+	})
+	mustPut(t, s, "validate", "validate|x", []byte("ages"))
+	clk.Advance(2 * time.Minute)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Len() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("sweeper never removed the expired entry")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if s.Stats().Expired == 0 {
+		t.Fatal("expired counter never bumped")
+	}
+}

@@ -88,6 +88,34 @@ var (
 	WarmGuardTrips = Default.NewCounter("libra_warmstart_guard_trips_total",
 		"Warm-chain monotonicity-guard trips: warm-started sweep points re-solved cold because they regressed past their neighbor.")
 
+	// ---- Persistent result store (internal/store) ----
+
+	StoreHits = Default.NewCounterVec("libra_store_hits_total",
+		"Disk-store lookups answered from the persistent cache, by TTL kind.",
+		"kind")
+	StoreMisses = Default.NewCounterVec("libra_store_misses_total",
+		"Disk-store lookups that found nothing usable (absent or expired), by TTL kind.",
+		"kind")
+	StoreExpired = Default.NewCounterVec("libra_store_expired_total",
+		"Disk-store entries removed because their TTL elapsed, by TTL kind.",
+		"kind")
+	StorePuts = Default.NewCounterVec("libra_store_puts_total",
+		"Results spilled to the disk store, by TTL kind.",
+		"kind")
+	StorePutErrors = Default.NewCounter("libra_store_put_errors_total",
+		"Disk-store writes that failed (the result stayed memory-only).")
+	StoreCompactions = Default.NewCounter("libra_store_compactions_total",
+		"Log-to-snapshot compactions completed (atomic rename).")
+	StoreDroppedRecords = Default.NewCounter("libra_store_dropped_records_total",
+		"Corrupt or torn log records dropped during open-time recovery.")
+	StoreEntries = Default.NewGauge("libra_store_entries",
+		"Live entries currently indexed by the disk store.")
+	StoreBytes = Default.NewGauge("libra_store_bytes",
+		"Bytes on disk across the store's snapshot and append log.")
+	WarmupReplayed = Default.NewCounterVec("libra_warmup_specs_total",
+		"Warmup-file specs replayed at boot, by outcome (ok|error|skipped).",
+		"outcome")
+
 	// ---- Async jobs (internal/jobs) ----
 
 	JobsSubmitted = Default.NewCounter("libra_jobs_submitted_total",

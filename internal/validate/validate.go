@@ -43,6 +43,17 @@ type Runner interface {
 	Do(ctx context.Context, key string, compute func(context.Context) (any, error)) (any, bool, error)
 }
 
+// CodecRunner is the optional persistence-aware Runner surface:
+// *core.Engine implements it, letting validate outcomes spill to the
+// engine's disk tier (under the "validate" TTL kind) and survive
+// restarts. Runners without it stay memory-only.
+type CodecRunner interface {
+	DoCodec(ctx context.Context, key string, codec core.Codec, compute func(context.Context) (any, error)) (any, bool, error)
+}
+
+// outcomeCodec persists scenario outcomes through the disk tier.
+var outcomeCodec = core.JSONCodec[outcome]()
+
 // Scenario paths: which simulator backend answered the scenario.
 const (
 	// PathPipeline is the chunk-pipeline simulator (symmetric per-NPU
@@ -128,21 +139,23 @@ type Report struct {
 
 // outcome is the cached payload of one scenario computation. Values are
 // immutable once computed — the Runner shares them across callers.
+// Fields are exported (with stable JSON tags) so outcomeCodec can
+// persist them across restarts.
 type outcome struct {
-	analytical  float64
-	simulated   float64
-	relErr      float64
-	dimBusyRelE float64
+	Analytical  float64 `json:"analytical"`
+	Simulated   float64 `json:"simulated"`
+	RelErr      float64 `json:"rel_err"`
+	DimBusyRelE float64 `json:"dim_busy_rel_err"`
 }
 
 // measure compares an analytical (total, per-dim busy) answer against a
 // simulated one.
 func measure(analytical, simulated float64, anaBusy, simBusy []float64) (outcome, error) {
-	o := outcome{analytical: analytical, simulated: simulated}
+	o := outcome{Analytical: analytical, Simulated: simulated}
 	if !(analytical > 0) || math.IsInf(simulated, 0) || math.IsNaN(simulated) {
 		return outcome{}, fmt.Errorf("validate: degenerate scenario (analytical %v s, simulated %v s)", analytical, simulated)
 	}
-	o.relErr = (simulated - analytical) / analytical
+	o.RelErr = (simulated - analytical) / analytical
 	scale := 0.0
 	for _, b := range anaBusy {
 		if b > scale {
@@ -163,8 +176,8 @@ func measure(analytical, simulated float64, anaBusy, simBusy []float64) (outcome
 		if denom == 0 {
 			continue
 		}
-		if e := math.Abs(simB-ana) / denom; e > o.dimBusyRelE {
-			o.dimBusyRelE = e
+		if e := math.Abs(simB-ana) / denom; e > o.DimBusyRelE {
+			o.DimBusyRelE = e
 		}
 	}
 	return o, nil
@@ -383,7 +396,14 @@ func Compute(ctx context.Context, r Runner, spec *Spec) (*Report, error) {
 		wg.Add(1)
 		go func(j *job) {
 			defer wg.Done()
-			v, cached, err := r.Do(ctx, j.key, j.run)
+			var v any
+			var cached bool
+			var err error
+			if cr, ok := r.(CodecRunner); ok {
+				v, cached, err = cr.DoCodec(ctx, j.key, outcomeCodec, j.run)
+			} else {
+				v, cached, err = r.Do(ctx, j.key, j.run)
+			}
 			tracker.Tick(err == nil && cached)
 			if err != nil {
 				j.scenario.Err, j.scenario.Error = err, err.Error()
@@ -396,10 +416,10 @@ func Compute(ctx context.Context, r Runner, spec *Spec) (*Report, error) {
 				return
 			}
 			j.scenario.Cached = cached
-			j.scenario.AnalyticalS = o.analytical
-			j.scenario.SimulatedS = o.simulated
-			j.scenario.RelErr = o.relErr
-			j.scenario.DimBusyMaxRelErr = o.dimBusyRelE
+			j.scenario.AnalyticalS = o.Analytical
+			j.scenario.SimulatedS = o.Simulated
+			j.scenario.RelErr = o.RelErr
+			j.scenario.DimBusyMaxRelErr = o.DimBusyRelE
 		}(&jobs[i])
 	}
 	wg.Wait()

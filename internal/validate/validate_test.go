@@ -447,13 +447,13 @@ func TestMeasure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(o.relErr-0.1) > 1e-12 {
-		t.Fatalf("rel err %v, want 0.1", o.relErr)
+	if math.Abs(o.RelErr-0.1) > 1e-12 {
+		t.Fatalf("rel err %v, want 0.1", o.RelErr)
 	}
 	// dim 0: 5% off; dim 1: idle analytically, measured against dim 0's
 	// scale → 10%.
-	if math.Abs(o.dimBusyRelE-0.1) > 1e-12 {
-		t.Fatalf("dim busy rel err %v, want 0.1", o.dimBusyRelE)
+	if math.Abs(o.DimBusyRelE-0.1) > 1e-12 {
+		t.Fatalf("dim busy rel err %v, want 0.1", o.DimBusyRelE)
 	}
 	if _, err := measure(0, 1, nil, nil); err == nil {
 		t.Fatal("zero analytical time must be rejected")
