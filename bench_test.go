@@ -23,10 +23,11 @@ import (
 	"libra/internal/workload"
 )
 
-func runExperiment(b *testing.B, f func() (*experiments.Table, error)) {
+func runExperiment(b *testing.B, f func(context.Context) (*experiments.Table, error)) {
 	b.Helper()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		tbl, err := f()
+		tbl, err := f(ctx)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -49,17 +50,25 @@ func BenchmarkFig11TopologyNotation(b *testing.B) { runExperiment(b, experiments
 func BenchmarkTable1CostModel(b *testing.B)       { runExperiment(b, experiments.Table1CostModel) }
 func BenchmarkFig12CostExample(b *testing.B)      { runExperiment(b, experiments.Fig12CostExample) }
 func BenchmarkFig13SpeedupSweep(b *testing.B) {
-	runExperiment(b, func() (*experiments.Table, error) { return experiments.Fig13Fig14SpeedupSweep(true) })
+	runExperiment(b, func(ctx context.Context) (*experiments.Table, error) {
+		return experiments.Fig13Fig14SpeedupSweep(ctx, true)
+	})
 }
 func BenchmarkFig14PerfPerCostSweep(b *testing.B) {
 	// Figs. 13 and 14 are two views of one sweep; both regenerate it.
-	runExperiment(b, func() (*experiments.Table, error) { return experiments.Fig13Fig14SpeedupSweep(true) })
+	runExperiment(b, func(ctx context.Context) (*experiments.Table, error) {
+		return experiments.Fig13Fig14SpeedupSweep(ctx, true)
+	})
 }
 func BenchmarkFig15NonTransformer(b *testing.B) {
-	runExperiment(b, func() (*experiments.Table, error) { return experiments.Fig15NonTransformer(true) })
+	runExperiment(b, func(ctx context.Context) (*experiments.Table, error) {
+		return experiments.Fig15NonTransformer(ctx, true)
+	})
 }
 func BenchmarkFig16TopologyExploration(b *testing.B) {
-	runExperiment(b, func() (*experiments.Table, error) { return experiments.Fig16TopologyExploration(true) })
+	runExperiment(b, func(ctx context.Context) (*experiments.Table, error) {
+		return experiments.Fig16TopologyExploration(ctx, true)
+	})
 }
 func BenchmarkFig17GroupOptimization(b *testing.B) {
 	runExperiment(b, experiments.Fig17aGroupLLM)

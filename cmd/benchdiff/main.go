@@ -409,9 +409,9 @@ func runRecord(args []string) error {
 		AllocsPerOp: cur.AllocsPerOp,
 	}
 	if *basePath != "" {
-		base, err := loadReport(*basePath)
-		if err != nil {
-			return err
+		base, baseErr := loadReport(*basePath)
+		if baseErr != nil {
+			return baseErr
 		}
 		entry.VsBaseline = map[string]float64{}
 		for name, c := range cur.Benchmarks {

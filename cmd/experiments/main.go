@@ -4,12 +4,18 @@
 //	experiments -out results          # full sweeps
 //	experiments -out results -quick   # trimmed sweeps
 //	experiments -only fig13_fig14     # one experiment to stdout
+//
+// ^C cancels the in-flight solve and exits; partial tables are not
+// written.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"libra/internal/cliutil"
 	"libra/internal/experiments"
@@ -23,10 +29,13 @@ func main() {
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *only != "" {
 		for _, e := range experiments.All(*quick) {
 			if e.ID == *only {
-				tbl, err := e.Run()
+				tbl, err := e.Run(ctx)
 				fatalIf(err)
 				fmt.Println(tbl.String())
 				if *out != "" {
@@ -37,7 +46,7 @@ func main() {
 		}
 		fatalIf(fmt.Errorf("unknown experiment %q", *only))
 	}
-	fatalIf(experiments.RunAll(*out, *quick, os.Stdout))
+	fatalIf(experiments.RunAll(ctx, *out, *quick, os.Stdout))
 }
 
 func fatalIf(err error) { cliutil.Fatal("experiments", err) }

@@ -138,9 +138,9 @@ func main() {
 	manager := libra.NewJobManager(libra.JobConfig{Engine: engine, Capacity: *jobCap, TTL: *jobTTL})
 	defer manager.Close()
 
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		cliutil.Fatal("libra-serve", err)
+	ln, lnErr := net.Listen("tcp", *addr)
+	if lnErr != nil {
+		cliutil.Fatal("libra-serve", lnErr)
 	}
 	srv := &http.Server{Handler: newMux(engine, manager, *maxBody, logger)}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

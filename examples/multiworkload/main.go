@@ -13,9 +13,9 @@ import (
 )
 
 func main() {
-	net, err := libra.PresetTopology("4D-4K")
-	if err != nil {
-		log.Fatal(err)
+	net, netErr := libra.PresetTopology("4D-4K")
+	if netErr != nil {
+		log.Fatal(netErr)
 	}
 	const budget = 1000.0
 

@@ -1,3 +1,11 @@
 module libra
 
+// Deliberately zero third-party dependencies: the module builds, tests,
+// and lints offline. In particular, cmd/libra-lint and internal/lint
+// reimplement the narrow slice of golang.org/x/tools/go/analysis they
+// need (analyzer driver, `go vet -vettool` unitchecker protocol,
+// analysistest harness) on the stdlib go/* packages plus `go list -e
+// -export -deps -json` for type information. If x/tools is ever
+// vendored, migrating is mechanical: the Analyzer/Pass shapes in
+// internal/lint/analysis mirror x/tools' on purpose.
 go 1.21

@@ -389,8 +389,8 @@ func (s *Spec) MarshalCanonical() ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if _, _, err := s.enumerate(m); err != nil {
-		return nil, err
+	if _, _, enumErr := s.enumerate(m); enumErr != nil {
+		return nil, enumErr
 	}
 	p, err := base.Build()
 	if err != nil {

@@ -389,7 +389,7 @@ func (p *Problem) buildConstraintsAt(budget float64) (*opt.Constraints, error) {
 // Optimize searches for the bandwidth configuration maximizing the
 // problem's objective and returns it evaluated under the Actual policy.
 func (p *Problem) Optimize() (Result, error) {
-	return p.OptimizeContext(context.Background())
+	return p.OptimizeContext(context.Background()) //libra:allow ctxflow compat wrapper: context-free entry point deliberately roots here
 }
 
 // OptimizeContext is Optimize under a context: the solver polls ctx and

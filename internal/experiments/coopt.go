@@ -23,14 +23,14 @@ import (
 // The study runs through the cluster subsystem, which solves the own and
 // group problems concurrently and hoists one validated evaluator per
 // workload across the whole cross-evaluation loop.
-func groupStudy(id, title string, names []string) (*Table, error) {
+func groupStudy(ctx context.Context, id, title string, names []string) (*Table, error) {
 	jobs := make([]cluster.JobSpec, len(names))
 	for i, n := range names {
 		jobs[i] = cluster.JobSpec{Preset: n}
 	}
 	engine := core.NewEngine(core.EngineConfig{})
 	defer engine.Close()
-	rep, err := cluster.Compute(context.Background(), engine, &cluster.Spec{
+	rep, err := cluster.Compute(ctx, engine, &cluster.Spec{
 		Topology:   "4D-4K",
 		BudgetGBps: 1000,
 		Jobs:       jobs,
@@ -66,21 +66,21 @@ func groupStudy(id, title string, names []string) (*Table, error) {
 
 // Fig17aGroupLLM regenerates Fig. 17(a): group optimization across the
 // three LLMs.
-func Fig17aGroupLLM() (*Table, error) {
-	return groupStudy("fig17a", "Group-optimizing LLMs (Turing-NLG, GPT-3, MSFT-1T) on 4D-4K @ 1,000 GB/s",
+func Fig17aGroupLLM(ctx context.Context) (*Table, error) {
+	return groupStudy(ctx, "fig17a", "Group-optimizing LLMs (Turing-NLG, GPT-3, MSFT-1T) on 4D-4K @ 1,000 GB/s",
 		[]string{"Turing-NLG", "GPT-3", "MSFT-1T"})
 }
 
 // Fig17bGroupMixture regenerates Fig. 17(b): group optimization across a
 // language/recommendation/vision mixture.
-func Fig17bGroupMixture() (*Table, error) {
-	return groupStudy("fig17b", "Group-optimizing a DNN mixture (MSFT-1T, DLRM, ResNet-50) on 4D-4K @ 1,000 GB/s",
+func Fig17bGroupMixture(ctx context.Context) (*Table, error) {
+	return groupStudy(ctx, "fig17b", "Group-optimizing a DNN mixture (MSFT-1T, DLRM, ResNet-50) on 4D-4K @ 1,000 GB/s",
 		[]string{"MSFT-1T", "DLRM", "ResNet-50"})
 }
 
 // Fig18CostSensitivity regenerates Fig. 18: PerfPerCostOptBW benefit on
 // 4D-4K @ 1,000 GB/s while sweeping the inter-Package link cost $1–5/GBps.
-func Fig18CostSensitivity() (*Table, error) {
+func Fig18CostSensitivity(ctx context.Context) (*Table, error) {
 	net := topology.FourD4K()
 	w, err := workload.MSFT1T(net.NPUs())
 	if err != nil {
@@ -111,7 +111,7 @@ func Fig18CostSensitivity() (*Table, error) {
 		if prevBW != nil {
 			warm = core.ScaleWarmStart(prevBW, 1000, 1000)
 		}
-		r, err := o.SolveBudget(context.Background(), 1000, warm)
+		r, err := o.SolveBudget(ctx, 1000, warm)
 		if err != nil {
 			return nil, err
 		}
@@ -125,7 +125,7 @@ func Fig18CostSensitivity() (*Table, error) {
 // Fig19Themis regenerates Fig. 19: GPT-3 on 4D-4K with the Themis runtime
 // scheduler enabled on both the EqualBW and the LIBRA-designed networks,
 // under iso-cost ($15M) and iso-resource (1,000 GB/s per NPU) setups.
-func Fig19Themis() (*Table, error) {
+func Fig19Themis(ctx context.Context) (*Table, error) {
 	net := topology.FourD4K()
 	w, err := workload.GPT3(net.NPUs())
 	if err != nil {
@@ -161,7 +161,7 @@ func Fig19Themis() (*Table, error) {
 	p := core.NewProblem(net, 0, w)
 	p.SkipBudget = true
 	p.Constraints = []core.ConstraintSpec{core.DollarBudget(dollars)}
-	rLibra, err := p.Optimize()
+	rLibra, err := p.OptimizeContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +183,7 @@ func Fig19Themis() (*Table, error) {
 	eqBW2 := topology.EqualBW(budget, net.NumDims())
 	p2 := core.NewProblem(net, budget, w)
 	p2.Objective = core.PerfPerCostOpt
-	rLibra2, err := p2.Optimize()
+	rLibra2, err := p2.OptimizeContext(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -205,7 +205,7 @@ func Fig19Themis() (*Table, error) {
 // Fig20Tacos regenerates Fig. 20: a 1 GB All-Reduce with 8 chunks on the
 // 3D-Torus at 1,000 GB/s per NPU, combining LIBRA designs with the TACOS
 // collective synthesizer.
-func Fig20Tacos() (*Table, error) {
+func Fig20Tacos(ctx context.Context) (*Table, error) {
 	net := topology.ThreeDTorus()
 	const budget = 1000.0
 	const m = 1e9
@@ -224,16 +224,16 @@ func Fig20Tacos() (*Table, error) {
 
 	eqBW := topology.EqualBW(budget, 3)
 	p := core.NewProblem(net, budget, arWorkload)
-	rLibra, err := p.Optimize() // PerfOpt: traffic-proportional allocation
+	rLibra, err := p.OptimizeContext(ctx) // PerfOpt: traffic-proportional allocation
 	if err != nil {
 		return nil, err
 	}
 
 	mapping := collective.FullMapping(net)
 	baselineTime := func(bw topology.BWConfig) (float64, error) {
-		r, err := sim.SimulateCollective(collective.AllReduce, m, mapping, bw, chunks)
-		if err != nil {
-			return 0, err
+		r, simErr := sim.SimulateCollective(collective.AllReduce, m, mapping, bw, chunks)
+		if simErr != nil {
+			return 0, simErr
 		}
 		return r.Makespan, nil
 	}
@@ -277,7 +277,7 @@ func Fig20Tacos() (*Table, error) {
 // Fig21ParallelizationCoopt regenerates Fig. 21: co-optimizing MSFT-1T's
 // parallelization strategy with the 4D-4K network at 1,000 GB/s. All
 // results are normalized to EqualBW with HP-(128, 32).
-func Fig21ParallelizationCoopt() (*Table, error) {
+func Fig21ParallelizationCoopt(ctx context.Context) (*Table, error) {
 	net := topology.FourD4K()
 	const budget = 1000.0
 
@@ -306,7 +306,7 @@ func Fig21ParallelizationCoopt() (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		r, err := p.Optimize()
+		r, err := p.OptimizeContext(ctx)
 		if err != nil {
 			return nil, err
 		}

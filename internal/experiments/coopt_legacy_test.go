@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -92,7 +93,7 @@ func TestFig17ByteIdentity(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s legacy: %v", tc.id, err)
 		}
-		got, err := groupStudy(tc.id, tc.title, tc.names)
+		got, err := groupStudy(context.Background(), tc.id, tc.title, tc.names)
 		if err != nil {
 			t.Fatalf("%s ported: %v", tc.id, err)
 		}

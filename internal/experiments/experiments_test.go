@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -32,7 +33,7 @@ func cellF(t *testing.T, tbl *Table, i int, col string) float64 {
 }
 
 func TestFig01Shape(t *testing.T) {
-	tbl, err := Fig01CommSizes()
+	tbl, err := Fig01CommSizes(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ func TestFig01Shape(t *testing.T) {
 }
 
 func TestFig09Shape(t *testing.T) {
-	tbl, err := Fig09Pipeline()
+	tbl, err := Fig09Pipeline(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +98,7 @@ func TestFig09Shape(t *testing.T) {
 }
 
 func TestFig10Shape(t *testing.T) {
-	tbl, err := Fig10Utilization()
+	tbl, err := Fig10Utilization(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -125,14 +126,14 @@ func TestFig10Shape(t *testing.T) {
 }
 
 func TestTable1AndFig12(t *testing.T) {
-	tbl, err := Table1CostModel()
+	tbl, err := Table1CostModel(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(tbl.Rows) != 4 {
 		t.Errorf("table1 rows = %d", len(tbl.Rows))
 	}
-	fig12, err := Fig12CostExample()
+	fig12, err := Fig12CostExample(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestTable1AndFig12(t *testing.T) {
 }
 
 func TestFig13Fig14Shape(t *testing.T) {
-	tbl, err := Fig13Fig14SpeedupSweep(true)
+	tbl, err := Fig13Fig14SpeedupSweep(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func TestFig13Fig14Shape(t *testing.T) {
 }
 
 func TestFig15Shape(t *testing.T) {
-	tbl, err := Fig15NonTransformer(true)
+	tbl, err := Fig15NonTransformer(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +198,7 @@ func TestFig15Shape(t *testing.T) {
 }
 
 func TestFig16Shape(t *testing.T) {
-	tbl, err := Fig16TopologyExploration(true)
+	tbl, err := Fig16TopologyExploration(context.Background(), true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -212,7 +213,7 @@ func TestFig16Shape(t *testing.T) {
 }
 
 func TestFig17Shape(t *testing.T) {
-	tbl, err := Fig17aGroupLLM()
+	tbl, err := Fig17aGroupLLM(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestFig17Shape(t *testing.T) {
 }
 
 func TestFig18Shape(t *testing.T) {
-	tbl, err := Fig18CostSensitivity()
+	tbl, err := Fig18CostSensitivity(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +261,7 @@ func TestFig18Shape(t *testing.T) {
 }
 
 func TestFig19Shape(t *testing.T) {
-	tbl, err := Fig19Themis()
+	tbl, err := Fig19Themis(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestFig19Shape(t *testing.T) {
 }
 
 func TestFig20Shape(t *testing.T) {
-	tbl, err := Fig20Tacos()
+	tbl, err := Fig20Tacos(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestFig20Shape(t *testing.T) {
 }
 
 func TestFig21Shape(t *testing.T) {
-	tbl, err := Fig21ParallelizationCoopt()
+	tbl, err := Fig21ParallelizationCoopt(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

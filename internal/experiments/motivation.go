@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"libra/internal/collective"
@@ -13,7 +14,7 @@ import (
 
 // Fig01CommSizes regenerates Fig. 1: per-NPU communication volume per
 // training iteration for models from 2015–2021 at 1,024 NPUs (FP16).
-func Fig01CommSizes() (*Table, error) {
+func Fig01CommSizes(_ context.Context) (*Table, error) {
 	pts, err := workload.Fig1Models()
 	if err != nil {
 		return nil, err
@@ -33,7 +34,7 @@ func Fig01CommSizes() (*Table, error) {
 // Fig09Pipeline regenerates Fig. 9: a 4-chunk All-Reduce on a 3D network
 // under three bandwidth allocations — Dim-1-starved (a), Dim-2-starved
 // (b), and traffic-proportional (c) — reporting per-dimension utilization.
-func Fig09Pipeline() (*Table, error) {
+func Fig09Pipeline(_ context.Context) (*Table, error) {
 	mapping := collective.Mapping{Phases: []collective.Phase{
 		{Dim: 0, Group: 4}, {Dim: 1, Group: 4}, {Dim: 2, Group: 4},
 	}}
@@ -71,7 +72,7 @@ func Fig09Pipeline() (*Table, error) {
 // Fig10Utilization regenerates Fig. 10: MSFT-1T on 2D/3D/4D networks with
 // 300 GB/s per NPU — EqualBW utilization and the speedup a workload-aware
 // (PerfOpt) allocation achieves.
-func Fig10Utilization() (*Table, error) {
+func Fig10Utilization(_ context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig10",
 		Title:  "MSFT-1T at 300 GB/s per NPU: EqualBW utilization and PerfOpt headroom",
@@ -100,7 +101,7 @@ func Fig10Utilization() (*Table, error) {
 
 // Fig11Notation regenerates Fig. 11: the block notation capturing deployed
 // ML cluster fabrics.
-func Fig11Notation() (*Table, error) {
+func Fig11Notation(_ context.Context) (*Table, error) {
 	t := &Table{
 		ID:     "fig11",
 		Title:  "Real ML HPC clusters captured by the multi-dimensional notation",
@@ -117,7 +118,7 @@ func Fig11Notation() (*Table, error) {
 }
 
 // Table1CostModel regenerates Table I, the default network cost model.
-func Table1CostModel() (*Table, error) {
+func Table1CostModel(_ context.Context) (*Table, error) {
 	table := cost.Default()
 	if err := table.Validate(); err != nil {
 		return nil, err
@@ -136,7 +137,7 @@ func Table1CostModel() (*Table, error) {
 
 // Fig12CostExample regenerates Fig. 12: the 3-NPU inter-Pod switch network
 // at 10 GB/s costing $1,722.
-func Fig12CostExample() (*Table, error) {
+func Fig12CostExample(_ context.Context) (*Table, error) {
 	net := topology.MustParse("SW(3)")
 	net.SetTier(0, topology.Pod)
 	bw := topology.BWConfig{10}

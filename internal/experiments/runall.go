@@ -1,14 +1,17 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 )
 
-// Named is one runnable experiment.
+// Named is one runnable experiment. Run threads the caller's context
+// into every solve so a sweep can be cancelled mid-run (^C on the
+// experiments CLI, deadline in a harness).
 type Named struct {
 	ID  string
-	Run func() (*Table, error)
+	Run func(context.Context) (*Table, error)
 }
 
 // All lists every experiment in paper order. quick trims bandwidth sweeps
@@ -21,9 +24,9 @@ func All(quick bool) []Named {
 		{"fig11", Fig11Notation},
 		{"table1", Table1CostModel},
 		{"fig12", Fig12CostExample},
-		{"fig13_fig14", func() (*Table, error) { return Fig13Fig14SpeedupSweep(quick) }},
-		{"fig15", func() (*Table, error) { return Fig15NonTransformer(quick) }},
-		{"fig16", func() (*Table, error) { return Fig16TopologyExploration(quick) }},
+		{"fig13_fig14", func(ctx context.Context) (*Table, error) { return Fig13Fig14SpeedupSweep(ctx, quick) }},
+		{"fig15", func(ctx context.Context) (*Table, error) { return Fig15NonTransformer(ctx, quick) }},
+		{"fig16", func(ctx context.Context) (*Table, error) { return Fig16TopologyExploration(ctx, quick) }},
 		{"fig17a", Fig17aGroupLLM},
 		{"fig17b", Fig17bGroupMixture},
 		{"fig18", Fig18CostSensitivity},
@@ -34,10 +37,15 @@ func All(quick bool) []Named {
 }
 
 // RunAll executes every experiment, writes <id>.csv and <id>.txt under
-// dir, and streams the text rendering to w (nil to silence).
-func RunAll(dir string, quick bool, w io.Writer) error {
+// dir, and streams the text rendering to w (nil to silence). A cancelled
+// ctx stops between (and, for the solver-backed figures, inside)
+// experiments.
+func RunAll(ctx context.Context, dir string, quick bool, w io.Writer) error {
 	for _, e := range All(quick) {
-		tbl, err := e.Run()
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		tbl, err := e.Run(ctx)
 		if err != nil {
 			return fmt.Errorf("experiment %s: %w", e.ID, err)
 		}

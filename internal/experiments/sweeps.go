@@ -26,12 +26,11 @@ func Budgets(quick bool) []float64 {
 // anomaly of §VI-A). Problem preparation (workload validation, mapping
 // resolution) is hoisted out of the loop, and each budget's two solves are
 // warm-started from the previous budget's optima.
-func designSweep(net *topology.Network, w *workload.Workload, budgets []float64,
+func designSweep(ctx context.Context, net *topology.Network, w *workload.Workload, budgets []float64,
 	visit func(budget float64, eq, perf, ppc core.Result)) error {
 	if len(budgets) == 0 {
 		return nil
 	}
-	ctx := context.Background()
 	p := core.NewProblem(net, budgets[0], w)
 	p.OptPolicy = timemodel.IdealFullDims
 	o, err := p.NewOptimizer()
@@ -59,7 +58,7 @@ func designSweep(net *topology.Network, w *workload.Workload, budgets []float64,
 		// More budget can never cost time under the perf objective; a warm
 		// chain that regressed gets a cold re-solve, keeping the better.
 		if warmPerf != nil && perf.WeightedTime > perfPrev.WeightedTime*(1+1e-9) {
-			if cold, err := o.SolveBudget(ctx, budget, nil); err == nil && cold.WeightedTime < perf.WeightedTime {
+			if cold, coldErr := o.SolveBudget(ctx, budget, nil); coldErr == nil && cold.WeightedTime < perf.WeightedTime {
 				perf = cold
 			}
 		}
@@ -76,7 +75,7 @@ func designSweep(net *topology.Network, w *workload.Workload, budgets []float64,
 
 // sweepTable runs the Fig. 13/14-style sweep for a set of workload ×
 // network pairs and reports both speedup and perf-per-cost columns.
-func sweepTable(id, title string, pairs []struct {
+func sweepTable(ctx context.Context, id, title string, pairs []struct {
 	w   *workload.Workload
 	net *topology.Network
 }, quick bool) (*Table, error) {
@@ -86,7 +85,7 @@ func sweepTable(id, title string, pairs []struct {
 		Header: []string{"workload", "network", "bw_per_npu", "speedup_perfopt", "speedup_ppcopt", "ppc_perfopt", "ppc_ppcopt"},
 	}
 	for _, pair := range pairs {
-		err := designSweep(pair.net, pair.w, Budgets(quick), func(budget float64, eq, perf, ppc core.Result) {
+		err := designSweep(ctx, pair.net, pair.w, Budgets(quick), func(budget float64, eq, perf, ppc core.Result) {
 			t.AddRow(
 				pair.w.Name, pair.net.Name(), fmt.Sprint(budget),
 				f2(eq.WeightedTime/perf.WeightedTime),
@@ -107,7 +106,7 @@ func sweepTable(id, title string, pairs []struct {
 // and MSFT-1T on 3D-4K and 4D-4K across the bandwidth sweep. (The two
 // figures plot different columns of the same experiment, so one table
 // carries both.)
-func Fig13Fig14SpeedupSweep(quick bool) (*Table, error) {
+func Fig13Fig14SpeedupSweep(ctx context.Context, quick bool) (*Table, error) {
 	net3, net4 := topology.ThreeD4K(), topology.FourD4K()
 	var pairs []struct {
 		w   *workload.Workload
@@ -125,13 +124,13 @@ func Fig13Fig14SpeedupSweep(quick bool) (*Table, error) {
 			}{w, net})
 		}
 	}
-	return sweepTable("fig13_fig14",
+	return sweepTable(ctx, "fig13_fig14",
 		"LLM speedup (Fig. 13) and perf-per-cost (Fig. 14) over EqualBW, 3D-4K and 4D-4K",
 		pairs, quick)
 }
 
 // Fig15NonTransformer regenerates Fig. 15: ResNet-50 and DLRM on 4D-4K.
-func Fig15NonTransformer(quick bool) (*Table, error) {
+func Fig15NonTransformer(ctx context.Context, quick bool) (*Table, error) {
 	net := topology.FourD4K()
 	var pairs []struct {
 		w   *workload.Workload
@@ -147,14 +146,14 @@ func Fig15NonTransformer(quick bool) (*Table, error) {
 			net *topology.Network
 		}{w, net})
 	}
-	return sweepTable("fig15",
+	return sweepTable(ctx, "fig15",
 		"Non-transformer workloads (ResNet-50, DLRM) on 4D-4K",
 		pairs, quick)
 }
 
 // Fig16TopologyExploration regenerates Fig. 16: MSFT-1T over the 3D-512,
 // 3D-1K, and 4D-2K topologies.
-func Fig16TopologyExploration(quick bool) (*Table, error) {
+func Fig16TopologyExploration(ctx context.Context, quick bool) (*Table, error) {
 	var pairs []struct {
 		w   *workload.Workload
 		net *topology.Network
@@ -173,7 +172,7 @@ func Fig16TopologyExploration(quick bool) (*Table, error) {
 			net *topology.Network
 		}{w, net})
 	}
-	return sweepTable("fig16",
+	return sweepTable(ctx, "fig16",
 		"MSFT-1T across topology shapes and scales (3D-512, 3D-1K, 4D-2K)",
 		pairs, quick)
 }

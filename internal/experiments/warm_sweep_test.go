@@ -26,7 +26,7 @@ func TestDesignSweepWarmMatchesColdPointwise(t *testing.T) {
 
 	type point struct{ eq, perf, ppc core.Result }
 	warm := map[float64]point{}
-	err = designSweep(net, w, budgets, func(budget float64, eq, perf, ppc core.Result) {
+	err = designSweep(context.Background(), net, w, budgets, func(budget float64, eq, perf, ppc core.Result) {
 		warm[budget] = point{eq, perf, ppc}
 	})
 	if err != nil {

@@ -1,0 +1,137 @@
+// Package analysis is a minimal, dependency-free stand-in for
+// golang.org/x/tools/go/analysis: the Analyzer/Pass/Diagnostic vocabulary
+// cmd/libra-lint's checkers are written against.
+//
+// Why not the real thing: the repository's go.mod is deliberately
+// dependency-free (see the note there), so the lint suite runs on the
+// standard library alone — go/ast + go/types for analysis,
+// `go list -export` for load (internal/lint/loader). The API mirrors
+// x/tools closely enough that migrating an analyzer to the upstream
+// framework is a mechanical import swap: Run takes a *Pass carrying the
+// same Fset/Files/Pkg/TypesInfo fields and reports through the same
+// Reportf call.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //libra:allow suppression directives.
+	Name string
+	// Doc is the one-paragraph description `libra-lint -list` prints.
+	Doc string
+	// AppliesTo optionally narrows which packages the driver runs the
+	// analyzer on (nil means every package). Fixture runs
+	// (internal/lint/analysistest) bypass it so the checks themselves
+	// stay testable outside their production scope.
+	AppliesTo func(pkgPath string) bool
+	// Run performs the check and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	// Report receives each finding; the driver owns collection,
+	// suppression, and rendering.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos      token.Pos
+	Message  string
+	Analyzer string
+}
+
+// Reportf reports a formatted finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...), Analyzer: p.Analyzer.Name})
+}
+
+// NewInfo builds a types.Info with every map an analyzer may consult.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+		Instances:  map[*ast.Ident]types.Instance{},
+	}
+}
+
+// AllowDirective is the inline suppression spelling: a comment of the form
+//
+//	//libra:allow <analyzer> [rationale...]
+//
+// on a finding's line, or on the line directly above it, suppresses that
+// analyzer's findings there. The rationale is free text for the reviewer;
+// the driver only matches the analyzer name (or "all").
+const AllowDirective = "//libra:allow"
+
+// allowKey locates one suppression: an analyzer name at a file line.
+type allowKey struct {
+	file string
+	line int
+	name string
+}
+
+// Suppressor answers whether a diagnostic is covered by an inline
+// //libra:allow directive.
+type Suppressor struct {
+	allows map[allowKey]bool
+}
+
+// NewSuppressor scans the files' comments for allow directives.
+func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
+	s := &Suppressor{allows: map[allowKey]bool{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, AllowDirective)
+				if !ok || (text != "" && text[0] != ' ' && text[0] != '\t') {
+					continue
+				}
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				s.allows[allowKey{pos.Filename, pos.Line, fields[0]}] = true
+			}
+		}
+	}
+	return s
+}
+
+// Add merges another file set's directives (the driver scans per package).
+func (s *Suppressor) Add(other *Suppressor) {
+	for k := range other.allows {
+		s.allows[k] = true
+	}
+}
+
+// Suppressed reports whether a finding by the named analyzer at pos is
+// covered by a directive on its line or the line above.
+func (s *Suppressor) Suppressed(fset *token.FileSet, name string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for _, line := range []int{p.Line, p.Line - 1} {
+		if s.allows[allowKey{p.Filename, line, name}] || s.allows[allowKey{p.Filename, line, "all"}] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,101 @@
+package analyzers
+
+import (
+	"go/ast"
+
+	"libra/internal/lint/analysis"
+)
+
+// CtxFlowAllowed names the functions permitted to mint a fresh root
+// context in library code, keyed by (*types.Func).FullName. These are the
+// deliberate worker-root spawn points: places where execution outlives
+// the request that triggered it, so inheriting the caller's context would
+// cancel still-wanted work. Everything else must thread the context it
+// was handed — trace-ID propagation and job cancellation both ride on it.
+//
+// One-line compatibility wrappers (opt.Minimize, core Problem.Optimize)
+// use the inline `//libra:allow ctxflow` directive at the call site
+// instead, keeping the rationale next to the code.
+var CtxFlowAllowed = map[string]string{
+	// Job execution is fire-and-forget by design: the submitting request's
+	// context ends at the HTTP response, while the job runs on. Cancel
+	// reaches the solve through job DELETE → j.cancel.
+	"(*libra/internal/jobs.Manager).Submit": "async job worker root",
+	// The engine's base context lives as long as the engine; per-request
+	// contexts join it per solve.
+	"libra/internal/core.NewEngine": "engine worker-pool root",
+}
+
+// CtxFlow enforces context propagation in library code: no
+// context.Background()/context.TODO() outside the allowlisted worker
+// roots, and — everywhere — a function that was handed a context.Context
+// must not shadow it with a fresh root when calling down. The front→worker
+// trace hop and job cancellation (DELETE /v2/jobs/{id}) both depend on the
+// chain staying intact.
+var CtxFlow = &analysis.Analyzer{
+	Name:      "ctxflow",
+	Doc:       "flag context.Background()/TODO() in library code outside allowlisted worker roots, and root contexts minted inside functions that already receive a ctx",
+	AppliesTo: libraryPackage,
+	Run:       runCtxFlow,
+}
+
+func runCtxFlow(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			if !isPkgFunc(fn, "context", "Background") && !isPkgFunc(fn, "context", "TODO") {
+				return true
+			}
+			decl := enclosingFunc(file, call)
+			if decl == nil {
+				return true // package-level initializer
+			}
+			if obj := declaredFunc(pass.TypesInfo, decl); obj != nil {
+				if _, allowed := CtxFlowAllowed[obj.FullName()]; allowed {
+					return true
+				}
+			}
+			if ctxScoped(pass, file, call) {
+				pass.Reportf(call.Pos(),
+					"context.%s() inside a function that receives a context.Context: thread the ctx so cancellation and trace IDs propagate",
+					fn.Name())
+				return true
+			}
+			pass.Reportf(call.Pos(),
+				"context.%s() in library code: accept a context.Context (or add a ctxflow allowlist entry for a deliberate worker root)",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// ctxScoped reports whether the call sits inside a function (declaration
+// or literal) that takes a context.Context parameter.
+func ctxScoped(pass *analysis.Pass, file *ast.File, call *ast.CallExpr) bool {
+	scoped := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil || n.Pos() > call.Pos() {
+			return false
+		}
+		if call.End() > n.End() {
+			return true // does not contain the call; descend past siblings
+		}
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if hasContextParam(pass.TypesInfo, fn.Type) {
+				scoped = true
+			}
+		case *ast.FuncLit:
+			if hasContextParam(pass.TypesInfo, fn.Type) {
+				scoped = true
+			}
+		}
+		return true
+	})
+	return scoped
+}

@@ -1,0 +1,97 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"libra/internal/lint/analysis"
+)
+
+// ErrCodePackage is the HTTP layer the analyzer polices; writeErrorFuncs
+// are its sanctioned writers, the only functions allowed to put a literal
+// error status on the wire.
+var (
+	ErrCodePackage  = "libra/internal/server"
+	errCodeWriters  = map[string]bool{"writeError": true, "writeJSONStatus": true}
+	errCodeConstPfx = "Code"
+)
+
+// ErrCode enforces the single error-envelope path of the HTTP layer:
+// every error response goes through writeError with a declared Code*
+// constant (clients branch on stable machine codes, never message text).
+// Raw http.Error calls and literal 4xx/5xx WriteHeader statuses bypass
+// the envelope and are flagged; so are writeError calls whose code
+// argument is an inline string rather than a Code* constant.
+var ErrCode = &analysis.Analyzer{
+	Name:      "errcode",
+	Doc:       "HTTP errors must flow through writeError with a declared Code* constant (no raw http.Error / literal 4xx-5xx WriteHeader)",
+	AppliesTo: func(pkgPath string) bool { return pkgPath == ErrCodePackage },
+	Run:       runErrCode,
+}
+
+func runErrCode(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.TypesInfo, call)
+			switch {
+			case isPkgFunc(fn, "net/http", "Error"):
+				pass.Reportf(call.Pos(),
+					"raw http.Error bypasses the JSON error envelope: respond through writeError with a Code* constant")
+			case fn != nil && fn.Name() == "WriteHeader":
+				checkWriteHeader(pass, file, call)
+			case fn != nil && fn.Name() == "writeError" && fn.Pkg() != nil && fn.Pkg().Path() == pass.Pkg.Path():
+				checkWriteErrorCode(pass, call)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkWriteHeader flags WriteHeader calls with a constant 4xx/5xx status
+// outside the sanctioned writer functions: an error status without the
+// JSON envelope is a protocol break even when the code is right.
+func checkWriteHeader(pass *analysis.Pass, file *ast.File, call *ast.CallExpr) {
+	if len(call.Args) != 1 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return // dynamic status: the sanctioned writers pass variables
+	}
+	status, ok := constant.Int64Val(tv.Value)
+	if !ok || status < 400 {
+		return
+	}
+	if decl := enclosingFunc(file, call); decl != nil && errCodeWriters[decl.Name.Name] {
+		return
+	}
+	pass.Reportf(call.Pos(),
+		"WriteHeader(%d) outside writeError: error statuses must carry the JSON error envelope", status)
+}
+
+// checkWriteErrorCode requires the code argument (third parameter) to be
+// a declared Code* constant or a variable carrying one — inline string
+// literals drift out of the documented code set.
+func checkWriteErrorCode(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 3 {
+		return
+	}
+	arg := unparen(call.Args[2])
+	switch a := arg.(type) {
+	case *ast.BasicLit:
+		pass.Reportf(arg.Pos(),
+			"writeError code %s is an inline literal: declare it as a Code* constant so clients can branch on it", a.Value)
+	case *ast.Ident:
+		if c, ok := pass.TypesInfo.Uses[a].(*types.Const); ok && !strings.HasPrefix(c.Name(), errCodeConstPfx) {
+			pass.Reportf(arg.Pos(),
+				"writeError code constant %s is not part of the declared Code* set", c.Name())
+		}
+	}
+}

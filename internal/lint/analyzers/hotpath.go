@@ -1,0 +1,143 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"libra/internal/lint/analysis"
+)
+
+// HotPathMarker opts a function into hot-path scrutiny. It goes in the
+// doc comment:
+//
+//	// dot returns the inner product of two equal-length vectors.
+//	//
+//	//libra:hotpath
+//	func dot(a, b []float64) float64 { ... }
+//
+// The bench-check gate pins allocs/op for these paths; the marker makes
+// the same expectation reviewable at the source instead of failing a
+// benchmark later.
+const HotPathMarker = "//libra:hotpath"
+
+// HotPath flags allocation and formatting hazards inside functions
+// annotated with //libra:hotpath — the per-iteration kernels (opt's
+// linalg and solver loops, telemetry's atomic instruments) whose
+// allocs/op the benchmark gate pins at zero. Anywhere in an annotated
+// function: fmt/log/slog calls and non-atomic bumps of package-level
+// counters. Inside its loops, where per-iteration cost multiplies:
+// composite literals, closures, and make/new.
+var HotPath = &analysis.Analyzer{
+	Name:      "hotpath",
+	Doc:       "in //libra:hotpath functions, flag fmt/log/slog calls, non-atomic package-counter bumps, and per-iteration allocations (composite literals, closures, make/new in loops)",
+	AppliesTo: libraryPackage,
+	Run:       runHotPath,
+}
+
+func runHotPath(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !hotPathAnnotated(fd) {
+				continue
+			}
+			checkHotPathBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func hotPathAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), HotPathMarker) {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotPathBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := calleeFunc(pass.TypesInfo, n); fn != nil && fn.Pkg() != nil {
+				switch fn.Pkg().Path() {
+				case "fmt", "log", "log/slog":
+					pass.Reportf(n.Pos(),
+						"%s.%s in a //libra:hotpath function: formatting allocates; move it off the hot path or drop the annotation",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+		case *ast.IncDecStmt:
+			checkCounterBump(pass, n.X, n.Pos())
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN:
+				for _, lhs := range n.Lhs {
+					checkCounterBump(pass, lhs, n.Pos())
+				}
+			}
+		case *ast.ForStmt:
+			checkLoopAllocs(pass, n.Body)
+		case *ast.RangeStmt:
+			checkLoopAllocs(pass, n.Body)
+		}
+		return true
+	})
+}
+
+// checkCounterBump flags ++/--/+=/-= on package-level variables: a plain
+// bump on a shared counter is a data race on concurrent hot paths. The
+// telemetry instruments (atomic throughout) are the sanctioned way.
+func checkCounterBump(pass *analysis.Pass, lhs ast.Expr, pos token.Pos) {
+	var id *ast.Ident
+	switch e := unparen(lhs).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return
+	}
+	pass.Reportf(pos,
+		"non-atomic bump of package-level %s in a //libra:hotpath function: use a telemetry counter or sync/atomic",
+		v.Name())
+}
+
+// checkLoopAllocs flags per-iteration heap traffic inside a hot loop.
+// One composite literal per call is setup; one per iteration is what
+// turns allocs/op nonzero.
+func checkLoopAllocs(pass *analysis.Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			// Nested loops get their own visit from checkHotPathBody's
+			// walk; descending here would double-report their bodies.
+			return false
+		case *ast.CompositeLit:
+			pass.Reportf(n.Pos(),
+				"composite literal inside a //libra:hotpath loop allocates every iteration: hoist it out of the loop")
+		case *ast.FuncLit:
+			pass.Reportf(n.Pos(),
+				"closure inside a //libra:hotpath loop allocates every iteration: hoist it or pass a named function")
+			return false // its body is cold relative to this loop's accounting
+		case *ast.CallExpr:
+			if id, ok := unparen(n.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && (b.Name() == "make" || b.Name() == "new") {
+					pass.Reportf(n.Pos(),
+						"%s inside a //libra:hotpath loop allocates every iteration: preallocate before the loop", b.Name())
+				}
+			}
+		}
+		return true
+	})
+}

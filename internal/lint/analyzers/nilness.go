@@ -1,0 +1,155 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"libra/internal/lint/analysis"
+)
+
+// Nilness reports dereferences of a pointer inside the branch where it
+// was just compared equal to nil: `if p == nil { use p.f }` (and the
+// else arm of `p != nil`). The check abandons a branch the moment the
+// pointer is reassigned or re-tested in a nested condition, so it only
+// fires when the nil fact provably still holds.
+//
+// This is a conservative, stdlib-only reimplementation of the guaranteed
+// nil-deref subset of golang.org/x/tools/go/analysis/passes/nilness (the
+// repo builds offline; see go.mod); the SSA-based original also tracks
+// flow through phi nodes, which this deliberately does not attempt.
+var Nilness = &analysis.Analyzer{
+	Name: "nilness",
+	Doc:  "report pointer dereferences inside the branch where the pointer was compared equal to nil",
+	Run:  runNilness,
+}
+
+func runNilness(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifStmt, ok := n.(*ast.IfStmt)
+			if !ok || ifStmt.Init != nil {
+				return true
+			}
+			id, isEq := nilComparison(pass.TypesInfo, ifStmt.Cond)
+			if id == nil {
+				return true
+			}
+			var branch *ast.BlockStmt
+			if isEq {
+				branch = ifStmt.Body
+			} else {
+				branch, _ = ifStmt.Else.(*ast.BlockStmt)
+			}
+			if branch == nil {
+				return true
+			}
+			checkNilBranch(pass, id, branch)
+			return true
+		})
+	}
+	return nil
+}
+
+// nilComparison matches `x == nil` / `x != nil` (either operand order)
+// where x is a plain pointer-typed identifier. Returns the identifier
+// and whether the comparison was ==.
+func nilComparison(info *types.Info, cond ast.Expr) (*ast.Ident, bool) {
+	bin, ok := unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return nil, false
+	}
+	x, y := unparen(bin.X), unparen(bin.Y)
+	if isNilIdent(info, x) {
+		x, y = y, x
+	}
+	if !isNilIdent(info, y) {
+		return nil, false
+	}
+	id, ok := x.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok {
+		return nil, false
+	}
+	if _, isPtr := v.Type().Underlying().(*types.Pointer); !isPtr {
+		return nil, false
+	}
+	return id, bin.Op == token.EQL
+}
+
+func isNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+// checkNilBranch flags p.f / *p / p[i] uses of the known-nil pointer.
+// A single pre-scan abandons the whole branch on any reassignment of p
+// or any nested condition mentioning p — after either, the nil fact is
+// no longer ours to assert.
+func checkNilBranch(pass *analysis.Pass, id *ast.Ident, branch *ast.BlockStmt) {
+	obj := pass.TypesInfo.Uses[id]
+	invalidated := false
+	ast.Inspect(branch, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if usesObject(pass.TypesInfo, lhs, obj) {
+					invalidated = true
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND && usesObject(pass.TypesInfo, n.X, obj) {
+				invalidated = true // address taken: anything may write through it
+			}
+		case *ast.IfStmt, *ast.ForStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+			if usesObject(pass.TypesInfo, n, obj) {
+				invalidated = true
+			}
+		}
+		return !invalidated
+	})
+	if invalidated {
+		return
+	}
+	ast.Inspect(branch, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if isObject(pass.TypesInfo, n.X, obj) {
+				pass.Reportf(n.Pos(), "%s is nil here: this dereference will panic", id.Name)
+			}
+		case *ast.StarExpr:
+			if isObject(pass.TypesInfo, n.X, obj) {
+				pass.Reportf(n.Pos(), "%s is nil here: this dereference will panic", id.Name)
+			}
+		case *ast.IndexExpr:
+			if isObject(pass.TypesInfo, n.X, obj) {
+				pass.Reportf(n.Pos(), "%s is nil here: this index will panic", id.Name)
+			}
+		}
+		return true
+	})
+}
+
+// usesObject reports whether any identifier under n resolves to obj.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func isObject(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}

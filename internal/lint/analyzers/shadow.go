@@ -1,0 +1,84 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"libra/internal/lint/analysis"
+)
+
+// Shadow reports := declarations that shadow an in-scope function-local
+// variable of the same type when the shadowed variable is still used
+// after the inner scope ends — the pattern where an inner `err :=`
+// silently diverges from the outer err a later `return err` reads.
+//
+// This is a conservative, stdlib-only reimplementation of
+// golang.org/x/tools/go/analysis/passes/shadow (the repo builds
+// offline; see go.mod). Same-type + used-after is the x/tools default
+// (non-strict) heuristic, the one with a near-zero false-positive rate.
+var Shadow = &analysis.Analyzer{
+	Name: "shadow",
+	Doc:  "report := declarations shadowing a same-type outer variable that is used after the inner scope ends",
+	Run:  runShadow,
+}
+
+func runShadow(pass *analysis.Pass) error {
+	// Collect each local variable's use positions once; the used-after
+	// test below is a position comparison against the inner scope's end.
+	uses := map[*types.Var][]token.Pos{}
+	for id, obj := range pass.TypesInfo.Uses {
+		if v, ok := obj.(*types.Var); ok {
+			uses[v] = append(uses[v], id.Pos())
+		}
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || assign.Tok != token.DEFINE {
+				return true
+			}
+			for _, lhs := range assign.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				checkShadow(pass, id, uses)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkShadow(pass *analysis.Pass, id *ast.Ident, uses map[*types.Var][]token.Pos) {
+	obj, ok := pass.TypesInfo.Defs[id].(*types.Var)
+	if !ok {
+		return
+	}
+	inner := obj.Parent()
+	if inner == nil || inner.Parent() == nil {
+		return
+	}
+	_, outerObj := inner.Parent().LookupParent(id.Name, obj.Pos())
+	outer, ok := outerObj.(*types.Var)
+	if !ok || outer == obj {
+		return
+	}
+	// Only function-local shadowing: hiding a package-level name with a
+	// local is routine Go (e.g. a local parameter named like a global).
+	if outer.Parent() == nil || outer.Pkg() == nil || outer.Parent() == outer.Pkg().Scope() || outer.Parent() == types.Universe {
+		return
+	}
+	if !types.Identical(obj.Type(), outer.Type()) {
+		return
+	}
+	for _, pos := range uses[outer] {
+		if pos > inner.End() {
+			pass.Reportf(id.Pos(),
+				"declaration of %q shadows declaration at line %d; the outer variable is used after this scope ends",
+				id.Name, pass.Fset.Position(outer.Pos()).Line)
+			return
+		}
+	}
+}

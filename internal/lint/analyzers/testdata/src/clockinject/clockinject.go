@@ -1,0 +1,36 @@
+// Package clockinject exercises the clockinject analyzer: direct
+// wall-clock reads in a package that declares an injectable clock.
+package clockinject
+
+import "time"
+
+type store struct {
+	now func() time.Time
+}
+
+// newStore injects the default clock as a value reference — legal: only
+// calls read the clock the fake-clock tests need to control.
+func newStore() *store {
+	return &store{now: time.Now}
+}
+
+func (s *store) expired(deadline time.Time) bool {
+	if time.Now().After(deadline) { // want "time\\.Now\\(\\) in a package with an injectable clock"
+		return true
+	}
+	return time.Since(deadline) > 0 // want "time\\.Since\\(\\) in a package with an injectable clock"
+}
+
+func (s *store) remaining(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want "time\\.Until\\(\\) in a package with an injectable clock"
+}
+
+// ok reads through the injected clock: clean.
+func (s *store) ok(deadline time.Time) bool {
+	return s.now().After(deadline)
+}
+
+// bootstamp is process-start metadata, not TTL logic; suppressed inline.
+func bootstamp() time.Time {
+	return time.Now() //libra:allow clockinject process-start metadata, not TTL logic
+}

@@ -1,0 +1,45 @@
+// Package ctxflow exercises the ctxflow analyzer: fresh root contexts in
+// library code, with and without a context in scope, allowlisted worker
+// roots, and inline suppression.
+package ctxflow
+
+import "context"
+
+// NoCtx has no context parameter anywhere in scope.
+func NoCtx() {
+	ctx := context.Background() // want "context\\.Background\\(\\) in library code: accept a context\\.Context"
+	_ = ctx
+}
+
+// HasCtx was handed a context and mints a fresh root anyway.
+func HasCtx(ctx context.Context) {
+	inner := context.TODO() // want "context\\.TODO\\(\\) inside a function that receives a context\\.Context: thread the ctx"
+	_ = inner
+	_ = ctx
+}
+
+// LitScoped only has a context inside the closure: the closure body is
+// ctx-scoped, the call that feeds the closure is not.
+func LitScoped() {
+	f := func(ctx context.Context) {
+		_ = context.Background() // want "context\\.Background\\(\\) inside a function that receives a context\\.Context"
+		_ = ctx
+	}
+	f(context.Background()) // want "context\\.Background\\(\\) in library code"
+}
+
+// WorkerRoot is a deliberate spawn point; the test allowlists it by its
+// FullName ("ctxflow.WorkerRoot") before running the analyzer.
+func WorkerRoot() {
+	_ = context.Background()
+}
+
+// CompatWrapper shows the inline escape hatch for one-off wrappers.
+func CompatWrapper() {
+	_ = context.Background() //libra:allow ctxflow fixture compat wrapper
+}
+
+// Threaded does it right.
+func Threaded(ctx context.Context) context.Context {
+	return ctx
+}

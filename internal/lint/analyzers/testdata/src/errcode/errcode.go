@@ -1,0 +1,50 @@
+// Package errcode exercises the errcode analyzer: the single
+// error-envelope path with declared Code* constants.
+package errcode
+
+import "net/http"
+
+const (
+	CodeInvalidSpec = "invalid_spec"
+	CodeNotFound    = "not_found"
+	statusLabel     = "oops" // not part of the Code* set
+)
+
+// writeError is the sanctioned envelope writer: the dynamic WriteHeader
+// inside it is clean.
+func writeError(w http.ResponseWriter, status int, code string) {
+	w.WriteHeader(status)
+	_, _ = w.Write([]byte(code))
+}
+
+// writeJSONStatus is the second sanctioned writer.
+func writeJSONStatus(w http.ResponseWriter, status int) {
+	w.WriteHeader(status)
+}
+
+func rawError(w http.ResponseWriter) {
+	http.Error(w, "bad request", http.StatusBadRequest) // want "raw http\\.Error bypasses the JSON error envelope"
+}
+
+func rawStatus(w http.ResponseWriter) {
+	w.WriteHeader(http.StatusInternalServerError) // want "WriteHeader\\(500\\) outside writeError"
+	w.WriteHeader(http.StatusNoContent)           // 2xx: clean
+}
+
+func inlineCode(w http.ResponseWriter) {
+	writeError(w, http.StatusBadRequest, "invalid_spec") // want "writeError code \"invalid_spec\" is an inline literal"
+}
+
+func strayConst(w http.ResponseWriter) {
+	writeError(w, http.StatusBadRequest, statusLabel) // want "writeError code constant statusLabel is not part of the declared Code\\* set"
+}
+
+// goodCode and dynamicCode are the sanctioned shapes: a Code* constant,
+// or a variable that carries one.
+func goodCode(w http.ResponseWriter) {
+	writeError(w, http.StatusNotFound, CodeNotFound)
+}
+
+func dynamicCode(w http.ResponseWriter, code string) {
+	writeError(w, http.StatusBadRequest, code)
+}

@@ -1,0 +1,74 @@
+// Package hotpath exercises the hotpath analyzer: formatting calls,
+// package-counter bumps, and per-iteration allocations inside annotated
+// functions — and the same constructs left alone when the annotation is
+// absent or the allocation is loop-invariant setup.
+package hotpath
+
+import "fmt"
+
+var calls int
+
+type point struct{ x, y float64 }
+
+// dot is the annotated kernel under test.
+//
+//libra:hotpath
+func dot(a, b []float64) float64 {
+	calls++                  // want "non-atomic bump of package-level calls in a //libra:hotpath function"
+	fmt.Println("enter dot") // want "fmt\\.Println in a //libra:hotpath function: formatting allocates"
+	s := 0.0
+	for i := range a {
+		buf := make([]float64, 1)                // want "make inside a //libra:hotpath loop allocates every iteration"
+		p := point{x: a[i], y: b[i]}             // want "composite literal inside a //libra:hotpath loop allocates every iteration"
+		f := func() float64 { return p.x * p.y } // want "closure inside a //libra:hotpath loop allocates every iteration"
+		buf[0] = f()
+		s += buf[0]
+	}
+	return s
+}
+
+// axpy allocates once as setup, then runs a clean loop: no findings.
+//
+//libra:hotpath
+func axpy(alpha float64, x, y []float64) []float64 {
+	out := make([]float64, len(x)) // setup allocation outside the loop: clean
+	for i := range x {
+		out[i] = alpha*x[i] + y[i]
+	}
+	return out
+}
+
+// nested checks that inner loop bodies are reported exactly once.
+//
+//libra:hotpath
+func nested(m [][]float64) float64 {
+	s := 0.0
+	for _, row := range m {
+		for range row {
+			s += float64(len(make([]int, 1))) // want "make inside a //libra:hotpath loop allocates every iteration"
+		}
+	}
+	return s
+}
+
+// cold is the same body with no annotation: the analyzer stays out.
+func cold(a, b []float64) float64 {
+	calls++
+	s := 0.0
+	for i := range a {
+		p := point{x: a[i], y: b[i]}
+		s += p.x * p.y
+	}
+	return s
+}
+
+// scratch shows the inline escape hatch for a reviewed exception.
+//
+//libra:hotpath
+func scratch(n int) []float64 {
+	var out []float64
+	for i := 0; i < n; i++ {
+		out = append(out, make([]float64, 0, 1)...) //libra:allow hotpath reviewed: amortized append growth
+	}
+	return out
+}

@@ -1,0 +1,36 @@
+// Package metricname exercises the metricname analyzer from outside the
+// telemetry catalog: every registration here is out of place, names must
+// still be constant and libra_-prefixed, and vec label values must stay
+// bounded.
+package metricname
+
+import (
+	"net/http"
+	"strconv"
+
+	"libra/internal/telemetry"
+)
+
+// Registered out of the catalog, and the name lacks the namespace: two
+// findings on one line.
+var reqs = telemetry.Default.NewCounter("requests_total", "total requests") // want "telemetry series registered outside the catalog" "telemetry series \"requests_total\" lacks the \"libra_\" namespace prefix"
+
+// Correct name, wrong place: only the catalog finding.
+var hits = telemetry.Default.NewGauge("libra_cache_hits", "cache hits") // want "telemetry series registered outside the catalog"
+
+// byPath is the vec used by the label-value checks below.
+var byPath = telemetry.Default.NewCounterVec("libra_http_requests_total", "requests by route", "route", "method", "status") // want "telemetry series registered outside the catalog"
+
+func dynamicName(suffix string) {
+	telemetry.Default.NewCounter("libra_"+suffix, "dynamic") // want "telemetry series registered outside the catalog" "telemetry series name is not a compile-time constant"
+}
+
+func observe(r *http.Request, status int) {
+	// r.URL is unbounded; r.Method and the formatted status are bounded.
+	byPath.With(r.URL.Path, r.Method, strconv.Itoa(status)).Inc() // want "request-derived label value \\(r\\.URL\\): unbounded cardinality"
+}
+
+func observeRoute(route string, r *http.Request, status int) {
+	// Mapping to the matched route first is the sanctioned shape.
+	byPath.With(route, r.Method, strconv.Itoa(status)).Inc()
+}

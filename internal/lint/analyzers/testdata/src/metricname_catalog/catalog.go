@@ -1,0 +1,17 @@
+// Package telemetry stands in for the real catalog: type-checked under
+// the libra/internal/telemetry import path (see RunAs in the test), so
+// registrations here are in the sanctioned place and only the naming
+// rules apply.
+package telemetry
+
+type Counter struct{}
+
+type Registry struct{}
+
+func (r *Registry) NewCounter(name, help string) *Counter { return &Counter{} }
+
+var Default = &Registry{}
+
+var good = Default.NewCounter("libra_solves_total", "total solves")
+
+var bad = Default.NewCounter("solves_total", "total solves") // want "telemetry series \"solves_total\" lacks the \"libra_\" namespace prefix"

@@ -1,0 +1,69 @@
+// Package nilness exercises the nilness analyzer: dereferences inside
+// the branch where the pointer was just proven nil, and the
+// invalidations (reassignment, address-taken, nested re-tests) that make
+// the analyzer stand down.
+package nilness
+
+type node struct {
+	val  int
+	next *node
+}
+
+func derefInNilBranch(p *node) int {
+	if p == nil {
+		return p.val // want "p is nil here: this dereference will panic"
+	}
+	return p.val
+}
+
+func derefInElseOfNotNil(p *node) int {
+	if p != nil {
+		return p.val
+	} else {
+		return p.val // want "p is nil here: this dereference will panic"
+	}
+}
+
+func starDeref(p *node) node {
+	if p == nil {
+		return *p // want "p is nil here: this dereference will panic"
+	}
+	return *p
+}
+
+func indexDeref(p *[4]int) int {
+	if p == nil {
+		return p[0] // want "p is nil here: this index will panic"
+	}
+	return p[0]
+}
+
+// reassigned: the nil fact dies at the assignment, so the analyzer must
+// stay quiet even though the deref follows a nil test.
+func reassigned(p *node) int {
+	if p == nil {
+		p = &node{val: 1}
+		return p.val
+	}
+	return p.val
+}
+
+// retested: a nested condition mentioning p abandons the branch.
+func retested(p *node, q *node) int {
+	if p == nil {
+		if q != nil && q.next == p {
+			return 0
+		}
+		return p.val // conservatively unflagged: the nested test touched p
+	}
+	return p.val
+}
+
+// addressTaken: anything may write through &p, so the fact is gone.
+func addressTaken(p *node, fill func(**node)) int {
+	if p == nil {
+		fill(&p)
+		return p.val
+	}
+	return p.val
+}

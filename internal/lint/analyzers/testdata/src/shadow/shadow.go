@@ -1,0 +1,51 @@
+// Package shadow exercises the shadow analyzer: := declarations hiding a
+// same-type outer variable that is still read after the inner scope
+// ends, plus the shapes the heuristic deliberately ignores.
+package shadow
+
+import "errors"
+
+var defaultName = "global"
+
+func check(name string) error {
+	if name == "" {
+		return errors.New("empty")
+	}
+	return nil
+}
+
+func openAll(names []string) error {
+	err := check("seed")
+	for _, name := range names {
+		err := check(name) // want "declaration of \"err\" shadows declaration at line 18; the outer variable is used after this scope ends"
+		_ = err
+	}
+	return err
+}
+
+// differentType: the inner n is a string, the outer an int; no report.
+func differentType() int {
+	n := 0
+	{
+		n := "inner"
+		_ = n
+	}
+	return n + 1
+}
+
+// deadAfter: the outer err is never read after the inner scope ends, so
+// the shadow cannot change behavior.
+func deadAfter(names []string) {
+	err := check("seed")
+	_ = err
+	for _, name := range names {
+		err := check(name)
+		_ = err
+	}
+}
+
+// pkgShadow: hiding a package-level name with a local is routine Go.
+func pkgShadow() string {
+	defaultName := "local"
+	return defaultName
+}

@@ -1,0 +1,69 @@
+// Package speccontract exercises the speccontract analyzer: a complete
+// canonical-spec contract (Good) and a type that opts in via
+// MarshalCanonical but breaks every other clause (Bad).
+package speccontract
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// Good implements the full contract: ParseSpec round-trip, Clone,
+// Fingerprint, json.Marshal of the spec type, hints zeroed outside the
+// checked methods.
+type Good struct {
+	Steps   int     `json:"steps"`
+	Tol     float64 `json:"tol"`
+	WarmTol float64 `json:"-"`
+}
+
+func (g *Good) MarshalCanonical() ([]byte, error) {
+	return json.Marshal(g.canonical())
+}
+
+// canonical zeroes the runtime-only hints; it is not itself part of the
+// checked canonicalization methods, so writing WarmTol here is fine.
+func (g *Good) canonical() *Good {
+	c := *g
+	c.WarmTol = 0
+	return &c
+}
+
+func (g *Good) Clone() *Good {
+	c := *g
+	return &c
+}
+
+func (g *Good) Fingerprint() (string, error) {
+	data, err := g.MarshalCanonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// ParseSpec reads canonical bytes back into the spec type.
+func ParseSpec(data []byte) (*Good, error) {
+	var g Good
+	if err := json.Unmarshal(data, &g); err != nil {
+		return nil, err
+	}
+	return &g, nil
+}
+
+// Bad declares MarshalCanonical but hand-rolls the bytes, reads a
+// runtime-only hint while doing it, and has neither Clone nor
+// Fingerprint.
+type Bad struct {
+	Steps     int       `json:"steps"`
+	WarmStart []float64 `json:"-"`
+}
+
+func (b *Bad) MarshalCanonical() ([]byte, error) { // want "Bad declares MarshalCanonical but has no Clone method" "Bad declares MarshalCanonical but has no Fingerprint method" "MarshalCanonical on Bad never passes a Bad value to json\\.Marshal"
+	if len(b.WarmStart) > 0 { // want "WarmStart is tagged json:\"-\" \\(runtime-only\\) but is read inside MarshalCanonical"
+		return json.Marshal(map[string]int{"steps": b.Steps})
+	}
+	return json.Marshal(b.Steps)
+}

@@ -1,0 +1,36 @@
+// Package speccontract_noparse exercises the package-level clause of the
+// spec contract: the type is otherwise complete, but the package has no
+// ParseSpec, so the canonical bytes cannot be read back. Its Fingerprint
+// also reads a runtime-only hint, exercising the Fingerprint arm of the
+// json:"-" check.
+package speccontract_noparse
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+type Spec struct {
+	Iters    int  `json:"iters"`
+	Verbose  bool `json:"-"`
+	cachedFP string
+}
+
+func (s *Spec) MarshalCanonical() ([]byte, error) { // want "Spec declares MarshalCanonical but package speccontract_noparse has no ParseSpec"
+	return json.Marshal(s)
+}
+
+func (s *Spec) Clone() *Spec {
+	c := *s
+	return &c
+}
+
+func (s *Spec) Fingerprint() string {
+	if s.Verbose { // want "Verbose is tagged json:\"-\" \\(runtime-only\\) but is read inside Fingerprint"
+		return "verbose"
+	}
+	data, _ := s.MarshalCanonical()
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}

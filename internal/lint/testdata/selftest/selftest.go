@@ -1,0 +1,31 @@
+// Package selftest carries deliberately seeded lint violations. It lives
+// under testdata, so `go list ./...` — and therefore every normal build,
+// test, and lint run — never sees it; `make lint-selftest` points
+// libra-lint at it explicitly and requires a non-zero exit, proving the
+// pipeline still detects what it is supposed to detect.
+package selftest
+
+import "context"
+
+// Run seeds a ctxflow violation: a fresh root context in library code
+// with no allowlist entry and no inline directive.
+func Run() error {
+	ctx := context.Background()
+	_ = ctx
+	return nil
+}
+
+// sum seeds a hotpath violation: a per-iteration composite literal
+// inside an annotated function's loop.
+//
+//libra:hotpath
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		box := []float64{x}
+		s += box[0]
+	}
+	return s
+}
+
+var _ = sum

@@ -23,6 +23,8 @@ import (
 )
 
 // dot returns aᵀb.
+//
+//libra:hotpath
 func dot(a, b []float64) float64 {
 	s := 0.0
 	for i := range a {
@@ -32,11 +34,15 @@ func dot(a, b []float64) float64 {
 }
 
 // norm2 returns ‖a‖₂.
+//
+//libra:hotpath
 func norm2(a []float64) float64 {
 	return math.Sqrt(dot(a, a))
 }
 
 // axpy computes y += alpha·x in place.
+//
+//libra:hotpath
 func axpy(alpha float64, x, y []float64) {
 	for i := range y {
 		y[i] += alpha * x[i]

@@ -170,7 +170,7 @@ type Result struct {
 // (projected gradient + Nelder-Mead polish by default; see Strategy). For
 // convex problems the first converged start is returned.
 func Minimize(p Problem, o Options) (Result, error) {
-	return MinimizeContext(context.Background(), p, o)
+	return MinimizeContext(context.Background(), p, o) //libra:allow ctxflow compat wrapper: context-free entry point deliberately roots here
 }
 
 // MinimizeContext is Minimize under a context: the solve polls ctx between
@@ -245,6 +245,8 @@ type startOutcome struct {
 // deterministic. Warm and cold starts run the identical search: the
 // warm-start cutoff is a selection decision (see folder.fold), not a
 // different per-start algorithm.
+//
+//libra:hotpath
 func runStart(ctx context.Context, p Problem, start []float64, o Options) startOutcome {
 	telemetry.SolverStarts.Inc()
 	switch o.Strategy {
@@ -498,6 +500,8 @@ func numGrad(f func([]float64) float64, x []float64) []float64 {
 // numGradInto computes a central-difference gradient into g, using xp/xm
 // as perturbation scratch (each restored to x after its component), so a
 // gradient-heavy local search performs zero allocations per gradient.
+//
+//libra:hotpath
 func numGradInto(g []float64, f func([]float64) float64, x, xp, xm []float64) {
 	copy(xp, x)
 	copy(xm, x)
@@ -527,6 +531,8 @@ func numGradInto(g []float64, f func([]float64) float64, x, xp, xm []float64) {
 // projectedGradient runs monotone projected gradient descent with
 // backtracking line search from a feasible start. iters reports how many
 // descent iterations executed, for the caller's telemetry.
+//
+//libra:hotpath
 func projectedGradient(ctx context.Context, p Problem, start []float64, o Options) (x []float64, f float64, converged bool, iters int) {
 	n := len(start)
 	grad := p.Grad
@@ -587,6 +593,8 @@ func projectedGradient(ctx context.Context, p Problem, start []float64, o Option
 // constraint violations are penalized quadratically, and the returned
 // point is re-projected into the feasible set. iters reports how many
 // simplex iterations executed, for the caller's telemetry.
+//
+//libra:hotpath
 func nelderMead(ctx context.Context, p Problem, start []float64, o Options) (_ []float64, _ float64, iters int) {
 	n := p.N
 	mu := 1e6 * math.Max(1, math.Abs(p.Objective(start)))

@@ -465,9 +465,9 @@ func (s *Store) compactLocked() error {
 	if err := os.Rename(tmpPath, snapPath); err != nil {
 		return err
 	}
-	newSnap, err := os.Open(snapPath)
-	if err != nil {
-		return err
+	newSnap, openErr := os.Open(snapPath)
+	if openErr != nil {
+		return openErr
 	}
 	// The rename is the commit point: if the process dies before the log
 	// truncation below, recovery replays snapshot then log and the log's

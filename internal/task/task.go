@@ -393,6 +393,8 @@ func (t *Task) UnmarshalJSON(data []byte) error {
 // and validate.Spec all re-derive through their Build/resolve paths), so
 // every spelling of the same task — "ppc" vs "perf-per-cost", implied vs
 // explicit defaults — maps to identical bytes.
+//
+//libra:allow speccontract Task is the kind envelope, not a spec type: canonical form, parsing (Parse), and cloning all delegate to the per-kind specs
 func (t *Task) MarshalCanonical() ([]byte, error) {
 	payload, err := t.payload(true)
 	if err != nil {

@@ -117,9 +117,13 @@ func (r *Registry) NewCounter(name, help string) *Counter {
 }
 
 // Inc adds one.
+//
+//libra:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n.
+//
+//libra:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value reads the current count.
@@ -149,6 +153,8 @@ func (r *Registry) NewGauge(name, help string) *Gauge {
 }
 
 // Inc adds one. Dec subtracts one. Add adds delta. Set overwrites.
+//
+//libra:hotpath
 func (g *Gauge) Inc()            { g.v.Add(1) }
 func (g *Gauge) Dec()            { g.v.Add(-1) }
 func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
@@ -232,6 +238,8 @@ func newHistogram(name, help string, bounds []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//libra:hotpath
 func (h *Histogram) Observe(v float64) {
 	// Binary search for the first bound ≥ v; the last slot is +Inf.
 	lo, hi := 0, len(h.bounds)

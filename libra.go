@@ -805,7 +805,14 @@ func TacosAllReduceTime(net *Network, bw BWConfig, bytes float64, chunksPerNPU i
 
 // RunExperiments regenerates every paper table and figure into dir
 // (CSV + text), streaming renderings to w (nil to silence). quick trims
-// the bandwidth sweeps.
+// the bandwidth sweeps. It is RunExperimentsContext with a root context,
+// for callers with nothing to cancel.
 func RunExperiments(dir string, quick bool, w io.Writer) error {
-	return experiments.RunAll(dir, quick, w)
+	return RunExperimentsContext(context.Background(), dir, quick, w) //libra:allow ctxflow compat wrapper: context-free entry point deliberately roots here
+}
+
+// RunExperimentsContext is RunExperiments with cancellation: a cancelled
+// ctx stops between experiments and aborts the in-flight solve.
+func RunExperimentsContext(ctx context.Context, dir string, quick bool, w io.Writer) error {
+	return experiments.RunAll(ctx, dir, quick, w)
 }
